@@ -1,0 +1,87 @@
+"""Ablation — two time domains, one code path (DESIGN.md decision 1).
+
+Every compute unit carries both the real numerics (toy-engine integration,
+``numeric_steps``) and a virtual-clock duration billed from the calibrated
+performance model (``steps_per_cycle``).  This benchmark verifies the
+separation: changing the integration depth by 20x must leave every timing
+metric *bit-identical* (the virtual clock never looks at the numerics),
+while the sampled physics does change (more steps, more decorrelation).
+"""
+
+from _harness import report
+from repro.core import RepEx, SimulationConfig
+from repro.core.config import DimensionSpec, ResourceSpec
+from repro.utils.tables import render_table
+
+N_REPLICAS = 32
+
+
+def run_with_steps(numeric_steps):
+    config = SimulationConfig(
+        title=f"ablation-perfmodel-{numeric_steps}",
+        dimensions=[
+            DimensionSpec("temperature", N_REPLICAS, 273.0, 373.0)
+        ],
+        resource=ResourceSpec("supermic", cores=N_REPLICAS),
+        n_cycles=4,
+        steps_per_cycle=6000,
+        numeric_steps=numeric_steps,
+        sample_stride=0,
+        seed=3,
+    )
+    return RepEx(config).run()
+
+
+def collect():
+    return {steps: run_with_steps(steps) for steps in (10, 200)}
+
+
+def test_ablation_perfmodel_time_domain_separation(benchmark):
+    results = benchmark.pedantic(collect, rounds=1, iterations=1)
+    rows = []
+    for steps, res in sorted(results.items()):
+        rows.append(
+            [
+                steps,
+                res.mean_component("t_md"),
+                res.mean_component("t_ex"),
+                res.mean_component("t_rp"),
+                res.average_cycle_time(),
+                100.0 * res.acceptance_ratio("temperature"),
+            ]
+        )
+    report(
+        "ablation_perfmodel",
+        render_table(
+            [
+                "numeric steps",
+                "t_md (s)",
+                "t_ex (s)",
+                "t_rp (s)",
+                "avg Tc (s)",
+                "acceptance %",
+            ],
+            rows,
+            title=(
+                "Ablation: virtual-clock timings vs integration depth "
+                "(billed steps fixed at 6000)"
+            ),
+        ),
+    )
+
+    shallow, deep = results[10], results[200]
+    # virtual-clock metrics are identical: the performance model bills
+    # steps_per_cycle, never numeric_steps
+    assert shallow.mean_component("t_md") == deep.mean_component("t_md")
+    assert shallow.mean_component("t_rp") == deep.mean_component("t_rp")
+    assert shallow.average_cycle_time() == deep.average_cycle_time()
+    # but the physics differs: trajectories decorrelate differently
+    e_shallow = [
+        rec.potential_energy
+        for r in shallow.replicas
+        for rec in r.history
+    ]
+    e_deep = [
+        rec.potential_energy for r in deep.replicas for rec in r.history
+    ]
+    assert e_shallow != e_deep

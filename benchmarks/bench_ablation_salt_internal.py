@@ -1,0 +1,90 @@
+"""Ablation — internal vs task-based salt single points (DESIGN.md dec. 3).
+
+The shipped S-REMD behaviour follows the paper: the exchange spawns one
+extra Amber group-file single-point task per replica, which is why salt
+exchange dominates Figs. 6/9/10.  The paper's first future-work item is to
+compute those energies internally; ``DimensionSpec(internal_sp=True)``
+enables that here.  This benchmark quantifies what the optimization buys
+and checks it does not change the sampling (the Metropolis decisions use
+the same energies either way).
+"""
+
+from _harness import report, run_1d
+from repro.core import RepEx, SimulationConfig
+from repro.core.config import DimensionSpec, ResourceSpec
+from repro.utils.tables import render_table
+
+COUNTS = [64, 216]
+N_CYCLES = 4
+
+
+def run_salt(n, internal):
+    config = SimulationConfig(
+        title=f"ablation-salt-{'int' if internal else 'ext'}-{n}",
+        dimensions=[
+            DimensionSpec("salt", n, 0.0, 1.0, internal_sp=internal)
+        ],
+        resource=ResourceSpec("supermic", cores=n),
+        n_cycles=N_CYCLES,
+        steps_per_cycle=6000,
+        numeric_steps=10,
+        sample_stride=0,
+        seed=5,
+    )
+    return RepEx(config).run()
+
+
+def collect():
+    return {
+        (n, internal): run_salt(n, internal)
+        for n in COUNTS
+        for internal in (False, True)
+    }
+
+
+def test_ablation_salt_internal(benchmark):
+    results = benchmark.pedantic(collect, rounds=1, iterations=1)
+    rows = []
+    for (n, internal), res in sorted(results.items()):
+        rows.append(
+            [
+                n,
+                "internal" if internal else "group tasks",
+                res.mean_component("t_ex"),
+                res.average_cycle_time(),
+                100.0 * res.acceptance_ratio("salt"),
+            ]
+        )
+    report(
+        "ablation_salt_internal",
+        render_table(
+            [
+                "replicas",
+                "single points",
+                "t_ex (s)",
+                "avg Tc (s)",
+                "acceptance %",
+            ],
+            rows,
+            title=(
+                "Ablation: S-REMD single-point energies - extra tasks "
+                "(paper) vs internal (future work)"
+            ),
+        ),
+    )
+
+    for n in COUNTS:
+        ext = results[(n, False)]
+        internal = results[(n, True)]
+        # the optimization removes the SP waves: much cheaper exchange
+        assert internal.mean_component("t_ex") < 0.5 * ext.mean_component(
+            "t_ex"
+        )
+        # identical physics: same energies -> same Metropolis decisions
+        assert (
+            internal.exchange_stats["salt"].accepted
+            == ext.exchange_stats["salt"].accepted
+        )
+        w_int = [r.window("salt") for r in internal.replicas]
+        w_ext = [r.window("salt") for r in ext.replicas]
+        assert w_int == w_ext

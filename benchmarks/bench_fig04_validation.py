@@ -1,0 +1,153 @@
+"""Fig. 4 — Validation: free-energy profiles from 3D TUU-REMD.
+
+The paper's validation (Sec. 3.4): 3D-REMD over temperature (6 geometric
+windows, 273-373 K) x umbrella(phi) x umbrella(psi) (8 uniform windows
+each over 0-360 deg) = 384 replicas of solvated alanine dipeptide; free
+energy profiles are then built per temperature (the paper uses vFEP, we
+use 2-D WHAM) and the acceptance ratios are ~3% in T and ~25% in U.
+
+This benchmark runs the same lattice with the real toy engine (genuine
+Langevin dynamics; genuine Metropolis exchanges), checks the acceptance
+ratios, builds the surfaces at the coldest and hottest temperatures and
+verifies the physical shape: the alpha-R and beta basins exist at low T
+and the surface flattens (higher population spread) at high T.
+
+Note on the umbrella force constant: see EXPERIMENTS.md — the paper's
+quoted 0.02 kcal/mol/deg^2 gives non-overlapping windows in a 2-DOF
+model; we use 0.0005 to reproduce the quoted ~25% U acceptance.
+"""
+
+import numpy as np
+
+from _harness import FAST, report
+from repro.analysis.fes import (
+    ascii_contour,
+    collect_window_samples,
+    find_basins,
+    free_energy_surface,
+)
+from repro.core import (
+    DimensionSpec,
+    RepEx,
+    ResourceSpec,
+    SimulationConfig,
+)
+from repro.utils.tables import render_table
+
+T_WINDOWS = 4 if FAST else 6
+U_WINDOWS = 5 if FAST else 8
+N_FULL_CYCLES = 8 if FAST else 12
+SKIP_FULL_CYCLES = 3 if FAST else 4
+NUMERIC_STEPS = 200 if FAST else 250
+FORCE_CONSTANT = 0.0005
+
+
+def build():
+    config = SimulationConfig(
+        title="fig4-validation",
+        dimensions=[
+            DimensionSpec("temperature", T_WINDOWS, 273.0, 373.0),
+            DimensionSpec(
+                "umbrella", U_WINDOWS, 0.0, 360.0, angle="phi",
+                force_constant=FORCE_CONSTANT,
+            ),
+            DimensionSpec(
+                "umbrella", U_WINDOWS, 0.0, 360.0, angle="psi",
+                force_constant=FORCE_CONSTANT,
+            ),
+        ],
+        resource=ResourceSpec(
+            "stampede", cores=T_WINDOWS * U_WINDOWS * U_WINDOWS
+        ),
+        n_cycles=N_FULL_CYCLES * 3,
+        steps_per_cycle=20000,  # the paper's 20 ps exchange interval
+        numeric_steps=NUMERIC_STEPS,
+        sample_stride=10,
+        seed=20160113,
+    )
+    return config
+
+
+def run():
+    config = build()
+    repex = RepEx(config)
+    dims = {d.name: d for d in repex.amm.dimensions}
+    result = repex.run()
+    return config, dims, result
+
+
+def test_fig04_validation(benchmark):
+    config, dims, result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    acc_rows = [
+        [name, 100.0 * stats.ratio, stats.attempted]
+        for name, stats in result.exchange_stats.items()
+    ]
+    text = [
+        render_table(
+            ["dimension", "acceptance %", "attempts"],
+            acc_rows,
+            title=(
+                f"Fig. 4 validation: {result.n_replicas} replicas "
+                f"({T_WINDOWS}x{U_WINDOWS}x{U_WINDOWS} TUU), "
+                f"{N_FULL_CYCLES} full cycles"
+            ),
+        )
+    ]
+
+    t_dim = dims["temperature"]
+    surfaces = {}
+    for t_index in (0, t_dim.n_windows - 1):
+        temperature = float(t_dim.value(t_index))
+        windows = collect_window_samples(
+            result.replicas,
+            temperature_dim="temperature",
+            umbrella_dims=["umbrella_phi", "umbrella_psi"],
+            umbrella_builders=dims,
+            temperature_index=t_index,
+            skip_cycles=SKIP_FULL_CYCLES * 3,
+        )
+        surface = free_energy_surface(windows, temperature, n_bins=24)
+        surfaces[t_index] = surface
+        basins = find_basins(surface, threshold_kcal=3.0)
+        text.append(
+            f"\nT = {temperature:.0f} K  ({len(windows)} umbrella windows, "
+            f"WHAM {surface.n_iterations} iterations)"
+        )
+        text.append(ascii_contour(surface, vmax=16.0))
+        text.append("basins (phi, psi, F):")
+        for phi, psi, fe in basins[:4]:
+            text.append(f"  ({phi:7.1f}, {psi:7.1f})  {fe:5.2f} kcal/mol")
+
+    report("fig04_validation", "\n".join(text))
+
+    # --- acceptance ratios: ~3% (T), ~25% (U) ---------------------------------
+    t_acc = result.acceptance_ratio("temperature")
+    u_acc_phi = result.acceptance_ratio("umbrella_phi")
+    u_acc_psi = result.acceptance_ratio("umbrella_psi")
+    if not FAST:
+        assert 0.005 < t_acc < 0.12, t_acc
+        assert 0.10 < u_acc_phi < 0.45, u_acc_phi
+        assert 0.10 < u_acc_psi < 0.45, u_acc_psi
+
+    # --- surface shape -----------------------------------------------------------
+    cold = surfaces[0]
+    hot = surfaces[t_dim.n_windows - 1]
+    cold_basins = find_basins(cold, threshold_kcal=3.0)
+    assert cold_basins, "no basins found at the coldest temperature"
+    # the global minimum sits in one of the two physical basins:
+    # alpha-R (-63, -42) or beta (-120, 135)
+    phi0, psi0, _ = cold_basins[0]
+    in_alpha = abs(phi0 + 63) < 45 and abs(psi0 + 42) < 60
+    in_beta = abs(phi0 + 120) < 45 and abs(psi0 - 135) < 60
+    assert in_alpha or in_beta, (phi0, psi0)
+
+    # higher temperature spreads the population: the entropy of the
+    # unbiased torsion distribution must not decrease from cold to hot
+    def distribution_entropy(surface):
+        p = surface.probability.ravel()
+        p = p[p > 0]
+        p = p / p.sum()
+        return float(-(p * np.log(p)).sum())
+
+    assert distribution_entropy(hot) > distribution_entropy(cold) - 0.10

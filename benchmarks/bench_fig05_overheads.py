@@ -1,0 +1,80 @@
+"""Fig. 5 — Characterization of overheads.
+
+Regenerates the paper's Fig. 5 series: per-exchange-type data times, RepEx
+overhead for 1D and 3D simulations, and RP overhead, as functions of the
+replica count (64..1728, one core per replica, Mode I, synchronous).
+
+Expected shape (paper Sec. 4.1): data times small (max ~6.3 s) and ordered
+T < U < S; RepEx overhead grows with replicas, 3D above 1D; RP overhead
+proportional to the replica count and the largest term at scale.
+"""
+
+from _harness import (
+    N_FULL_CYCLES_MREMD,
+    REPLICA_COUNTS,
+    one_dimensional_sweep,
+    report,
+    run_mremd,
+)
+from repro.utils.tables import render_table
+
+
+def cube_root_windows(n_replicas: int) -> int:
+    k = round(n_replicas ** (1.0 / 3.0))
+    assert k**3 == n_replicas, n_replicas
+    return k
+
+
+def collect():
+    sweeps = {
+        kind: one_dimensional_sweep(kind)
+        for kind in ("temperature", "umbrella", "salt")
+    }
+    rows = []
+    for i, n in enumerate(REPLICA_COUNTS):
+        k = cube_root_windows(n)
+        res_3d = run_mremd(
+            "TSU", (k, k, k), cores=n, n_full_cycles=N_FULL_CYCLES_MREMD
+        )
+        rows.append(
+            [
+                n,
+                sweeps["temperature"][i].mean_component("t_data"),
+                sweeps["umbrella"][i].mean_component("t_data"),
+                sweeps["salt"][i].mean_component("t_data"),
+                sweeps["temperature"][i].mean_component("t_repex"),
+                res_3d.mean_component("t_repex"),
+                sweeps["temperature"][i].mean_component("t_rp"),
+            ]
+        )
+    return rows
+
+
+def test_fig05_overheads(benchmark):
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    report(
+        "fig05_overheads",
+        render_table(
+            [
+                "replicas",
+                "T data",
+                "U data",
+                "S data",
+                "RepEx over (1D)",
+                "RepEx over (3D)",
+                "RP over",
+            ],
+            rows,
+            title="Fig. 5: Data times, RepEx overhead and RP overhead (s)",
+        ),
+    )
+    # shape assertions (who wins, growth directions)
+    first, last = rows[0], rows[-1]
+    assert last[6] > first[6]  # RP overhead grows with replicas
+    assert last[5] > last[4]  # 3D RepEx overhead > 1D
+    assert last[3] >= last[1]  # S data >= T data
+    assert all(r[3] < 10.0 for r in rows)  # data times stay small
+    # RP overhead ~ proportional to replicas (paper Sec. 4.1)
+    ratio = last[6] / first[6]
+    expected = REPLICA_COUNTS[-1] / REPLICA_COUNTS[0]
+    assert 0.4 * expected < ratio < 1.6 * expected

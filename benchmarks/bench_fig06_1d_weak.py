@@ -1,0 +1,84 @@
+"""Fig. 6 — One-dimensional REMD weak scaling.
+
+Regenerates the decomposition of average cycle time into MD time and
+exchange time for U-REMD, S-REMD and T-REMD, with replicas == cores from
+64 to 1728 on (simulated) SuperMIC, sander, 6000 steps/cycle.
+
+Expected shape (paper Sec. 4.2): MD times nearly identical across types
+and counts (~139.6 s); T and U exchange similar with near-linear growth;
+S exchange substantially longer (extra single-point tasks) but still
+near-linear.
+"""
+
+from _harness import REPLICA_COUNTS, one_dimensional_sweep, report
+from repro.utils.tables import render_table
+
+
+def collect():
+    data = {}
+    for kind in ("umbrella", "salt", "temperature"):
+        data[kind] = [
+            (r.mean_component("t_md"), r.mean_component("t_ex"))
+            for r in one_dimensional_sweep(kind)
+        ]
+    return data
+
+
+def test_fig06_1d_weak_scaling(benchmark):
+    data = benchmark.pedantic(collect, rounds=1, iterations=1)
+    rows = []
+    for i, n in enumerate(REPLICA_COUNTS):
+        rows.append(
+            [
+                f"{n}, {n}",
+                data["umbrella"][i][0],
+                data["salt"][i][0],
+                data["temperature"][i][0],
+                data["umbrella"][i][1],
+                data["salt"][i][1],
+                data["temperature"][i][1],
+            ]
+        )
+    report(
+        "fig06_1d_weak",
+        render_table(
+            [
+                "cores, replicas",
+                "U MD",
+                "S MD",
+                "T MD",
+                "U exch",
+                "S exch",
+                "T exch",
+            ],
+            rows,
+            title=(
+                "Fig. 6: 1D-REMD weak scaling - MD and exchange time (s)"
+            ),
+        ),
+    )
+
+    # MD times nearly identical across exchange types and replica counts
+    md_all = [md for series in data.values() for md, _ in series]
+    assert max(md_all) / min(md_all) < 1.15
+    assert all(135.0 < md < 165.0 for md in md_all)  # ~139.6 s anchor
+
+    for kind in ("temperature", "umbrella", "salt"):
+        ex = [e for _, e in data[kind]]
+        assert ex[-1] > ex[0]  # exchange grows with replicas
+
+    # T and U exchange similar; S substantially longer
+    for i in range(len(REPLICA_COUNTS)):
+        t_ex = data["temperature"][i][1]
+        u_ex = data["umbrella"][i][1]
+        s_ex = data["salt"][i][1]
+        assert abs(t_ex - u_ex) / max(t_ex, u_ex) < 0.25
+        assert s_ex > 2.0 * t_ex
+
+    # near-linear growth for T exchange: ratio of increments roughly
+    # follows replica-count increments
+    t_series = [e for _, e in data["temperature"]]
+    growth = (t_series[-1] - t_series[0]) / (
+        REPLICA_COUNTS[-1] - REPLICA_COUNTS[0]
+    )
+    assert growth > 0

@@ -1,0 +1,80 @@
+"""Fig. 7 — Parallel efficiency of 1D-REMD (weak scaling).
+
+Regenerates the weak-scaling parallel efficiency (% of linear scaling,
+Eq. 2, 64-core point = 100%) for T-REMD, S-REMD and U-REMD plus the
+no-exchange baseline, on (simulated) SuperMIC with the Amber engine.
+
+Expected shape (paper Sec. 4.2): efficiency decreases with core count for
+all types; T and U similar; S lower (expensive exchange phase); the
+no-exchange baseline the highest.
+"""
+
+from _harness import REPLICA_COUNTS, one_dimensional_sweep, report, run_1d
+from repro.analysis.timings import weak_scaling_efficiency
+from repro.utils.charts import line_plot
+from repro.utils.tables import render_table
+
+
+def collect():
+    eff = {}
+    for kind in ("temperature", "salt", "umbrella"):
+        times = [
+            r.average_cycle_time() for r in one_dimensional_sweep(kind)
+        ]
+        eff[kind] = weak_scaling_efficiency(times)
+    no_ex = [
+        run_1d("temperature", n, exchange_enabled=False).average_cycle_time()
+        for n in REPLICA_COUNTS
+    ]
+    eff["no exchange"] = weak_scaling_efficiency(no_ex)
+    return eff
+
+
+def test_fig07_parallel_efficiency(benchmark):
+    eff = benchmark.pedantic(collect, rounds=1, iterations=1)
+    rows = [
+        [
+            n,
+            eff["temperature"][i],
+            eff["salt"][i],
+            eff["umbrella"][i],
+            eff["no exchange"][i],
+        ]
+        for i, n in enumerate(REPLICA_COUNTS)
+    ]
+    report(
+        "fig07_1d_efficiency",
+        render_table(
+            ["cores", "T-REMD", "S-REMD", "U-REMD", "No exchange"],
+            rows,
+            title=(
+                "Fig. 7: 1D-REMD weak-scaling parallel efficiency "
+                "(% of linear)"
+            ),
+        )
+        + "\n\n"
+        + line_plot(
+            REPLICA_COUNTS,
+            {
+                "T-REMD": eff["temperature"],
+                "S-REMD": eff["salt"],
+                "U-REMD": eff["umbrella"],
+                "no exchange": eff["no exchange"],
+            },
+            title="efficiency % vs cores",
+        ),
+    )
+
+    for kind in ("temperature", "salt", "umbrella", "no exchange"):
+        series = eff[kind]
+        assert abs(series[0] - 100.0) < 1e-9
+        assert series[-1] < 100.0  # efficiency declines
+
+    last = len(REPLICA_COUNTS) - 1
+    # S-REMD pays for its exchange phase: lowest efficiency
+    assert eff["salt"][last] < eff["temperature"][last]
+    assert eff["salt"][last] < eff["umbrella"][last]
+    # the no-exchange baseline is the best
+    assert eff["no exchange"][last] >= eff["temperature"][last] - 1.0
+    # T and U track each other
+    assert abs(eff["temperature"][last] - eff["umbrella"][last]) < 8.0

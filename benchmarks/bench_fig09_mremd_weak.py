@@ -1,0 +1,77 @@
+"""Fig. 9 — Multi-dimensional (TSU) REMD weak scaling.
+
+Regenerates the full-cycle decomposition for TSU-REMD (temperature, salt
+concentration, umbrella) on (simulated) Stampede with Amber: equal windows
+per dimension (4, 6, 8, 10, 12 -> 64..1728 replicas), replicas == cores,
+Mode I, 6000 steps per MD phase.
+
+Expected shape (paper Sec. 4.4): MD times nearly identical (~495 s — three
+MD phases of ~165 s on Stampede per full cycle); T and U exchange similar
+and near-linear; S exchange substantially larger.
+"""
+
+from _harness import (
+    N_FULL_CYCLES_MREMD,
+    REPLICA_COUNTS,
+    report,
+    run_mremd,
+)
+from repro.analysis.timings import mremd_cycle_decomposition
+from repro.utils.tables import render_table
+
+
+def collect():
+    out = []
+    for n in REPLICA_COUNTS:
+        k = round(n ** (1.0 / 3.0))
+        res = run_mremd(
+            "TSU", (k, k, k), cores=n, n_full_cycles=N_FULL_CYCLES_MREMD
+        )
+        decomp = mremd_cycle_decomposition(res, n_dims=3)
+        out.append((n, decomp))
+    return out
+
+
+def test_fig09_mremd_weak_scaling(benchmark):
+    data = benchmark.pedantic(collect, rounds=1, iterations=1)
+    rows = [
+        [
+            f"{n}, {n}",
+            d["t_md"],
+            d["t_ex[temperature]"],
+            d["t_ex[salt]"],
+            d["t_ex[umbrella_phi]"],
+        ]
+        for n, d in data
+    ]
+    report(
+        "fig09_mremd_weak",
+        render_table(
+            [
+                "cores, replicas",
+                "MD time",
+                "T exch (D1)",
+                "S exch (D2)",
+                "U exch (D3)",
+            ],
+            rows,
+            title="Fig. 9: TSU-REMD weak scaling on Stampede (s)",
+        ),
+    )
+
+    md = [d["t_md"] for _, d in data]
+    # MD times nearly identical, near the ~495 s anchor (3 x ~165 s)
+    assert max(md) / min(md) < 1.15
+    assert all(460.0 < m < 560.0 for m in md)
+
+    for _, d in data:
+        # S exchange dominates T and U
+        assert d["t_ex[salt]"] > 2.0 * d["t_ex[temperature]"]
+        # T and U similar
+        t, u = d["t_ex[temperature]"], d["t_ex[umbrella_phi]"]
+        assert abs(t - u) / max(t, u) < 0.3
+
+    # exchange timings grow with replica count in every dimension
+    for key in ("t_ex[temperature]", "t_ex[salt]", "t_ex[umbrella_phi]"):
+        series = [d[key] for _, d in data]
+        assert series[-1] > series[0]

@@ -1,0 +1,80 @@
+"""Fig. 10 — Multi-dimensional (TSU) REMD strong scaling.
+
+Regenerates the strong-scaling series: 1728 replicas (12 per dimension)
+fixed, CPU cores swept over 112..1728 on (simulated) Stampede — Execution
+Mode II everywhere except the final, cores == replicas point.
+
+Expected shape (paper Sec. 4.4): MD time halves when cores double; T and U
+exchange roughly flat; S exchange much larger (~30 minutes at 112 cores)
+and decreasing with cores.
+"""
+
+from _harness import (
+    FAST,
+    STRONG_CORE_COUNTS,
+    report,
+    run_mremd,
+)
+from repro.analysis.timings import mremd_cycle_decomposition
+from repro.utils.tables import render_table
+
+K = 6 if FAST else 12  # windows per dimension (paper: 12 -> 1728 replicas)
+
+
+def collect():
+    out = []
+    n_replicas = K**3
+    for cores in STRONG_CORE_COUNTS:
+        res = run_mremd(
+            "TSU",
+            (K, K, K),
+            cores=min(cores, n_replicas),
+            n_full_cycles=1,
+        )
+        decomp = mremd_cycle_decomposition(res, n_dims=3)
+        out.append((cores, decomp))
+    return out
+
+
+def test_fig10_mremd_strong_scaling(benchmark):
+    data = benchmark.pedantic(collect, rounds=1, iterations=1)
+    n_replicas = K**3
+    rows = [
+        [
+            f"{cores}, {n_replicas}",
+            d["t_md_span"],
+            d["t_ex[temperature]"],
+            d["t_ex[salt]"],
+            d["t_ex[umbrella_phi]"],
+        ]
+        for cores, d in data
+    ]
+    report(
+        "fig10_mremd_strong",
+        render_table(
+            [
+                "cores, replicas",
+                "MD time",
+                "T exch (D1)",
+                "S exch (D2)",
+                "U exch (D3)",
+            ],
+            rows,
+            title="Fig. 10: TSU-REMD strong scaling on Stampede (s)",
+        ),
+    )
+
+    md = [d["t_md_span"] for _, d in data]
+    # allocating more CPUs reduces MD (and total cycle) time
+    assert md[0] > md[-1]
+    # doubling cores roughly halves MD time (first -> second point)
+    ratio = md[0] / md[1]
+    cores_ratio = min(STRONG_CORE_COUNTS[1], K**3) / STRONG_CORE_COUNTS[0]
+    assert 0.6 * cores_ratio < ratio < 1.4 * cores_ratio
+
+    for _, d in data:
+        assert d["t_ex[salt]"] > d["t_ex[temperature]"]
+
+    # S exchange time decreases as cores grow (more SP tasks concurrent)
+    s_series = [d["t_ex[salt]"] for _, d in data]
+    assert s_series[0] > s_series[-1]

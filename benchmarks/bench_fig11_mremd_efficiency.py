@@ -1,0 +1,90 @@
+"""Fig. 11 — Parallel efficiency of TSU-REMD: (a) weak, (b) strong.
+
+Re-analyzes the Fig. 9 and Fig. 10 sweeps into Eq. 2 / Eq. 3 parallel
+efficiencies.
+
+Expected shape (paper Sec. 4.4): (a) weak efficiency decreases with core
+count but stays above ~50%; (b) strong efficiency decreases up to the last
+point and then *increases* at cores == replicas, where Execution Mode II's
+"MPI task scheduling issue of RP" (the per-wave penalty) disappears.
+"""
+
+from _harness import (
+    FAST,
+    N_FULL_CYCLES_MREMD,
+    REPLICA_COUNTS,
+    STRONG_CORE_COUNTS,
+    report,
+    run_mremd,
+)
+from repro.analysis.timings import (
+    strong_scaling_efficiency,
+    weak_scaling_efficiency,
+)
+from repro.utils.tables import render_table
+
+K = 6 if FAST else 12
+
+
+def collect():
+    weak_times = []
+    for n in REPLICA_COUNTS:
+        k = round(n ** (1.0 / 3.0))
+        res = run_mremd(
+            "TSU", (k, k, k), cores=n, n_full_cycles=N_FULL_CYCLES_MREMD
+        )
+        weak_times.append(res.average_cycle_time() * 3)  # full TSU cycle
+
+    strong_times = []
+    n_replicas = K**3
+    for cores in STRONG_CORE_COUNTS:
+        res = run_mremd(
+            "TSU",
+            (K, K, K),
+            cores=min(cores, n_replicas),
+            n_full_cycles=1,
+        )
+        strong_times.append(res.average_cycle_time() * 3)
+    return weak_times, strong_times
+
+
+def test_fig11_mremd_efficiency(benchmark):
+    weak_times, strong_times = benchmark.pedantic(
+        collect, rounds=1, iterations=1
+    )
+    weak_eff = weak_scaling_efficiency(weak_times)
+    strong_eff = strong_scaling_efficiency(
+        strong_times, STRONG_CORE_COUNTS
+    )
+
+    rows_a = [
+        [n, e] for n, e in zip(REPLICA_COUNTS, weak_eff)
+    ]
+    rows_b = [
+        [c, e] for c, e in zip(STRONG_CORE_COUNTS, strong_eff)
+    ]
+    text = (
+        render_table(
+            ["cores", "efficiency %"],
+            rows_a,
+            title="Fig. 11(a): TSU-REMD weak-scaling parallel efficiency",
+        )
+        + "\n\n"
+        + render_table(
+            ["cores", "efficiency %"],
+            rows_b,
+            title="Fig. 11(b): TSU-REMD strong-scaling parallel efficiency",
+        )
+    )
+    report("fig11_mremd_efficiency", text)
+
+    # (a): decreasing, above 50% everywhere
+    assert weak_eff[0] == 100.0
+    assert weak_eff[-1] < weak_eff[0]
+    assert all(e > 50.0 for e in weak_eff)
+
+    # (b): decreases towards the penultimate point, upticks at the final
+    # cores == replicas point (Mode II wave penalty vanishes)
+    assert abs(strong_eff[0] - 100.0) < 1e-9
+    assert strong_eff[-2] < strong_eff[0]
+    assert strong_eff[-1] > strong_eff[-2]

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Adaptive sampling: terminating converged replicas, spawning new ones.
+
+The paper's first motivation for asynchronous RE (Sec. 2.1): "some
+replicas have already produced sufficient info and are no longer needed
+... these replicas should be terminated and their computational resource
+should be released.  On the other hand ... new replicas may need to be
+created to cover the regions where more sampling is necessary."
+
+This example runs an asynchronous T-REMD with the energy-plateau
+termination criterion and donor-clone spawning, then compares the three
+variants: no adaptivity, retire-only, and retire + spawn.
+
+Run:  python examples/adaptive_sampling.py
+"""
+
+from repro.core import (
+    AdaptiveSpec,
+    DimensionSpec,
+    PatternSpec,
+    RepEx,
+    ResourceSpec,
+    SimulationConfig,
+)
+from repro.core.replica import ReplicaStatus
+from repro.utils.tables import render_table
+
+
+def run(adaptive: AdaptiveSpec, label: str):
+    config = SimulationConfig(
+        title=f"adaptive-{label}",
+        dimensions=[DimensionSpec("temperature", 12, 290.0, 320.0)],
+        resource=ResourceSpec("supermic", cores=12),
+        pattern=PatternSpec(kind="asynchronous", window_seconds=60.0),
+        adaptive=adaptive,
+        n_cycles=8,
+        steps_per_cycle=6000,
+        numeric_steps=60,
+        seed=31,
+    )
+    return RepEx(config).run()
+
+
+def main():
+    variants = {
+        "off": AdaptiveSpec(enabled=False),
+        "retire only": AdaptiveSpec(
+            enabled=True,
+            min_cycles=3,
+            energy_tolerance=2.0,
+            spawn_replacements=False,
+        ),
+        "retire + spawn": AdaptiveSpec(
+            enabled=True,
+            min_cycles=3,
+            energy_tolerance=2.0,
+            spawn_replacements=True,
+        ),
+    }
+    rows = []
+    for label, spec in variants.items():
+        res = run(spec, label.replace(" ", "-"))
+        md_phases = sum(len(r.history) for r in res.replicas)
+        active = sum(
+            1 for r in res.replicas if r.status is ReplicaStatus.ACTIVE
+        )
+        rows.append(
+            [
+                label,
+                res.n_retired,
+                res.n_spawned,
+                active,
+                md_phases,
+                res.wallclock,
+                100.0 * res.utilization(),
+            ]
+        )
+    print(
+        render_table(
+            [
+                "variant",
+                "retired",
+                "spawned",
+                "active at end",
+                "MD phases run",
+                "wallclock (s)",
+                "utilization %",
+            ],
+            rows,
+            title=(
+                "Adaptive sampling (12 replicas, async, energy-plateau "
+                "criterion)"
+            ),
+        )
+    )
+    print(
+        "\n'retire only' releases cores early (fewer MD phases, shorter\n"
+        "wallclock); 'retire + spawn' reinvests them into fresh replicas\n"
+        "cloned from active donors — the paper's adaptive-sampling story."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Asynchronous RE pattern + fault tolerance.
+
+Two of RepEx's differentiating features in one script:
+
+1. The asynchronous RE pattern (no global barrier): replicas that finish
+   their MD phase pool up and exchange when a time-window criterion fires,
+   while nothing waits on stragglers.  We compare its utilization against
+   the synchronous pattern (the paper's Fig. 13 finds sync ~10% higher
+   with a time-window criterion) and against the FIFO-count criterion the
+   paper predicts would do better.
+
+2. Failure injection + recovery policies: with ``relaunch``, failed MD
+   tasks are resubmitted inside the cycle; with ``continue``, the
+   simulation proceeds without the failed phase.
+
+Run:  python examples/async_fault_tolerance.py
+"""
+
+from repro import (
+    DimensionSpec,
+    FailureSpec,
+    PatternSpec,
+    RepEx,
+    ResourceSpec,
+    SimulationConfig,
+)
+from repro.utils.tables import render_table
+
+
+def base_config(**overrides):
+    defaults = dict(
+        title="async-demo",
+        dimensions=[DimensionSpec("temperature", 16, 273.0, 373.0)],
+        resource=ResourceSpec("supermic", cores=16),
+        n_cycles=4,
+        steps_per_cycle=6000,
+        numeric_steps=100,
+        seed=99,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+def main():
+    print("== RE pattern comparison (16 replicas, 4 cycles) ==")
+    runs = {
+        "synchronous": base_config(),
+        "async (60 s window)": base_config(
+            pattern=PatternSpec(kind="asynchronous", window_seconds=60.0)
+        ),
+        "async (FIFO >= 8)": base_config(
+            pattern=PatternSpec(
+                kind="asynchronous", window_seconds=1e6, fifo_count=8
+            )
+        ),
+    }
+    rows = []
+    for label, cfg in runs.items():
+        res = RepEx(cfg).run()
+        rows.append(
+            [
+                label,
+                100.0 * res.utilization(),
+                res.wallclock,
+                res.exchange_stats["temperature"].attempted,
+            ]
+        )
+    print(
+        render_table(
+            ["pattern", "utilization %", "wallclock s", "exchanges"],
+            rows,
+        )
+    )
+    print(
+        "\nThe synchronous pattern wins on utilization against the\n"
+        "time-window criterion (the paper's ~10% gap); the FIFO criterion\n"
+        "recovers it, as the paper anticipates for smarter criteria.\n"
+    )
+
+    print("== Fault tolerance (20% of MD tasks fail) ==")
+    rows = []
+    for policy in ("continue", "relaunch"):
+        cfg = base_config(
+            title=f"faults-{policy}",
+            failure=FailureSpec(
+                probability=0.2, policy=policy, max_relaunches=5
+            ),
+        )
+        res = RepEx(cfg).run()
+        lost_cycles = sum(
+            1 for r in res.replicas for rec in r.history if rec.failed
+        )
+        rows.append(
+            [
+                policy,
+                res.n_failures,
+                res.n_relaunches,
+                lost_cycles,
+                res.average_cycle_time(),
+            ]
+        )
+    print(
+        render_table(
+            [
+                "policy",
+                "failures",
+                "relaunches",
+                "lost replica-cycles",
+                "avg Tc (s)",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\n'relaunch' recovers every failed phase at the price of longer\n"
+        "cycles; 'continue' never stalls the ensemble — the two recovery\n"
+        "behaviours the paper describes in Section 1."
+    )
+
+
+if __name__ == "__main__":
+    main()

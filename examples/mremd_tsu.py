@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Multi-dimensional REMD: a TSU simulation in Execution Mode II.
+
+Reproduces the paper's headline flexibility demonstration in miniature:
+a three-dimensional Temperature x Salt x Umbrella exchange (4 x 4 x 4 = 64
+replicas) on a pilot with only 16 cores — four times more replicas than
+cores, which the paper calls Execution Mode II ("a user can perform a
+simulation involving 10000 replicas on a 128-core cluster").
+
+Also shows the cost asymmetry the paper measures: salt-concentration
+exchanges spawn extra single-point-energy tasks and dominate exchange time.
+
+Run:  python examples/mremd_tsu.py
+"""
+
+from repro import DimensionSpec, RepEx, ResourceSpec, SimulationConfig
+from repro.analysis.timings import mremd_cycle_decomposition
+from repro.utils.tables import render_table
+
+
+def main():
+    config = SimulationConfig(
+        title="mremd-tsu",
+        dimensions=[
+            DimensionSpec("temperature", 4, 273.0, 373.0),
+            DimensionSpec("salt", 4, 0.0, 1.0),
+            DimensionSpec(
+                "umbrella", 4, 0.0, 360.0, angle="phi",
+                force_constant=0.0005,
+            ),
+        ],
+        resource=ResourceSpec("stampede", cores=16),
+        n_cycles=6,  # two full TSU cycles
+        steps_per_cycle=6000,
+        numeric_steps=200,
+        seed=7,
+    )
+    print(
+        f"{config.title}: {config.n_replicas} replicas "
+        f"({config.type_string}) on {config.resource.cores} cores "
+        f"=> Execution Mode {config.effective_mode}"
+    )
+
+    result = RepEx(config).run()
+
+    rows = [
+        [c.cycle, c.dimension, c.t_md, c.t_ex, c.span]
+        for c in result.cycle_timings
+    ]
+    print()
+    print(
+        render_table(
+            ["cycle", "dimension", "T_MD", "T_EX", "span"],
+            rows,
+            title="Per-1D-cycle timings (dimension rotates per cycle)",
+        )
+    )
+
+    decomp = mremd_cycle_decomposition(result, n_dims=3)
+    print()
+    print("Full TSU cycle decomposition (averaged):")
+    for key, val in sorted(decomp.items()):
+        print(f"  {key:24s} {val:10.1f} s")
+
+    print()
+    print("Acceptance ratios:")
+    for name, stats in result.exchange_stats.items():
+        print(
+            f"  {name:16s} {stats.ratio:6.3f} "
+            f"({stats.accepted}/{stats.attempted})"
+        )
+    print()
+    print(
+        "Note: salt exchange time >> temperature/umbrella exchange time —\n"
+        "each S exchange runs one extra Amber group-file single-point task\n"
+        "per replica, exactly as in the paper (Sec. 4.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Execution tracing + mixing diagnostics for a REMD run.
+
+Drives a small T-REMD simulation while a :class:`repro.pilot.trace.Tracer`
+records every compute unit's state transitions, then prints:
+
+* where the virtual time went (per-state dwell totals — the raw material
+  behind the paper's Fig. 5 overhead characterization),
+* the core-concurrency profile (how full the pilot actually was),
+* the mixing diagnostics of the temperature ladder (occupancy uniformity,
+  ladder traversals, replica flow).
+
+Run:  python examples/trace_timeline.py
+"""
+
+import numpy as np
+
+from repro.analysis.convergence import mixing_report, replica_flow
+from repro.core import RepEx
+from repro.core.config import (
+    DimensionSpec,
+    ResourceSpec,
+    SimulationConfig,
+)
+from repro.pilot.trace import Tracer
+from repro.utils.tables import render_table
+
+N_REPLICAS = 8
+N_CYCLES = 20
+
+
+def main():
+    config = SimulationConfig(
+        title="traced-tremd",
+        dimensions=[
+            DimensionSpec("temperature", N_REPLICAS, 290.0, 315.0)
+        ],
+        resource=ResourceSpec("supermic", cores=N_REPLICAS),
+        n_cycles=N_CYCLES,
+        steps_per_cycle=6000,
+        numeric_steps=50,
+        seed=21,
+    )
+    repex = RepEx(config)
+    tracer = Tracer()
+
+    # watch every unit the pilot schedules
+    original_submit = repex.pilot.submit_units
+
+    def submit_and_watch(descs):
+        units = original_submit(descs)
+        tracer.watch_all(units)
+        return units
+
+    repex.pilot.submit_units = submit_and_watch
+    result = repex.run()
+
+    print(f"{config.title}: {N_REPLICAS} replicas, {N_CYCLES} cycles, "
+          f"{len(tracer.records)} units traced\n")
+
+    totals = tracer.state_totals()
+    rows = sorted(totals.items(), key=lambda kv: -kv[1])
+    print(
+        render_table(
+            ["state", "total dwell (s)"],
+            [[k, v] for k, v in rows],
+            title="Where the virtual time went",
+        )
+    )
+
+    profile = tracer.concurrency_profile()
+    peak = tracer.peak_concurrency()
+    busy = tracer.busy_core_seconds()
+    span = profile[-1][0] - profile[0][0] if profile else 0.0
+    print(f"\npeak concurrency   : {peak} / {N_REPLICAS} cores")
+    print(f"busy core-seconds  : {busy:,.0f}")
+    print(f"mean busy cores    : {busy / span:.2f}" if span else "")
+
+    print("\nFirst cycle, unit timelines (. = waiting, # = executing):")
+    print(tracer.gantt(width=64, max_rows=10))
+
+    report = mixing_report(result, "temperature", N_REPLICAS)
+    print("\nLadder mixing diagnostics:")
+    for k, v in report.items():
+        print(f"  {k:24s} {v}")
+
+    flow = replica_flow(result, "temperature", N_REPLICAS)
+    print("\nReplica flow f(window) (ideal: linear 1 -> 0):")
+    print(
+        "  "
+        + "  ".join(
+            f"{x:.2f}" if np.isfinite(x) else " -- " for x in flow
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""repro: a reproduction of the RepEx replica-exchange framework.
+
+RepEx (Treikalis et al., ICPP 2016) decouples the Replica Exchange
+algorithm from the MD simulation engine and from resource management.
+This package reimplements the framework and every substrate it needs:
+
+* :mod:`repro.core`  — RE patterns, execution modes, exchange dimensions,
+  EMM/AMM/RAM, configuration, fault tolerance (the paper's contribution)
+* :mod:`repro.pilot` — a discrete-event-simulated pilot-job runtime
+  standing in for RADICAL-Pilot on XSEDE clusters
+* :mod:`repro.md`    — a real toy MD engine plus Amber/NAMD-style adapters
+  and a calibrated performance model
+* :mod:`repro.analysis` — WHAM free-energy estimation, acceptance
+  statistics, and the paper's Eqs. 1-4 timing metrics
+"""
+
+from repro.core import (
+    DimensionSpec,
+    EngineSpec,
+    FailureSpec,
+    PatternSpec,
+    RepEx,
+    ResourceSpec,
+    SimulationConfig,
+    SimulationResult,
+    run_simulation,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DimensionSpec",
+    "EngineSpec",
+    "FailureSpec",
+    "PatternSpec",
+    "RepEx",
+    "ResourceSpec",
+    "SimulationConfig",
+    "SimulationResult",
+    "run_simulation",
+    "__version__",
+]

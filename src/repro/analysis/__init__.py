@@ -1,0 +1,67 @@
+"""Analysis: free-energy estimation, acceptance stats, scaling metrics."""
+
+from repro.analysis.acceptance import (
+    acceptance_by_dimension,
+    acceptance_by_pair,
+    round_trip_count,
+    summarize,
+)
+from repro.analysis.convergence import (
+    energy_autocorrelation,
+    mean_first_traversal,
+    mixing_report,
+    occupancy_matrix,
+    occupancy_uniformity,
+    replica_flow,
+    window_trajectory,
+)
+from repro.analysis.fes import (
+    ascii_contour,
+    collect_window_samples,
+    find_basins,
+    free_energy_surface,
+)
+from repro.analysis.pmf import analytic_pmf, pmf_from_surface, pmf_rmsd
+from repro.analysis.timings import (
+    ScalingPoint,
+    mremd_cycle_decomposition,
+    strong_scaling_efficiency,
+    utilization_percent,
+    weak_scaling_efficiency,
+)
+from repro.analysis.wham import (
+    Grid2D,
+    WHAMResult,
+    WindowData,
+    wham_2d,
+)
+
+__all__ = [
+    "Grid2D",
+    "ScalingPoint",
+    "energy_autocorrelation",
+    "mean_first_traversal",
+    "mixing_report",
+    "occupancy_matrix",
+    "occupancy_uniformity",
+    "replica_flow",
+    "window_trajectory",
+    "WHAMResult",
+    "WindowData",
+    "acceptance_by_dimension",
+    "acceptance_by_pair",
+    "analytic_pmf",
+    "pmf_from_surface",
+    "pmf_rmsd",
+    "ascii_contour",
+    "collect_window_samples",
+    "find_basins",
+    "free_energy_surface",
+    "mremd_cycle_decomposition",
+    "round_trip_count",
+    "strong_scaling_efficiency",
+    "summarize",
+    "utilization_percent",
+    "weak_scaling_efficiency",
+    "wham_2d",
+]

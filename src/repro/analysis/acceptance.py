@@ -1,0 +1,97 @@
+"""Exchange-acceptance statistics.
+
+The paper's validation quotes "acceptance ratios of exchange attempts are
+approximately 3% for T dimension and 25% for U dimensions"; these helpers
+compute per-dimension and per-window-pair ratios from a finished run.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Sequence, Tuple
+
+from repro.core.exchange.base import SwapProposal
+from repro.core.results import SimulationResult
+
+
+def acceptance_by_dimension(
+    proposals: Sequence[SwapProposal],
+) -> Dict[str, float]:
+    """dimension -> acceptance ratio across all proposals."""
+    attempted: Dict[str, int] = defaultdict(int)
+    accepted: Dict[str, int] = defaultdict(int)
+    for p in proposals:
+        attempted[p.dimension] += 1
+        if p.accepted:
+            accepted[p.dimension] += 1
+    return {
+        d: accepted[d] / attempted[d] for d in attempted if attempted[d]
+    }
+
+
+def acceptance_by_pair(
+    proposals: Sequence[SwapProposal],
+    dimension: str,
+    windows_of: Dict[int, int],
+) -> Dict[Tuple[int, int], float]:
+    """(window_lo, window_hi) -> acceptance ratio for one dimension.
+
+    ``windows_of`` maps rid -> that replica's window at proposal time; for
+    runs where windows migrate, pass the initial assignment — neighbour
+    pairing guarantees proposals connect adjacent rungs, so the unordered
+    pair label is still meaningful.
+    """
+    attempted: Dict[Tuple[int, int], int] = defaultdict(int)
+    accepted: Dict[Tuple[int, int], int] = defaultdict(int)
+    for p in proposals:
+        if p.dimension != dimension:
+            continue
+        wi = windows_of.get(p.rid_i)
+        wj = windows_of.get(p.rid_j)
+        if wi is None or wj is None:
+            continue
+        key = (min(wi, wj), max(wi, wj))
+        attempted[key] += 1
+        if p.accepted:
+            accepted[key] += 1
+    return {k: accepted[k] / attempted[k] for k in attempted}
+
+
+def summarize(result: SimulationResult) -> Dict[str, float]:
+    """Per-dimension acceptance ratios of a finished simulation."""
+    return {
+        name: stats.ratio for name, stats in result.exchange_stats.items()
+    }
+
+
+def round_trip_count(
+    result: SimulationResult, dimension: str, n_windows: int
+) -> int:
+    """Number of end-to-end ladder traversals observed in one dimension.
+
+    A traversal is a replica going from window 0 to window ``n_windows-1``
+    or back; two traversals make a round trip.  A standard mixing
+    diagnostic for comparing pairing strategies.
+
+    Raises
+    ------
+    ValueError
+        If ``n_windows`` < 2 (no ladder to traverse).
+    """
+    if n_windows < 2:
+        raise ValueError(f"n_windows must be >= 2, got {n_windows}")
+    bottom, top = 0, n_windows - 1
+    traversals = 0
+    for rep in result.replicas:
+        state = None
+        for rec in rep.history:
+            w = rec.param_indices.get(dimension)
+            if w == bottom:
+                if state == "hi":
+                    traversals += 1
+                state = "lo"
+            elif w == top:
+                if state == "lo":
+                    traversals += 1
+                state = "hi"
+    return traversals

@@ -1,0 +1,187 @@
+"""Convergence and mixing diagnostics for REMD runs.
+
+The paper motivates REMD quality by sampling convergence ("sampling along
+the space of the order parameters needs to be statistically converged at
+all points").  These diagnostics quantify it from a finished
+:class:`~repro.core.results.SimulationResult`:
+
+* **window occupancy** — how uniformly each replica visited the ladder
+  (ideal REMD mixing makes the per-replica window histogram flat),
+* **replica flow** — the fraction of replicas that moved "up" vs "down" at
+  each rung (diffusive transport diagnostic of Katzgraber et al.),
+* **mean first traversal time** — cycles needed to cross the whole ladder,
+* **energy autocorrelation** — decorrelation of a replica's potential
+  energy across cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.replica import Replica
+from repro.core.results import SimulationResult
+
+
+def window_trajectory(replica: Replica, dimension: str) -> List[int]:
+    """The sequence of windows a replica held along ``dimension``."""
+    return [
+        rec.param_indices[dimension]
+        for rec in replica.history
+        if dimension in rec.param_indices
+    ]
+
+
+def occupancy_matrix(
+    result: SimulationResult, dimension: str, n_windows: int
+) -> np.ndarray:
+    """Counts of (replica, window) visits, shape (n_replicas, n_windows).
+
+    Raises
+    ------
+    ValueError
+        If ``n_windows`` is not positive.
+    """
+    if n_windows <= 0:
+        raise ValueError(f"n_windows must be > 0, got {n_windows}")
+    out = np.zeros((len(result.replicas), n_windows), dtype=int)
+    for i, rep in enumerate(result.replicas):
+        for w in window_trajectory(rep, dimension):
+            out[i, w] += 1
+    return out
+
+
+def occupancy_uniformity(
+    result: SimulationResult, dimension: str, n_windows: int
+) -> float:
+    """Mean normalized entropy of per-replica window histograms, in [0, 1].
+
+    1.0 means every replica spent equal time in every window (perfect
+    mixing); a replica stuck in one window scores 0.
+    """
+    occ = occupancy_matrix(result, dimension, n_windows)
+    if n_windows == 1:
+        return 1.0
+    entropies = []
+    for row in occ:
+        total = row.sum()
+        if total == 0:
+            continue
+        p = row / total
+        nz = p[p > 0]
+        entropies.append(float(-(nz * np.log(nz)).sum()) / np.log(n_windows))
+    return float(np.mean(entropies)) if entropies else 0.0
+
+
+def replica_flow(
+    result: SimulationResult, dimension: str, n_windows: int
+) -> np.ndarray:
+    """Katzgraber fraction f(w) of "up-moving" visits per window.
+
+    Each replica is labeled "up" after touching window 0 and "down" after
+    touching window n-1; f(w) is the fraction of visits to w while labeled
+    "up".  Ideal diffusive transport gives a linear decrease from f(0)=1
+    to f(n-1)=0; plateaus expose ladder bottlenecks.  Windows never visited
+    by a labeled replica yield NaN.
+    """
+    if n_windows < 2:
+        raise ValueError(f"n_windows must be >= 2, got {n_windows}")
+    n_up = np.zeros(n_windows)
+    n_tot = np.zeros(n_windows)
+    for rep in result.replicas:
+        label: Optional[str] = None
+        for w in window_trajectory(rep, dimension):
+            if w == 0:
+                label = "up"
+            elif w == n_windows - 1:
+                label = "down"
+            if label is not None:
+                n_tot[w] += 1
+                if label == "up":
+                    n_up[w] += 1
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(n_tot > 0, n_up / n_tot, np.nan)
+
+
+def mean_first_traversal(
+    result: SimulationResult, dimension: str, n_windows: int
+) -> Optional[float]:
+    """Average cycles for a replica to first cross the full ladder.
+
+    Counts, per replica, the cycles between first touching one end and
+    first touching the other afterwards; returns None when no replica
+    completed a traversal.
+    """
+    if n_windows < 2:
+        raise ValueError(f"n_windows must be >= 2, got {n_windows}")
+    times = []
+    for rep in result.replicas:
+        traj = window_trajectory(rep, dimension)
+        start: Optional[int] = None
+        target: Optional[int] = None
+        for t, w in enumerate(traj):
+            if start is None:
+                if w == 0:
+                    start, target = t, n_windows - 1
+                elif w == n_windows - 1:
+                    start, target = t, 0
+            elif w == target:
+                times.append(t - start)
+                break
+    return float(np.mean(times)) if times else None
+
+
+def energy_autocorrelation(
+    result: SimulationResult, max_lag: int = 10
+) -> np.ndarray:
+    """Normalized autocorrelation of per-replica potential energies.
+
+    Averaged over replicas; lag 0 is 1 by construction.  Short histories
+    (fewer records than ``max_lag + 1``) are skipped.
+    """
+    if max_lag < 0:
+        raise ValueError(f"max_lag must be >= 0, got {max_lag}")
+    acfs = []
+    for rep in result.replicas:
+        e = np.array(
+            [
+                rec.potential_energy
+                for rec in rep.history
+                if np.isfinite(rec.potential_energy)
+            ]
+        )
+        if e.size < max_lag + 2:
+            continue
+        e = e - e.mean()
+        var = float(e.var())
+        if var == 0:
+            continue
+        acf = [1.0]
+        for lag in range(1, max_lag + 1):
+            acf.append(float((e[:-lag] * e[lag:]).mean()) / var)
+        acfs.append(acf)
+    if not acfs:
+        return np.array([1.0])
+    return np.mean(np.array(acfs), axis=0)
+
+
+def mixing_report(
+    result: SimulationResult, dimension: str, n_windows: int
+) -> Dict[str, object]:
+    """One-call summary of the mixing diagnostics."""
+    from repro.analysis.acceptance import round_trip_count
+
+    return {
+        "dimension": dimension,
+        "acceptance": result.exchange_stats[dimension].ratio
+        if dimension in result.exchange_stats
+        else None,
+        "occupancy_uniformity": occupancy_uniformity(
+            result, dimension, n_windows
+        ),
+        "traversals": round_trip_count(result, dimension, n_windows),
+        "mean_first_traversal": mean_first_traversal(
+            result, dimension, n_windows
+        ),
+    }

@@ -1,0 +1,127 @@
+"""Scaling and utilization metrics — the paper's Eqs. 2-4.
+
+* Weak scaling efficiency (Eq. 2):  ``Ew = T1 / TN x 100%`` where T1 is the
+  cycle time at the smallest replica count (replicas == cores throughout).
+* Strong scaling efficiency (Eq. 3): ``Es = (T1 x N1) / (TN x N) x 100%``
+  relative to the smallest core count N1 at fixed replica count.
+* Utilization (Eq. 4): achieved simulation throughput per CPU-hour over
+  the ideal (MD-only) throughput — equivalently, the fraction of allocated
+  core-time spent executing MD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.results import SimulationResult
+
+
+def weak_scaling_efficiency(
+    cycle_times: Sequence[float],
+) -> List[float]:
+    """Eq. 2 efficiencies (%) relative to the first entry.
+
+    ``cycle_times[k]`` is the average cycle time of the k-th (increasing)
+    replica count; the first is the 100% reference.
+
+    Raises
+    ------
+    ValueError
+        On an empty series or a non-positive cycle time.
+    """
+    if not cycle_times:
+        raise ValueError("need at least one cycle time")
+    for t in cycle_times:
+        if t <= 0:
+            raise ValueError(f"cycle times must be > 0, got {t}")
+    t1 = cycle_times[0]
+    return [100.0 * t1 / t for t in cycle_times]
+
+
+def strong_scaling_efficiency(
+    cycle_times: Sequence[float],
+    core_counts: Sequence[int],
+) -> List[float]:
+    """Eq. 3 efficiencies (%) relative to the smallest core count.
+
+    Perfect scaling keeps ``T x cores`` constant, so
+    ``Es(k) = (T1 x N1) / (Tk x Nk) x 100``.
+    """
+    if len(cycle_times) != len(core_counts):
+        raise ValueError(
+            f"series lengths differ: {len(cycle_times)} vs {len(core_counts)}"
+        )
+    if not cycle_times:
+        raise ValueError("need at least one data point")
+    for t in cycle_times:
+        if t <= 0:
+            raise ValueError(f"cycle times must be > 0, got {t}")
+    for n in core_counts:
+        if n <= 0:
+            raise ValueError(f"core counts must be > 0, got {n}")
+    ref = cycle_times[0] * core_counts[0]
+    return [
+        100.0 * ref / (t * n) for t, n in zip(cycle_times, core_counts)
+    ]
+
+
+def utilization_percent(result: SimulationResult) -> float:
+    """Eq. 4 utilization of one finished simulation, in percent."""
+    return 100.0 * result.utilization()
+
+
+@dataclass
+class ScalingPoint:
+    """One (cores, replicas) point of a scaling sweep."""
+
+    cores: int
+    replicas: int
+    avg_cycle_time: float
+    t_md: float
+    t_ex: float
+    t_data: float
+    t_repex: float
+    t_rp: float
+
+    @classmethod
+    def from_result(cls, result: SimulationResult, cores: int) -> "ScalingPoint":
+        """Summarize a simulation into one sweep point."""
+        return cls(
+            cores=cores,
+            replicas=result.n_replicas,
+            avg_cycle_time=result.average_cycle_time(),
+            t_md=result.mean_component("t_md"),
+            t_ex=result.mean_component("t_ex"),
+            t_data=result.mean_component("t_data"),
+            t_repex=result.mean_component("t_repex"),
+            t_rp=result.mean_component("t_rp"),
+        )
+
+
+def mremd_cycle_decomposition(
+    result: SimulationResult, n_dims: int
+) -> Dict[str, float]:
+    """Average full-cycle decomposition of an M-REMD run.
+
+    A full M-REMD cycle spans ``n_dims`` consecutive 1-D cycles (one per
+    dimension); MD times add up, and each dimension contributes its own
+    exchange time — the quantities plotted in Figs. 9-10.
+    """
+    groups = result.full_cycle_timings(n_dims)
+    complete = [g for g in groups if len(g) == n_dims]
+    if not complete:
+        raise ValueError(
+            f"no complete full cycles: {len(result.cycle_timings)} 1-D "
+            f"cycles for {n_dims} dimensions"
+        )
+    out: Dict[str, float] = {"t_md": 0.0, "t_md_span": 0.0, "span": 0.0}
+    for g in complete:
+        out["t_md"] += sum(c.t_md for c in g)
+        out["t_md_span"] += sum(c.t_md_span for c in g)
+        out["span"] += sum(c.span for c in g)
+        for c in g:
+            key = f"t_ex[{c.dimension}]"
+            out[key] = out.get(key, 0.0) + c.t_ex
+    n = len(complete)
+    return {k: v / n for k, v in out.items()}

@@ -1,0 +1,187 @@
+"""Command-line interface: configuration-file-driven simulations.
+
+The paper's usability requirement is that an REMD run "must be fully
+specified by configuration files"; this module makes that literal:
+
+.. code-block:: console
+
+    $ python -m repro run examples/configs/tremd.json
+    $ python -m repro check examples/configs/tremd.json
+    $ python -m repro table1
+    $ python -m repro engines
+
+``run`` executes the simulation on the simulated runtime and prints the
+Eq. 1 cycle decomposition, acceptance ratios and utilization; ``check``
+validates a configuration without running it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core import RepEx
+from repro.core.capabilities import TABLE1_HEADERS, table1_rows
+from repro.core.config import ConfigError, SimulationConfig
+from repro.md.engine import available_engines
+from repro.utils.tables import render_table
+
+
+def _load_config(path: str) -> SimulationConfig:
+    text = Path(path).read_text()
+    return SimulationConfig.from_json(text)
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run a simulation from a JSON configuration file."""
+    try:
+        config = _load_config(args.config)
+    except (OSError, ConfigError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(
+        f"{config.title}: {config.n_replicas} replicas "
+        f"({config.type_string}), {config.n_cycles} cycles, "
+        f"pattern={config.pattern.kind}, mode={config.effective_mode}, "
+        f"engine={config.engine.name}, resource={config.resource.name}/"
+        f"{config.resource.cores} cores"
+    )
+    result = RepEx(config).run()
+
+    rows = [
+        [c.cycle, c.dimension or "-", c.t_md, c.t_ex, c.t_data, c.t_repex,
+         c.t_rp, c.span]
+        for c in result.cycle_timings
+    ]
+    print()
+    print(
+        render_table(
+            ["cycle", "dim", "T_MD", "T_EX", "T_data", "T_RepEx", "T_RP",
+             "Tc"],
+            rows,
+            title="Cycle decomposition (virtual seconds)",
+        )
+    )
+    print()
+    print(f"average cycle time : {result.average_cycle_time():10.1f} s")
+    print(f"utilization        : {100 * result.utilization():10.1f} %")
+    for name, stats in result.exchange_stats.items():
+        print(
+            f"acceptance[{name}]".ljust(19)
+            + f": {stats.ratio:10.3f} ({stats.accepted}/{stats.attempted})"
+        )
+    if result.n_failures:
+        print(
+            f"failures           : {result.n_failures} "
+            f"({result.n_relaunches} relaunched)"
+        )
+
+    if args.output:
+        summary = {
+            "title": result.title,
+            "type": result.type_string,
+            "pattern": result.pattern,
+            "execution_mode": result.execution_mode,
+            "n_replicas": result.n_replicas,
+            "average_cycle_time": result.average_cycle_time(),
+            "utilization": result.utilization(),
+            "acceptance": {
+                k: v.ratio for k, v in result.exchange_stats.items()
+            },
+            "n_failures": result.n_failures,
+            "n_relaunches": result.n_relaunches,
+            "cycles": [
+                {
+                    "cycle": c.cycle,
+                    "dimension": c.dimension,
+                    "t_md": c.t_md,
+                    "t_ex": c.t_ex,
+                    "t_data": c.t_data,
+                    "t_repex": c.t_repex,
+                    "t_rp": c.t_rp,
+                    "span": c.span,
+                }
+                for c in result.cycle_timings
+            ],
+        }
+        Path(args.output).write_text(json.dumps(summary, indent=2))
+        print(f"\nsummary written to {args.output}")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Validate a configuration file without running it."""
+    try:
+        config = _load_config(args.config)
+    except (OSError, ConfigError) as exc:
+        print(f"invalid: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"ok: {config.title} — {config.n_replicas} replicas "
+        f"({config.type_string}), mode {config.effective_mode}, "
+        f"{config.engine.name} on {config.resource.name}"
+    )
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    """Print the paper's Table 1 (package comparison)."""
+    print(
+        render_table(
+            TABLE1_HEADERS,
+            table1_rows(),
+            title="Table 1: REMD package comparison",
+            align_right=False,
+        )
+    )
+    return 0
+
+
+def cmd_engines(args: argparse.Namespace) -> int:
+    """List registered MD engine adapters."""
+    for name in available_engines():
+        print(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RepEx reproduction: replica-exchange MD simulations",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run a simulation from a JSON config")
+    p_run.add_argument("config", help="path to the JSON configuration")
+    p_run.add_argument(
+        "-o", "--output", help="write a JSON summary to this path"
+    )
+    p_run.set_defaults(func=cmd_run)
+
+    p_check = sub.add_parser("check", help="validate a JSON config")
+    p_check.add_argument("config", help="path to the JSON configuration")
+    p_check.set_defaults(func=cmd_check)
+
+    p_t1 = sub.add_parser("table1", help="print the package comparison table")
+    p_t1.set_defaults(func=cmd_table1)
+
+    p_eng = sub.add_parser("engines", help="list available MD engines")
+    p_eng.set_defaults(func=cmd_engines)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,138 @@
+"""RepEx core: the paper's primary contribution.
+
+Replica Exchange patterns (sync/async), Execution Modes (I/II), exchange
+dimensions (T/U/S + pH), multi-dimensional scheduling, the EMM/AMM/RAM
+module split, fault tolerance, and the configuration layer.
+"""
+
+from repro.core.adaptive import (
+    AdaptiveSpec,
+    CloneDonorPolicy,
+    EnergyPlateauCriterion,
+    NeverTerminate,
+    NoSpawn,
+    SpawnPolicy,
+    TerminationCriterion,
+    build_adaptive,
+)
+from repro.core.amm import ApplicationManager
+from repro.core.capabilities import (
+    LITERATURE_ROWS,
+    PackageFeatures,
+    TABLE1_HEADERS,
+    feature_matrix,
+    repex_row,
+    table1_rows,
+)
+from repro.core.config import (
+    ConfigError,
+    DimensionSpec,
+    EngineSpec,
+    FailureSpec,
+    PatternSpec,
+    ResourceSpec,
+    SimulationConfig,
+)
+from repro.core.emm import AsynchronousEMM, SynchronousEMM
+from repro.core.exchange import (
+    DimensionSchedule,
+    ExchangeDimension,
+    GibbsPairing,
+    NeighborPairing,
+    PHDimension,
+    PairSelector,
+    RandomPairing,
+    SaltDimension,
+    SwapProposal,
+    TemperatureDimension,
+    UmbrellaDimension,
+    exchange_groups,
+    get_pair_selector,
+    lattice_size,
+    metropolis_accept,
+    metropolis_delta,
+)
+from repro.core.execution_modes import (
+    ExecutionMode,
+    MODE2_WAVE_GAP_S,
+    ModeI,
+    ModeII,
+    make_mode,
+)
+from repro.core.fault import (
+    ContinuePolicy,
+    FaultAction,
+    FaultPolicy,
+    RelaunchPolicy,
+    policy_from_spec,
+)
+from repro.core.framework import RepEx, run_simulation
+from repro.core.replica import (
+    CycleRecord,
+    Replica,
+    ReplicaStatus,
+    swap_parameters,
+)
+from repro.core.results import CycleTiming, ExchangeStats, SimulationResult
+
+__all__ = [
+    "AdaptiveSpec",
+    "ApplicationManager",
+    "CloneDonorPolicy",
+    "EnergyPlateauCriterion",
+    "NeverTerminate",
+    "NoSpawn",
+    "SpawnPolicy",
+    "TerminationCriterion",
+    "build_adaptive",
+    "AsynchronousEMM",
+    "ConfigError",
+    "ContinuePolicy",
+    "CycleRecord",
+    "CycleTiming",
+    "DimensionSchedule",
+    "DimensionSpec",
+    "EngineSpec",
+    "ExchangeDimension",
+    "ExchangeStats",
+    "ExecutionMode",
+    "FailureSpec",
+    "FaultAction",
+    "FaultPolicy",
+    "GibbsPairing",
+    "LITERATURE_ROWS",
+    "MODE2_WAVE_GAP_S",
+    "ModeI",
+    "ModeII",
+    "NeighborPairing",
+    "PHDimension",
+    "PackageFeatures",
+    "PairSelector",
+    "PatternSpec",
+    "RandomPairing",
+    "RelaunchPolicy",
+    "RepEx",
+    "Replica",
+    "ReplicaStatus",
+    "ResourceSpec",
+    "SaltDimension",
+    "SimulationConfig",
+    "SimulationResult",
+    "SwapProposal",
+    "SynchronousEMM",
+    "TABLE1_HEADERS",
+    "TemperatureDimension",
+    "UmbrellaDimension",
+    "exchange_groups",
+    "feature_matrix",
+    "get_pair_selector",
+    "lattice_size",
+    "make_mode",
+    "metropolis_accept",
+    "metropolis_delta",
+    "policy_from_spec",
+    "repex_row",
+    "run_simulation",
+    "swap_parameters",
+    "table1_rows",
+]

@@ -1,0 +1,167 @@
+"""Adaptive sampling: replica termination and spawning.
+
+The paper's first argument for asynchronous RE (Sec. 2.1): "there are
+cases, where some replicas have already produced sufficient info and are
+no longer needed ... these replicas should be terminated and their
+computational resource should be released.  On the other hand, in the
+midst of simulations, new replicas may need to be created to cover the
+regions where more sampling is necessary.  Obviously asynchronous
+algorithms are needed in such cases."
+
+This module provides exactly that, for the asynchronous EMM:
+
+* :class:`TerminationCriterion` — decides, after each MD phase, whether a
+  replica has produced sufficient information.  The shipped criterion
+  retires a replica once its recent potential-energy history has
+  stabilized (small standard deviation = the replica is rattling around a
+  converged region).
+* :class:`SpawnPolicy` — decides what to do with the freed slot.  The
+  shipped policy clones a donor replica from the same exchange group onto
+  the retired replica's lattice point, re-seeding coordinates where more
+  sampling is wanted.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.replica import Replica, ReplicaStatus
+
+
+@dataclass
+class AdaptiveSpec:
+    """Configuration of adaptive sampling (async pattern only)."""
+
+    enabled: bool = False
+    #: a replica must finish at least this many cycles before it may retire
+    min_cycles: int = 3
+    #: retire when the stddev of the last ``min_cycles`` potential energies
+    #: falls below this (kcal/mol); <= 0 disables energy-based retirement
+    energy_tolerance: float = 0.0
+    #: spawn a replacement replica on the freed lattice point
+    spawn_replacements: bool = True
+    #: hard cap on the number of spawned replicas
+    max_spawns: int = 64
+
+    def __post_init__(self):
+        if self.min_cycles < 1:
+            raise ValueError(f"min_cycles must be >= 1, got {self.min_cycles}")
+        if self.max_spawns < 0:
+            raise ValueError(f"max_spawns must be >= 0, got {self.max_spawns}")
+
+
+class TerminationCriterion(abc.ABC):
+    """Decides whether a replica has produced sufficient information."""
+
+    @abc.abstractmethod
+    def should_terminate(self, replica: Replica) -> bool:
+        """True if the replica should be retired now."""
+
+
+class EnergyPlateauCriterion(TerminationCriterion):
+    """Retire when recent potential energies have stabilized.
+
+    Uses the *torsional* energy when available (the bath term is pure
+    noise by construction) and requires at least ``window`` successful
+    cycles.
+    """
+
+    def __init__(self, window: int = 3, tolerance: float = 0.5):
+        if window < 2:
+            raise ValueError(f"window must be >= 2, got {window}")
+        if tolerance < 0:
+            raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+        self.window = window
+        self.tolerance = tolerance
+
+    def should_terminate(self, replica: Replica) -> bool:
+        """Stddev of the last ``window`` energies below tolerance?"""
+        energies = []
+        for rec in replica.history:
+            if rec.failed:
+                continue
+            if np.isfinite(rec.torsional_energy):
+                energies.append(rec.torsional_energy)
+            elif np.isfinite(rec.potential_energy):
+                energies.append(
+                    rec.potential_energy - rec.restraint_energy
+                )
+        if len(energies) < self.window:
+            return False
+        recent = np.asarray(energies[-self.window :])
+        return bool(recent.std() < self.tolerance)
+
+
+class NeverTerminate(TerminationCriterion):
+    """The non-adaptive default: replicas run their full budget."""
+
+    def should_terminate(self, replica: Replica) -> bool:
+        """Never."""
+        return False
+
+
+class SpawnPolicy(abc.ABC):
+    """Decides how to refill a freed lattice point."""
+
+    @abc.abstractmethod
+    def spawn(
+        self,
+        retired: Replica,
+        active: Sequence[Replica],
+        next_rid: int,
+        rng: np.random.Generator,
+    ) -> Optional[Replica]:
+        """Build the replacement replica, or None to leave the slot empty."""
+
+
+class CloneDonorPolicy(SpawnPolicy):
+    """Clone a random active replica's coordinates onto the freed point.
+
+    The replacement inherits the retired replica's window indices (keeping
+    the ladder fully occupied) but starts from a *donor's* configuration,
+    concentrating sampling where the ensemble currently is — the paper's
+    "cover the regions where more sampling is necessary".
+    """
+
+    def spawn(self, retired, active, next_rid, rng):
+        """Pick a donor (any active replica; fall back to the retiree)."""
+        donors = [r for r in active if r.status is ReplicaStatus.ACTIVE]
+        donor = donors[int(rng.integers(len(donors)))] if donors else retired
+        jitter = 0.05 * rng.standard_normal(2)
+        return Replica(
+            rid=next_rid,
+            coords=np.asarray(donor.coords, dtype=float) + jitter,
+            param_indices=dict(retired.param_indices),
+            cores=retired.cores,
+        )
+
+
+class NoSpawn(SpawnPolicy):
+    """Leave freed lattice points empty (pure resource release)."""
+
+    def spawn(self, retired, active, next_rid, rng):
+        """Never spawns."""
+        return None
+
+
+def build_adaptive(
+    spec: AdaptiveSpec,
+) -> tuple:
+    """(criterion, policy) pair for a spec; inert pair when disabled."""
+    if not spec.enabled:
+        return NeverTerminate(), NoSpawn()
+    criterion: TerminationCriterion
+    if spec.energy_tolerance > 0:
+        criterion = EnergyPlateauCriterion(
+            window=spec.min_cycles, tolerance=spec.energy_tolerance
+        )
+    else:
+        criterion = NeverTerminate()
+    policy: SpawnPolicy = (
+        CloneDonorPolicy() if spec.spawn_replacements else NoSpawn()
+    )
+    return criterion, policy

@@ -1,0 +1,510 @@
+"""Execution Management Module (EMM).
+
+"EMM enables a separation of execution details (viz., resource management
+and workload configuration) from the simulation ... Encapsulation of
+synchronization routines by EMM allows to fully specify synchronous or
+asynchronous RE by a single EMM." (paper, Sec. 3.3.)
+
+Two EMMs implement the two RE patterns:
+
+* :class:`SynchronousEMM` — global barrier between MD and exchange phases
+  (Fig. 1a / Figs. 2-3), in either Execution Mode.
+* :class:`AsynchronousEMM` — no barrier: replicas that finish MD join an
+  exchange pool; a time-window (or FIFO-count) criterion triggers exchange
+  sweeps among pooled replicas while others keep simulating (Fig. 1b).
+
+Both produce a :class:`~repro.core.results.SimulationResult` with the
+per-cycle Eq. 1 decomposition and the core-seconds accounting behind the
+utilization metric of Eq. 4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.amm import ApplicationManager
+from repro.core.config import SimulationConfig
+from repro.core.exchange.base import SwapProposal
+from repro.core.execution_modes import ExecutionMode, make_mode
+from repro.core.fault import FaultAction, FaultPolicy, policy_from_spec
+from repro.core.replica import Replica, ReplicaStatus
+from repro.core.results import CycleTiming, SimulationResult
+from repro.pilot.pilot import Pilot, PilotState
+from repro.pilot.session import Session
+from repro.pilot.unit import ComputeUnit
+
+
+class ExecutionManagerBase:
+    """Shared plumbing of the two pattern EMMs."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        amm: ApplicationManager,
+        session: Session,
+        pilot: Pilot,
+        mode: Optional[ExecutionMode] = None,
+    ):
+        self.config = config
+        self.amm = amm
+        self.session = session
+        self.pilot = pilot
+        self.mode = mode or make_mode(config.effective_mode)
+        self.policy: FaultPolicy = policy_from_spec(config.failure)
+        self.replicas: List[Replica] = []
+        self.n_failures = 0
+        self.n_relaunches = 0
+        self.n_retired = 0
+        self.n_spawned = 0
+        self.md_core_seconds = 0.0
+        self.exchange_core_seconds = 0.0
+        #: staging time of the most recent exchange phase (SP + exchange
+        #: units), folded into the cycle's T_data
+        self._last_exchange_data_time = 0.0
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _ensure_pilot_active(self) -> None:
+        if self.pilot.state is PilotState.NEW:
+            raise RuntimeError("pilot was never launched")
+        if self.pilot.state is PilotState.PENDING:
+            self.session.wait_pilot(self.pilot)
+
+    def _account_md(self, units: Sequence[ComputeUnit]) -> None:
+        for u in units:
+            self.md_core_seconds += u.execution_time * u.description.cores
+
+    def _account_exchange(self, units: Sequence[ComputeUnit]) -> None:
+        for u in units:
+            self.exchange_core_seconds += (
+                u.execution_time * u.description.cores
+            )
+
+    def _run_md_with_recovery(
+        self, cycle: int, replicas: Sequence[Replica]
+    ) -> Dict[int, ComputeUnit]:
+        """Run the MD phase, applying the fault policy to failures.
+
+        Returns rid -> the final unit for that replica (possibly a
+        relaunched one).
+        """
+        descs = [self.amm.md_task(r, cycle) for r in replicas]
+        units = self.mode.run_phase(self.session, self.pilot, descs)
+        self._account_md(units)
+        unit_of = {
+            u.description.metadata["rid"]: u for u in units
+        }
+
+        attempt = 1
+        while True:
+            failed = [
+                rid for rid, u in unit_of.items() if not u.succeeded
+            ]
+            if not failed:
+                break
+            self.n_failures += len(failed)
+            to_relaunch: List[Replica] = []
+            by_rid = {r.rid: r for r in replicas}
+            for rid in failed:
+                action = self.policy.on_failure(by_rid[rid], attempt)
+                if action is FaultAction.RELAUNCH:
+                    to_relaunch.append(by_rid[rid])
+                elif action is FaultAction.RETIRE:
+                    by_rid[rid].status = ReplicaStatus.RETIRED
+            if not to_relaunch:
+                break
+            self.n_relaunches += len(to_relaunch)
+            redo = [self.amm.md_task(r, cycle) for r in to_relaunch]
+            redo_units = self.mode.run_phase(self.session, self.pilot, redo)
+            self._account_md(redo_units)
+            for u in redo_units:
+                unit_of[u.description.metadata["rid"]] = u
+            attempt += 1
+        return unit_of
+
+    def _run_exchange(
+        self,
+        cycle: int,
+        dimension,
+        replicas: Sequence[Replica],
+    ) -> List[SwapProposal]:
+        """Run the full exchange phase for one cycle (SP tasks + exchange)."""
+        self._last_exchange_data_time = 0.0
+        energy_matrix = None
+        if dimension.requires_single_point:
+            sp_descs = self.amm.single_point_tasks(replicas, dimension, cycle)
+            sp_units = self.mode.run_phase(self.session, self.pilot, sp_descs)
+            self._account_exchange(sp_units)
+            self._last_exchange_data_time += max(
+                (u.data_time for u in sp_units), default=0.0
+            )
+            energy_matrix = {}
+            for u in sp_units:
+                if u.succeeded and isinstance(u.result, dict):
+                    energy_matrix[u.description.metadata["rid"]] = u.result
+
+        ex_desc = self.amm.exchange_task(
+            replicas, dimension, cycle, energy_matrix=energy_matrix
+        )
+        ex_units = self.session.submit_units(self.pilot, [ex_desc])
+        self.session.wait_units(ex_units)
+        self._account_exchange(ex_units)
+        ex_unit = ex_units[0]
+        self._last_exchange_data_time += ex_unit.data_time
+        if not ex_unit.succeeded or ex_unit.result is None:
+            return []
+        proposals = list(ex_unit.result)
+        if energy_matrix is not None:
+            # drop proposals involving replicas whose SP task failed
+            proposals = [
+                p
+                for p in proposals
+                if p.rid_i in energy_matrix and p.rid_j in energy_matrix
+            ]
+        self.amm.apply_proposals(replicas, dimension, proposals)
+        return proposals
+
+    def _build_result(self, timings: List[CycleTiming], t_start: float) -> SimulationResult:
+        return SimulationResult(
+            title=self.config.title,
+            type_string=self.config.type_string,
+            pattern=self.config.pattern.kind,
+            execution_mode=self.mode.name,
+            n_replicas=self.config.n_replicas,
+            pilot_cores=self.pilot.description.cores,
+            replicas=self.replicas,
+            cycle_timings=timings,
+            exchange_stats=self.amm.exchange_stats,
+            md_core_seconds=self.md_core_seconds,
+            exchange_core_seconds=self.exchange_core_seconds,
+            t_start=t_start,
+            t_end=self.session.now,
+            n_failures=self.n_failures,
+            n_relaunches=self.n_relaunches,
+            steps_per_cycle=self.config.steps_per_cycle,
+            n_retired=self.n_retired,
+            n_spawned=self.n_spawned,
+        )
+
+
+class SynchronousEMM(ExecutionManagerBase):
+    """Barrier-synchronized RE (Fig. 1a): MD all, exchange, repeat."""
+
+    def run(self) -> SimulationResult:
+        """Execute the configured number of cycles; returns the result."""
+        self._ensure_pilot_active()
+        self.replicas = self.amm.create_replicas()
+        t_start = self.session.now
+        timings: List[CycleTiming] = []
+        all_proposals: List[SwapProposal] = []
+
+        for cycle in range(self.config.n_cycles):
+            dimension = (
+                self.amm.schedule.active(cycle)
+                if self.config.exchange_enabled
+                else None
+            )
+            cycle_start = self.session.now
+
+            # RepEx overhead: prepare and serialize task descriptions.
+            prep = self.amm.perf.task_prep_overhead(
+                len(self.replicas), self.amm.schedule.n_dims
+            )
+            self.session.run_for(prep)
+            md_phase_start = self.session.now
+
+            active = [
+                r for r in self.replicas if r.status is ReplicaStatus.ACTIVE
+            ]
+            unit_of = self._run_md_with_recovery(cycle, active)
+            md_end = self.session.now
+
+            n_failed = 0
+            for rep in active:
+                ok = self.amm.process_md_output(
+                    rep,
+                    unit_of[rep.rid],
+                    cycle,
+                    dimension.name if dimension else None,
+                )
+                if not ok:
+                    n_failed += 1
+
+            proposals: List[SwapProposal] = []
+            if dimension is not None:
+                healthy = [
+                    r
+                    for r in active
+                    if r.status is ReplicaStatus.ACTIVE
+                    and not (r.history and r.history[-1].failed)
+                ]
+                proposals = self._run_exchange(cycle, dimension, healthy)
+                all_proposals.extend(proposals)
+            ex_end = self.session.now
+
+            md_units = [unit_of[r.rid] for r in active]
+            t_md = max((u.execution_time for u in md_units), default=0.0)
+            t_rp = max((u.launch_overhead for u in md_units), default=0.0)
+            t_data = (
+                max((u.data_time for u in md_units), default=0.0)
+                + self._last_exchange_data_time
+            )
+            self._last_exchange_data_time = 0.0
+            timings.append(
+                CycleTiming(
+                    cycle=cycle,
+                    dimension=dimension.name if dimension else None,
+                    t_md=t_md,
+                    t_md_span=max(0.0, md_end - md_phase_start),
+                    t_ex=max(0.0, ex_end - md_end),
+                    t_data=t_data,
+                    t_repex=prep,
+                    t_rp=t_rp,
+                    span=self.session.now - cycle_start,
+                    t_start=cycle_start,
+                    t_end=self.session.now,
+                    n_replicas=len(active),
+                    n_failed=n_failed,
+                )
+            )
+
+        result = self._build_result(timings, t_start)
+        result.proposals = all_proposals
+        return result
+
+
+class AsynchronousEMM(ExecutionManagerBase):
+    """Barrier-free RE (Fig. 1b) with a time-window or FIFO criterion.
+
+    Requires enough cores to run every replica concurrently (the paper's
+    Fig. 13 async runs all use Execution Mode I); replicas whose MD is done
+    idle in the exchange pool until the criterion fires, which is exactly
+    the utilization gap the paper measures.
+    """
+
+    def run(self) -> SimulationResult:
+        """Event-driven main loop."""
+        from repro.core.adaptive import build_adaptive
+
+        self._ensure_pilot_active()
+        self.replicas = self.amm.create_replicas()
+        by_rid = {r.rid: r for r in self.replicas}
+        t_start = self.session.now
+
+        criterion, spawn_policy = build_adaptive(self.config.adaptive)
+        adaptive = self.config.adaptive
+        spawn_rng = self.amm.rng.stream("adaptive-spawn")
+        rid_counter = {"next": max(by_rid) + 1 if by_rid else 0}
+
+        cycles_done: Dict[int, int] = {r.rid: 0 for r in self.replicas}
+        pool: List[int] = []  # rids awaiting exchange
+        inflight: Dict[int, ComputeUnit] = {}
+        all_proposals: List[SwapProposal] = []
+        timings: List[CycleTiming] = []
+        n_cycles = self.config.n_cycles
+        fifo_count = self.config.pattern.fifo_count
+        window = self.config.pattern.window_seconds
+        exchange_busy = {"flag": False}
+        sweep_counter = {"n": 0}
+
+        def all_done() -> bool:
+            return (
+                all(c >= n_cycles for c in cycles_done.values())
+                and not inflight
+                and not pool
+                and not exchange_busy["flag"]
+            )
+
+        def submit_md(rep: Replica) -> None:
+            cycle = cycles_done[rep.rid]
+            desc = self.amm.md_task(rep, cycle)
+            units = self.session.submit_units(self.pilot, [desc])
+            unit = units[0]
+            inflight[rep.rid] = unit
+            unit.register_callback(
+                lambda u, s: on_md_final(rep, u) if u.done else None
+            )
+
+        def maybe_drain() -> None:
+            """FIFO mode: never leave pooled replicas stranded when no MD
+            is in flight (the count criterion can no longer fire)."""
+            if fifo_count is None:
+                return  # the window timer handles stragglers
+            if inflight or exchange_busy["flag"]:
+                return
+            if len(pool) >= 2:
+                trigger_exchange()
+            elif pool:
+                flush_pool()
+
+        def on_md_final(rep: Replica, unit: ComputeUnit) -> None:
+            if inflight.get(rep.rid) is not unit:
+                return  # stale callback from a relaunched task
+            try:
+                _handle_md_final(rep, unit)
+            finally:
+                maybe_drain()
+
+        def _handle_md_final(rep: Replica, unit: ComputeUnit) -> None:
+            del inflight[rep.rid]
+            self._account_md([unit])
+            cycle = cycles_done[rep.rid]
+            if not unit.succeeded:
+                self.n_failures += 1
+                action = self.policy.on_failure(rep, rep.n_failures + 1)
+                if action is FaultAction.RELAUNCH:
+                    self.n_relaunches += 1
+                    submit_md(rep)
+                    return
+                if action is FaultAction.RETIRE:
+                    rep.status = ReplicaStatus.RETIRED
+                    cycles_done[rep.rid] = n_cycles
+                    return
+                # CONTINUE: count the cycle, resubmit if more remain
+                self.amm.process_md_output(rep, unit, cycle, None)
+                cycles_done[rep.rid] = cycle + 1
+                if cycles_done[rep.rid] < n_cycles:
+                    submit_md(rep)
+                return
+
+            self.amm.process_md_output(rep, unit, cycle, None)
+            cycles_done[rep.rid] = cycle + 1
+            if cycles_done[rep.rid] >= n_cycles:
+                return
+            # adaptive sampling: retire converged replicas, release their
+            # cores, optionally refill the lattice point from a donor
+            if (
+                adaptive.enabled
+                and cycles_done[rep.rid] >= adaptive.min_cycles
+                and criterion.should_terminate(rep)
+            ):
+                remaining = n_cycles - cycles_done[rep.rid]
+                rep.status = ReplicaStatus.RETIRED
+                cycles_done[rep.rid] = n_cycles
+                self.n_retired += 1
+                if (
+                    adaptive.spawn_replacements
+                    and self.n_spawned < adaptive.max_spawns
+                    and remaining > 0
+                ):
+                    fresh = spawn_policy.spawn(
+                        rep, self.replicas, rid_counter["next"], spawn_rng
+                    )
+                    if fresh is not None:
+                        rid_counter["next"] += 1
+                        self.n_spawned += 1
+                        self.replicas.append(fresh)
+                        by_rid[fresh.rid] = fresh
+                        cycles_done[fresh.rid] = n_cycles - remaining
+                        submit_md(fresh)
+                return
+            pool.append(rep.rid)
+            if fifo_count is not None and len(pool) >= fifo_count:
+                trigger_exchange()
+
+        def trigger_exchange() -> None:
+            if exchange_busy["flag"] or len(pool) < 2:
+                return
+            ready = [by_rid[rid] for rid in pool]
+            pool.clear()
+            exchange_busy["flag"] = True
+            sweep = sweep_counter["n"]
+            sweep_counter["n"] += 1
+            dimension = self.amm.schedule.active(sweep)
+            t_sweep_start = self.session.now
+
+            # S-REMD in async mode would need its SP stage serialized here;
+            # the paper's async experiments are T-REMD, and we support the
+            # cheap dimensions (T/U/pH) asynchronously.
+            if dimension.requires_single_point:
+                raise NotImplementedError(
+                    "asynchronous S-REMD is not supported (the paper's "
+                    "async experiments use T-REMD)"
+                )
+
+            ex_desc = self.amm.exchange_task(ready, dimension, sweep)
+            units = self.session.submit_units(self.pilot, [ex_desc])
+
+            def on_ex_final(u: ComputeUnit, _s) -> None:
+                if not u.done:
+                    return
+                self._account_exchange([u])
+                proposals = (
+                    list(u.result) if u.succeeded and u.result else []
+                )
+                self.amm.apply_proposals(ready, dimension, proposals)
+                all_proposals.extend(proposals)
+                # RepEx task preparation for the resubmitted MD phases is
+                # charged here, exactly as the sync pattern charges it per
+                # cycle; replicas idle during preparation.
+                prep = self.amm.perf.task_prep_overhead(
+                    len(ready), self.amm.schedule.n_dims
+                )
+
+                def resubmit() -> None:
+                    exchange_busy["flag"] = False
+                    for rep in ready:
+                        if cycles_done[rep.rid] < n_cycles:
+                            submit_md(rep)
+                    # replicas that pooled during this exchange may already
+                    # satisfy the FIFO criterion
+                    if fifo_count is not None and len(pool) >= fifo_count:
+                        trigger_exchange()
+                    else:
+                        maybe_drain()
+
+                timings.append(
+                    CycleTiming(
+                        cycle=sweep,
+                        dimension=dimension.name,
+                        t_md=0.0,
+                        t_ex=self.session.now - t_sweep_start,
+                        t_data=u.data_time,
+                        t_repex=prep,
+                        t_rp=u.launch_overhead,
+                        span=self.session.now + prep - t_sweep_start,
+                        t_start=t_sweep_start,
+                        t_end=self.session.now + prep,
+                        n_replicas=len(ready),
+                    )
+                )
+                self.session.clock.schedule(prep, resubmit)
+
+            units[0].register_callback(on_ex_final)
+
+        def flush_pool() -> None:
+            """Resubmit pooled replicas without exchange (no partners left)."""
+            ready, pool[:] = list(pool), []
+            for rid in ready:
+                if cycles_done[rid] < n_cycles:
+                    submit_md(by_rid[rid])
+
+        def schedule_window() -> None:
+            if all_done():
+                return
+            self.session.clock.schedule(window, on_window)
+
+        def on_window() -> None:
+            if fifo_count is None and not exchange_busy["flag"]:
+                if len(pool) >= 2:
+                    trigger_exchange()
+                elif pool and not inflight:
+                    flush_pool()
+            schedule_window()
+
+        # initial task preparation, charged like the sync pattern's
+        self.session.run_for(
+            self.amm.perf.task_prep_overhead(
+                len(self.replicas), self.amm.schedule.n_dims
+            )
+        )
+        for rep in self.replicas:
+            submit_md(rep)
+        if fifo_count is None:
+            schedule_window()
+
+        self.session.clock.run_until(all_done)
+
+        result = self._build_result(timings, t_start)
+        result.proposals = all_proposals
+        return result

@@ -1,0 +1,142 @@
+"""Exchange dimensions: the abstract interface plus the Metropolis engine.
+
+An :class:`ExchangeDimension` packages everything RepEx needs to exchange
+one kind of parameter: the window ladder, how a window modifies a replica's
+:class:`~repro.md.toymd.ThermodynamicState`, and how to compute the
+Metropolis exponent for a proposed swap.
+
+The general swap criterion between replica ``i`` at state ``(beta_i, H_i)``
+holding configuration ``x_i`` and replica ``j`` at ``(beta_j, H_j)``
+holding ``x_j`` is::
+
+    P = min(1, exp(-Delta))
+    Delta = beta_i [H_i(x_j) - H_i(x_i)] + beta_j [H_j(x_i) - H_j(x_j)]
+
+Every concrete dimension reduces to this with its own shortcut for the
+cross energies: T-REMD needs none (the Hamiltonians are equal, energies
+come straight from the MD info files); U-REMD evaluates only restraint
+energies (everything else cancels); S-REMD needs genuine single-point
+energies at swapped salt concentrations, computed by extra tasks.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.replica import Replica
+from repro.md.toymd import ThermodynamicState
+from repro.utils.units import beta_from_temperature
+
+
+def metropolis_delta(
+    beta_i: float,
+    beta_j: float,
+    e_i_of_xi: float,
+    e_i_of_xj: float,
+    e_j_of_xi: float,
+    e_j_of_xj: float,
+) -> float:
+    """The generalized exchange exponent Delta (see module docstring)."""
+    return beta_i * (e_i_of_xj - e_i_of_xi) + beta_j * (e_j_of_xi - e_j_of_xj)
+
+
+def metropolis_accept(delta: float, rng: np.random.Generator) -> bool:
+    """Accept a swap with probability ``min(1, exp(-delta))``."""
+    if delta <= 0.0:
+        return True
+    # exp underflows harmlessly to 0 for large delta
+    return bool(rng.random() < math.exp(-min(delta, 700.0)))
+
+
+@dataclass
+class SwapProposal:
+    """A proposed (and possibly accepted) swap between two replicas."""
+
+    rid_i: int
+    rid_j: int
+    dimension: str
+    delta: float
+    accepted: bool
+
+
+class ExchangeDimension(abc.ABC):
+    """One exchangeable parameter with its window ladder."""
+
+    #: single-letter code used in type strings such as "TSU"
+    code: str = "?"
+
+    def __init__(self, name: str, values: Sequence):
+        if not values:
+            raise ValueError(f"dimension {name!r} needs at least one window")
+        self.name = name
+        self.values = list(values)
+
+    @property
+    def n_windows(self) -> int:
+        """Number of ladder rungs."""
+        return len(self.values)
+
+    def value(self, index: int) -> object:
+        """Window value at ``index``.
+
+        Raises
+        ------
+        IndexError
+            For an out-of-range window index.
+        """
+        if not 0 <= index < len(self.values):
+            raise IndexError(
+                f"{self.name}: window {index} out of range "
+                f"[0, {len(self.values)})"
+            )
+        return self.values[index]
+
+    # -- state plumbing ------------------------------------------------------
+
+    @abc.abstractmethod
+    def apply(self, state: ThermodynamicState, index: int) -> ThermodynamicState:
+        """Return ``state`` with this dimension set to window ``index``."""
+
+    # -- exchange ------------------------------------------------------------
+
+    #: Whether the exchange needs extra single-point-energy tasks
+    #: (True only for salt concentration, per the paper).
+    requires_single_point: bool = False
+
+    @abc.abstractmethod
+    def exchange_delta(
+        self,
+        rep_i: Replica,
+        rep_j: Replica,
+        *,
+        window_i: int,
+        window_j: int,
+        states: Dict[int, ThermodynamicState],
+        energy_matrix: Optional[Dict[int, np.ndarray]] = None,
+    ) -> float:
+        """Metropolis exponent for swapping ``rep_i`` and ``rep_j``.
+
+        ``window_i``/``window_j`` are the replicas' *current* window indices
+        along this dimension — passed explicitly because sequential pairing
+        schemes (Gibbs sweeps) update windows within one exchange phase.
+        ``states`` maps rid -> the replica's full thermodynamic state during
+        the preceding MD phase (used for the parameters this dimension does
+        not exchange).  ``energy_matrix`` (rid -> energies of that replica's
+        coords in every window of this dimension) is only provided when
+        :attr:`requires_single_point` is True.
+        """
+
+    def beta_of(self, state: ThermodynamicState) -> float:
+        """Inverse temperature of a state (helper for subclasses)."""
+        return beta_from_temperature(state.temperature)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}({self.name!r}, "
+            f"{self.n_windows} windows)"
+        )

@@ -1,0 +1,132 @@
+"""Salt-concentration exchange — S-REMD.
+
+A Hamiltonian exchange where the electrostatic screening differs between
+windows.  Unlike the umbrella case, the energy difference is *not* a cheap
+analytic term of the replica's own Hamiltonian: it requires full potential
+energies of each configuration evaluated at the other window's salt
+concentration.  "Due to the mathematical complexity, the single point
+energy calculation for S-REMD is calculated using Amber for each replica
+in each state.  This implies that for each replica, an additional task is
+required." (paper, Sec. 4.2) — hence :attr:`requires_single_point` and the
+``energy_matrix`` argument, filled in by the group-file tasks the AMM
+spawns.  This doubling of tasks is what makes S exchange the expensive
+dimension in Figs. 6, 9 and 10.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.exchange.base import ExchangeDimension
+from repro.core.replica import Replica
+from repro.md.toymd import ThermodynamicState
+from repro.utils.units import beta_from_temperature
+
+
+class SaltDimension(ExchangeDimension):
+    """Exchange dimension over salt concentrations (molar).
+
+    ``internal=True`` enables the paper's first named future-work item —
+    "single point energy calculations for salt concentration exchange can
+    be implemented [internally]" — the cross energies are then evaluated
+    inside the exchange task through :attr:`evaluator` (set by the AMM to
+    the engine's energy function) instead of spawning extra Amber group
+    tasks.  The ablation benchmark compares both.
+    """
+
+    code = "S"
+
+    def __init__(
+        self,
+        values: Sequence[float],
+        name: str = "salt",
+        *,
+        internal: bool = False,
+    ):
+        super().__init__(name, values)
+        for c in self.values:
+            if c < 0:
+                raise ValueError(f"salt concentrations must be >= 0, got {c}")
+        self.internal = internal
+        #: callable ``(coords, salt_molar) -> energy`` injected by the AMM
+        #: when ``internal`` is set
+        self.evaluator = None
+
+    @property
+    def requires_single_point(self) -> bool:
+        """Extra SP tasks are needed unless internal evaluation is on."""
+        return not self.internal
+
+    @classmethod
+    def linear(
+        cls,
+        c_min: float,
+        c_max: float,
+        n_windows: int,
+        name: str = "salt",
+        *,
+        internal: bool = False,
+    ) -> "SaltDimension":
+        """Evenly spaced concentrations between ``c_min`` and ``c_max``."""
+        if n_windows < 1:
+            raise ValueError(f"n_windows must be >= 1, got {n_windows}")
+        if n_windows == 1:
+            return cls([c_min], name=name, internal=internal)
+        step = (c_max - c_min) / (n_windows - 1)
+        return cls(
+            [c_min + i * step for i in range(n_windows)],
+            name=name,
+            internal=internal,
+        )
+
+    def apply(self, state: ThermodynamicState, index: int) -> ThermodynamicState:
+        """Set the state's salt concentration to window ``index``."""
+        return state.with_salt(float(self.value(index)))
+
+    def exchange_delta(
+        self,
+        rep_i: Replica,
+        rep_j: Replica,
+        *,
+        window_i: int,
+        window_j: int,
+        states: Dict[int, ThermodynamicState],
+        energy_matrix: Optional[Dict[int, np.ndarray]] = None,
+    ) -> float:
+        """Cross single-point energies from the group-file tasks.
+
+        ``energy_matrix[rid][w]`` is the potential energy of replica
+        ``rid``'s configuration evaluated at salt window ``w`` (all other
+        parameters at that replica's own values).
+
+        Raises
+        ------
+        ValueError
+            If neither an energy matrix nor an internal evaluator is
+            available.
+        """
+        beta_i = beta_from_temperature(states[rep_i.rid].temperature)
+        beta_j = beta_from_temperature(states[rep_j.rid].temperature)
+        wi, wj = window_i, window_j
+        if energy_matrix is not None:
+            row_i = energy_matrix[rep_i.rid]
+            row_j = energy_matrix[rep_j.rid]
+            e_i_xi = float(row_i[wi])  # H_i(x_i)
+            e_i_xj = float(row_j[wi])  # H_i(x_j): x_j's energy at i's window
+            e_j_xi = float(row_i[wj])  # H_j(x_i)
+            e_j_xj = float(row_j[wj])  # H_j(x_j)
+        elif self.internal and self.evaluator is not None:
+            ci, cj = float(self.value(wi)), float(self.value(wj))
+            e_i_xi = self.evaluator(rep_i.coords, ci)
+            e_i_xj = self.evaluator(rep_j.coords, ci)
+            e_j_xi = self.evaluator(rep_i.coords, cj)
+            e_j_xj = self.evaluator(rep_j.coords, cj)
+        else:
+            raise ValueError(
+                f"{self.name}: salt exchange requires the single-point "
+                "energy matrix (run the SP tasks first) or internal=True "
+                "with an evaluator"
+            )
+        return beta_i * (e_i_xj - e_i_xi) + beta_j * (e_j_xi - e_j_xj)

@@ -1,0 +1,111 @@
+"""Umbrella-sampling (biasing potential) exchange — U-REMD.
+
+A Hamiltonian exchange where the Hamiltonians differ only by the harmonic
+restraint, so every other term cancels from the Metropolis exponent::
+
+    Delta = beta_i [W_i(x_j) - W_i(x_i)] + beta_j [W_j(x_i) - W_j(x_j)]
+
+with ``W_k`` the restraint energy of window ``k``.  The restraint is
+analytic, so RepEx computes these four numbers internally ("In case of
+U-REMD we have implemented a single point energy calculation internally",
+paper Sec. 4.2) — no extra tasks, which is why U exchange times track T
+exchange times in Figs. 6 and 9.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.exchange.base import ExchangeDimension
+from repro.core.replica import Replica
+from repro.md.forcefield import UmbrellaRestraint
+from repro.md.toymd import ThermodynamicState
+from repro.utils.units import beta_from_temperature, uniform_ladder
+
+
+class UmbrellaDimension(ExchangeDimension):
+    """Exchange dimension over umbrella-window centers on one torsion."""
+
+    code = "U"
+
+    def __init__(
+        self,
+        centers_deg: Sequence[float],
+        *,
+        angle: str = "phi",
+        force_constant: float = 0.02,
+        name: Optional[str] = None,
+    ):
+        if angle not in ("phi", "psi"):
+            raise ValueError(f"angle must be 'phi' or 'psi', got {angle!r}")
+        if force_constant < 0:
+            raise ValueError(
+                f"force_constant must be >= 0, got {force_constant}"
+            )
+        super().__init__(name or f"umbrella_{angle}", centers_deg)
+        self.angle = angle
+        self.force_constant = force_constant
+
+    @classmethod
+    def uniform(
+        cls,
+        n_windows: int,
+        *,
+        lo: float = 0.0,
+        hi: float = 360.0,
+        angle: str = "phi",
+        force_constant: float = 0.02,
+        name: Optional[str] = None,
+    ) -> "UmbrellaDimension":
+        """Evenly spaced periodic windows (paper: 8 windows over 0-360 deg)."""
+        return cls(
+            uniform_ladder(lo, hi, n_windows, periodic=True),
+            angle=angle,
+            force_constant=force_constant,
+            name=name,
+        )
+
+    def restraint(self, index: int) -> UmbrellaRestraint:
+        """The harmonic restraint of window ``index``."""
+        return UmbrellaRestraint(
+            angle=self.angle,
+            center_deg=float(self.value(index)),
+            k=self.force_constant,
+        )
+
+    def apply(self, state: ThermodynamicState, index: int) -> ThermodynamicState:
+        """Replace this dimension's restraint in ``state``.
+
+        Restraints owned by *other* umbrella dimensions (distinguished by
+        their angle) are preserved, so TUU setups with phi and psi windows
+        compose.
+        """
+        kept = tuple(
+            r for r in state.restraints if r.angle != self.angle
+        )
+        return state.with_restraints(kept + (self.restraint(index),))
+
+    def exchange_delta(
+        self,
+        rep_i: Replica,
+        rep_j: Replica,
+        *,
+        window_i: int,
+        window_j: int,
+        states: Dict[int, ThermodynamicState],
+        energy_matrix: Optional[Dict[int, np.ndarray]] = None,
+    ) -> float:
+        """Cross restraint energies, computed analytically."""
+        beta_i = beta_from_temperature(states[rep_i.rid].temperature)
+        beta_j = beta_from_temperature(states[rep_j.rid].temperature)
+        w_i = self.restraint(window_i)
+        w_j = self.restraint(window_j)
+        phi_i, psi_i = rep_i.coords
+        phi_j, psi_j = rep_j.coords
+        e_i_xi = float(w_i.energy(phi_i, psi_i))
+        e_i_xj = float(w_i.energy(phi_j, psi_j))
+        e_j_xi = float(w_j.energy(phi_i, psi_i))
+        e_j_xj = float(w_j.energy(phi_j, psi_j))
+        return beta_i * (e_i_xj - e_i_xi) + beta_j * (e_j_xi - e_j_xj)

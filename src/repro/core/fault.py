@@ -1,0 +1,82 @@
+"""Fault-tolerance policies.
+
+"RepEx can either continue a simulation in case of replica failure or can
+relaunch a failed replica." (paper, Sec. 1.)  The EMM hands each failed MD
+unit to the configured policy after the phase barrier; the policy answers
+with the action to take.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from repro.core.config import FailureSpec
+from repro.core.replica import Replica
+
+
+class FaultAction(enum.Enum):
+    """What the EMM should do about one failed replica task."""
+
+    #: Keep the replica with its pre-cycle coordinates; it skips this
+    #: cycle's exchange and resumes next cycle.
+    CONTINUE = "continue"
+    #: Resubmit the task within the current cycle.
+    RELAUNCH = "relaunch"
+    #: Drop the replica from the simulation permanently.
+    RETIRE = "retire"
+
+
+class FaultPolicy(abc.ABC):
+    """Strategy deciding the response to a failed replica task."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def on_failure(self, replica: Replica, attempt: int) -> FaultAction:
+        """Decide the action for ``replica`` whose task failed.
+
+        ``attempt`` counts failures of this replica's task within the
+        current cycle (1 on first failure).
+        """
+
+
+class ContinuePolicy(FaultPolicy):
+    """Never relaunch: the simulation continues without the failed phase.
+
+    The asynchronous-friendly choice — "in the presence of failures, the
+    entire simulation need not be stopped or restarted".
+    """
+
+    name = "continue"
+
+    def on_failure(self, replica: Replica, attempt: int) -> FaultAction:
+        """Always continue with stale coordinates."""
+        return FaultAction.CONTINUE
+
+
+class RelaunchPolicy(FaultPolicy):
+    """Relaunch up to ``max_relaunches`` times, then continue."""
+
+    name = "relaunch"
+
+    def __init__(self, max_relaunches: int = 3):
+        if max_relaunches < 0:
+            raise ValueError(
+                f"max_relaunches must be >= 0, got {max_relaunches}"
+            )
+        self.max_relaunches = max_relaunches
+
+    def on_failure(self, replica: Replica, attempt: int) -> FaultAction:
+        """Relaunch while attempts remain; otherwise continue."""
+        if attempt <= self.max_relaunches:
+            return FaultAction.RELAUNCH
+        return FaultAction.CONTINUE
+
+
+def policy_from_spec(spec: FailureSpec) -> FaultPolicy:
+    """Build the policy requested by a :class:`FailureSpec`."""
+    if spec.policy == "continue":
+        return ContinuePolicy()
+    if spec.policy == "relaunch":
+        return RelaunchPolicy(spec.max_relaunches)
+    raise ValueError(f"unknown fault policy {spec.policy!r}")

@@ -1,0 +1,113 @@
+"""The RepEx facade: configuration in, simulation result out.
+
+Wires together the whole stack — engine adapter, performance model,
+simulated cluster + pilot, AMM, and the pattern-appropriate EMM — from a
+single :class:`~repro.core.config.SimulationConfig`:
+
+.. code-block:: python
+
+    from repro import RepEx, SimulationConfig, DimensionSpec
+
+    config = SimulationConfig(
+        dimensions=[DimensionSpec("temperature", 8, 273.0, 373.0)],
+        resource=ResourceSpec("supermic", cores=8),
+        n_cycles=4,
+    )
+    result = RepEx(config).run()
+    print(result.acceptance_ratio("temperature"))
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.amm import ApplicationManager
+from repro.core.config import SimulationConfig
+from repro.core.emm import AsynchronousEMM, SynchronousEMM
+from repro.core.execution_modes import ExecutionMode, make_mode
+from repro.core.results import SimulationResult
+from repro.md.engine import EngineAdapter
+from repro.md.perfmodel import PerformanceModel
+from repro.md.sandbox import Sandbox
+from repro.pilot.cluster import get_cluster
+from repro.pilot.failures import FailureModel
+from repro.pilot.pilot import PilotDescription
+from repro.pilot.session import Session
+from repro.utils.rng import RNGRegistry
+
+
+class RepEx:
+    """One configured REMD simulation, ready to run.
+
+    Parameters
+    ----------
+    config:
+        The full simulation specification.
+    adapter / perf / sandbox / session / mode:
+        Dependency-injection points for tests and benchmarks; all default
+        to what the config implies.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        *,
+        adapter: Optional[EngineAdapter] = None,
+        perf: Optional[PerformanceModel] = None,
+        sandbox: Optional[Sandbox] = None,
+        session: Optional[Session] = None,
+        mode: Optional[ExecutionMode] = None,
+    ):
+        self.config = config
+        self.cluster = get_cluster(config.resource.name)
+
+        failure_model = None
+        if config.failure.probability > 0:
+            failure_model = FailureModel(
+                probability=config.failure.probability,
+                rng=RNGRegistry(config.seed).stream("failures"),
+                only_phase="md",
+            )
+        self.session = session or Session(failure_model=failure_model)
+        if session is not None and failure_model is not None:
+            self.session.failure_model = failure_model
+
+        self.amm = ApplicationManager(
+            config,
+            self.cluster,
+            adapter=adapter,
+            perf=perf,
+            sandbox=sandbox,
+        )
+        self.pilot = self.session.submit_pilot(
+            PilotDescription(
+                resource=self.cluster,
+                cores=config.resource.cores,
+                gpus=config.resource.gpus,
+                walltime_minutes=config.resource.walltime_minutes,
+            )
+        )
+        emm_cls = (
+            SynchronousEMM
+            if config.pattern.kind == "synchronous"
+            else AsynchronousEMM
+        )
+        self.emm = emm_cls(
+            config,
+            self.amm,
+            self.session,
+            self.pilot,
+            mode=mode or make_mode(config.effective_mode),
+        )
+
+    def run(self) -> SimulationResult:
+        """Execute the simulation and tear the pilot down."""
+        try:
+            return self.emm.run()
+        finally:
+            self.pilot.cancel()
+
+
+def run_simulation(config: SimulationConfig, **kwargs) -> SimulationResult:
+    """One-call convenience wrapper around :class:`RepEx`."""
+    return RepEx(config, **kwargs).run()

@@ -1,0 +1,164 @@
+"""Result containers: per-cycle timing decomposition and simulation summary.
+
+The fields of :class:`CycleTiming` are the paper's Eq. 1::
+
+    Tc = T_MD + T_EX + T_data + T_RepEx_over + T_RP_over
+
+measured on the virtual clock:
+
+* ``t_md``    — slowest MD-task execution (the barrier is set by it)
+* ``t_ex``    — full exchange-phase span, including the single-point waves
+  and their launch stagger for S-REMD (which is why S exchange dwarfs
+  T/U in Figs. 6, 9, 10)
+* ``t_data``  — largest per-task staging cost in the MD phase
+* ``t_repex`` — charged task-preparation (RepEx) overhead
+* ``t_rp``    — largest agent launch delay among MD tasks
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.exchange.base import SwapProposal
+from repro.core.replica import Replica
+
+
+@dataclass
+class CycleTiming:
+    """Timing decomposition of one simulation cycle (one MD + one EX)."""
+
+    cycle: int
+    dimension: Optional[str]
+    t_md: float
+    t_ex: float
+    t_data: float
+    t_repex: float
+    t_rp: float
+    #: full wall (virtual) span of the cycle
+    span: float
+    t_start: float
+    t_end: float
+    n_replicas: int = 0
+    n_failed: int = 0
+    #: wall span of the whole MD phase: equals ~t_md in Mode I, but grows
+    #: with the number of waves in Mode II — the "MD time" of the paper's
+    #: strong-scaling Fig. 10
+    t_md_span: float = 0.0
+
+    @property
+    def tc(self) -> float:
+        """The Eq. 1 sum (may differ slightly from ``span`` because
+        staging/launch overlap execution across tasks)."""
+        return self.t_md + self.t_ex + self.t_data + self.t_repex + self.t_rp
+
+
+@dataclass
+class ExchangeStats:
+    """Attempt/acceptance counts for one dimension."""
+
+    attempted: int = 0
+    accepted: int = 0
+
+    @property
+    def ratio(self) -> float:
+        """Acceptance ratio in [0, 1]; 0 when nothing was attempted."""
+        return self.accepted / self.attempted if self.attempted else 0.0
+
+
+@dataclass
+class SimulationResult:
+    """Everything a finished REMD simulation reports."""
+
+    title: str
+    type_string: str
+    pattern: str
+    execution_mode: str
+    n_replicas: int
+    pilot_cores: int
+    replicas: List[Replica] = field(default_factory=list)
+    cycle_timings: List[CycleTiming] = field(default_factory=list)
+    proposals: List[SwapProposal] = field(default_factory=list)
+    exchange_stats: Dict[str, ExchangeStats] = field(default_factory=dict)
+    #: core-seconds spent executing MD tasks
+    md_core_seconds: float = 0.0
+    #: core-seconds spent executing exchange-phase tasks (incl. SP)
+    exchange_core_seconds: float = 0.0
+    t_start: float = 0.0
+    t_end: float = 0.0
+    n_failures: int = 0
+    n_relaunches: int = 0
+    #: billed MD steps per cycle (for ns/day style metrics)
+    steps_per_cycle: int = 0
+    #: adaptive sampling: replicas retired early / spawned as replacements
+    n_retired: int = 0
+    n_spawned: int = 0
+
+    # -- aggregates -----------------------------------------------------------
+
+    @property
+    def wallclock(self) -> float:
+        """Virtual seconds from first to last cycle."""
+        return max(0.0, self.t_end - self.t_start)
+
+    def average_cycle_time(self) -> float:
+        """Mean cycle span — the paper's primary metric ("average of 4
+        simulation cycles")."""
+        if not self.cycle_timings:
+            return 0.0
+        return sum(c.span for c in self.cycle_timings) / len(self.cycle_timings)
+
+    def mean_component(self, component: str) -> float:
+        """Mean of one Eq. 1 term (``t_md``, ``t_ex``, ...) over cycles."""
+        if not self.cycle_timings:
+            return 0.0
+        vals = [getattr(c, component) for c in self.cycle_timings]
+        return sum(vals) / len(vals)
+
+    def mean_exchange_time(self, dimension: str) -> float:
+        """Mean ``t_ex`` over the cycles in which ``dimension`` was active."""
+        vals = [
+            c.t_ex for c in self.cycle_timings if c.dimension == dimension
+        ]
+        return sum(vals) / len(vals) if vals else 0.0
+
+    def mean_md_time(self, dimension: Optional[str] = None) -> float:
+        """Mean ``t_md``, optionally restricted to one dimension's cycles."""
+        vals = [
+            c.t_md
+            for c in self.cycle_timings
+            if dimension is None or c.dimension == dimension
+        ]
+        return sum(vals) / len(vals) if vals else 0.0
+
+    def acceptance_ratio(self, dimension: str) -> float:
+        """Exchange acceptance ratio of one dimension.
+
+        Raises
+        ------
+        KeyError
+            If the dimension never exchanged.
+        """
+        return self.exchange_stats[dimension].ratio
+
+    def utilization(self) -> float:
+        """Fraction of allocated core-time spent inside MD execution.
+
+        This is the paper's Eq. 4 with U_max the ideal "CPU is used only to
+        perform MD": U = (MD core-seconds) / (cores x wallclock).
+        """
+        denom = self.pilot_cores * self.wallclock
+        return self.md_core_seconds / denom if denom > 0 else 0.0
+
+    def full_cycle_timings(self, n_dims: int) -> List[List[CycleTiming]]:
+        """Group consecutive cycles into full M-REMD cycles of ``n_dims``.
+
+        "For M-REMD simulations, Tc is comprised of the 1-D cycle time for
+        each dimension" — a full cycle is one MD+EX per dimension.
+        """
+        if n_dims < 1:
+            raise ValueError(f"n_dims must be >= 1, got {n_dims}")
+        out = []
+        for i in range(0, len(self.cycle_timings), n_dims):
+            out.append(self.cycle_timings[i : i + n_dims])
+        return out

@@ -1,0 +1,90 @@
+"""MD engines: the toy physics backend plus Amber/NAMD-style adapters.
+
+Importing this package registers both adapters with
+:func:`repro.md.engine.get_adapter`.
+"""
+
+from repro.md.amber import AmberAdapter
+from repro.md.engine import (
+    EngineAdapter,
+    EngineError,
+    available_engines,
+    get_adapter,
+    register_adapter,
+)
+from repro.md.forcefield import (
+    DEFAULT_WELLS,
+    ForceField,
+    GaussianWell,
+    SolventBath,
+    UmbrellaRestraint,
+    debye_screening_factor,
+    wrap_angle,
+)
+from repro.md.integrators import (
+    BAOABIntegrator,
+    BrownianIntegrator,
+    INTEGRATORS,
+    IntegratorParams,
+    get_integrator,
+)
+from repro.md.minimize import MinimizationResult, equilibrate, minimize
+from repro.md.namd import NAMDAdapter
+from repro.md.perfmodel import (
+    PerfModelError,
+    PerformanceModel,
+    deterministic_model,
+)
+from repro.md.sandbox import Sandbox, SandboxError
+from repro.md.system import (
+    MolecularSystem,
+    alanine_dipeptide,
+    alanine_dipeptide_large,
+    get_system,
+    vacuum_dipeptide,
+)
+from repro.md.toymd import (
+    MDParams,
+    MDResult,
+    ThermodynamicState,
+    ToyMD,
+)
+
+__all__ = [
+    "AmberAdapter",
+    "BAOABIntegrator",
+    "BrownianIntegrator",
+    "DEFAULT_WELLS",
+    "EngineAdapter",
+    "EngineError",
+    "ForceField",
+    "GaussianWell",
+    "INTEGRATORS",
+    "IntegratorParams",
+    "MDParams",
+    "MDResult",
+    "MinimizationResult",
+    "equilibrate",
+    "minimize",
+    "MolecularSystem",
+    "NAMDAdapter",
+    "PerfModelError",
+    "PerformanceModel",
+    "Sandbox",
+    "SandboxError",
+    "SolventBath",
+    "ThermodynamicState",
+    "ToyMD",
+    "UmbrellaRestraint",
+    "alanine_dipeptide",
+    "alanine_dipeptide_large",
+    "available_engines",
+    "debye_screening_factor",
+    "deterministic_model",
+    "get_adapter",
+    "get_integrator",
+    "get_system",
+    "register_adapter",
+    "vacuum_dipeptide",
+    "wrap_angle",
+]

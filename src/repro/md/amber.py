@@ -1,0 +1,339 @@
+"""Amber-style engine adapter.
+
+Speaks (a faithful subset of) Amber's file dialects:
+
+* ``.mdin``   — ``&cntrl`` namelist input (nstlim, temp0, saltcon, ig, ...)
+* ``.RST``    — DISANG torsion restraints (``&rst iat=..., r2=..., rk2=...``)
+* ``.rst``    — restart file carrying the final (phi, psi)
+* ``.mdinfo`` — the energy summary RepEx stages to the staging area after
+  every MD phase ("Amber's .mdinfo files to 'staging area'", paper Sec. 4)
+* group files — one line of sander arguments per single-point state, used
+  by the S-REMD exchange ("Since we are using Amber's group files, this
+  task requires at least as many CPU cores as there are potential exchange
+  partners", paper Sec. 4.2)
+
+The physics behind the executables is the toy engine; the formats and the
+parse/serialize round-trips are real and tested.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.md.engine import EngineAdapter, EngineError, register_adapter
+from repro.md.forcefield import UmbrellaRestraint
+from repro.md.sandbox import Sandbox
+from repro.md.toymd import MDParams, MDResult, ThermodynamicState
+
+#: Amber atom indices of the backbone torsions in alanine dipeptide.
+_TORSION_ATOMS = {"phi": (5, 7, 9, 15), "psi": (7, 9, 15, 17)}
+_ATOMS_TO_TORSION = {v: k for k, v in _TORSION_ATOMS.items()}
+
+
+def _fmt_float(x: float) -> str:
+    return f"{x:.6f}"
+
+
+@register_adapter
+class AmberAdapter(EngineAdapter):
+    """Adapter for the simulated ``sander`` / ``pmemd.MPI`` executables."""
+
+    name = "amber"
+    executables = ("sander", "pmemd.MPI", "pmemd.cuda")
+
+    # ------------------------------------------------------------------ input
+
+    def write_input(
+        self,
+        sandbox: Sandbox,
+        tag: str,
+        coords: np.ndarray,
+        state: ThermodynamicState,
+        params: MDParams,
+        seed: int,
+    ) -> List[str]:
+        """Write ``{tag}.mdin``, ``{tag}.inpcrd`` and, if restrained,
+        ``{tag}.RST``."""
+        coords = np.asarray(coords, dtype=float)
+        if coords.shape != (2,):
+            raise EngineError(f"coords must have shape (2,), got {coords.shape}")
+
+        files = []
+        nmropt = 1 if state.restraints else 0
+        mdin = [
+            f"{tag}: RepEx MD phase",
+            " &cntrl",
+            "  imin = 0, irest = 1, ntx = 5,",
+            f"  nstlim = {params.n_steps}, dt = {params.integrator_params.dt},",
+            f"  ntt = 3, temp0 = {_fmt_float(state.temperature)}, gamma_ln = "
+            f"{_fmt_float(params.integrator_params.friction)},",
+            f"  ig = {seed},",
+            f"  ntpr = {max(1, params.sample_stride)}, ntwx = "
+            f"{max(1, params.sample_stride)},",
+            f"  igb = 1, saltcon = {_fmt_float(state.salt_molar)},",
+            f"  nmropt = {nmropt},",
+            " /",
+        ]
+        if state.restraints:
+            mdin.append(" &wt type='END' /")
+            mdin.append(f"DISANG={tag}.RST")
+        sandbox.write_text(f"{tag}.mdin", "\n".join(mdin) + "\n")
+        files.append(f"{tag}.mdin")
+
+        self._write_coords(sandbox, f"{tag}.inpcrd", coords)
+        files.append(f"{tag}.inpcrd")
+
+        if state.restraints:
+            sandbox.write_text(
+                f"{tag}.RST", self._format_disang(state.restraints)
+            )
+            files.append(f"{tag}.RST")
+        return files
+
+    @staticmethod
+    def _format_disang(restraints: Sequence[UmbrellaRestraint]) -> str:
+        lines = []
+        for r in restraints:
+            iat = ",".join(str(i) for i in _TORSION_ATOMS[r.angle])
+            c = r.center_deg
+            lines.append(
+                f" &rst iat={iat}, r1={c - 180.0:.1f}, r2={c:.1f}, "
+                f"r3={c:.1f}, r4={c + 180.0:.1f}, rk2={r.k:.4f}, "
+                f"rk3={r.k:.4f}, /"
+            )
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _parse_disang(text: str) -> List[UmbrellaRestraint]:
+        restraints = []
+        for m in re.finditer(
+            r"&rst\s+iat=([\d,\s]+?),\s*r1=.*?r2=\s*(-?[\d.]+)\s*,"
+            r".*?rk2=\s*([\d.]+)",
+            text,
+            re.DOTALL,
+        ):
+            iat = tuple(int(x) for x in m.group(1).split(",") if x.strip())
+            angle = _ATOMS_TO_TORSION.get(iat)
+            if angle is None:
+                raise EngineError(f"unknown torsion atom selection {iat}")
+            restraints.append(
+                UmbrellaRestraint(
+                    angle=angle,
+                    center_deg=float(m.group(2)),
+                    k=float(m.group(3)),
+                )
+            )
+        return restraints
+
+    def _write_coords(self, sandbox: Sandbox, name: str, coords: np.ndarray) -> None:
+        text = (
+            "ALA2 toy coordinates (phi, psi in radians)\n"
+            f"{self.system.n_atoms:6d}\n"
+            f"{coords[0]: 12.7f}{coords[1]: 12.7f}\n"
+        )
+        sandbox.write_text(name, text)
+
+    def _read_coords(self, sandbox: Sandbox, name: str) -> np.ndarray:
+        lines = sandbox.read_text(name).splitlines()
+        if len(lines) < 3:
+            raise EngineError(f"malformed coordinate file {name!r}")
+        vals = lines[2].split()
+        return np.array([float(vals[0]), float(vals[1])])
+
+    def _parse_mdin(self, sandbox: Sandbox, tag: str):
+        text = sandbox.read_text(f"{tag}.mdin")
+
+        def grab(key: str, default=None):
+            m = re.search(rf"\b{key}\s*=\s*(-?[\d.eE+]+)", text)
+            if m is None:
+                if default is None:
+                    raise EngineError(f"{tag}.mdin: missing {key}")
+                return default
+            return m.group(1)
+
+        n_steps = int(grab("nstlim"))
+        dt = float(grab("dt"))
+        temp0 = float(grab("temp0"))
+        gamma = float(grab("gamma_ln", "1.0"))
+        seed = int(grab("ig"))
+        saltcon = float(grab("saltcon", "0.0"))
+        stride = int(grab("ntwx", "50"))
+
+        restraints: List[UmbrellaRestraint] = []
+        m = re.search(r"DISANG=(\S+)", text)
+        if m:
+            restraints = self._parse_disang(sandbox.read_text(m.group(1)))
+
+        from repro.md.integrators import IntegratorParams
+
+        params = MDParams(
+            n_steps=n_steps,
+            sample_stride=stride,
+            integrator_params=IntegratorParams(dt=dt, friction=gamma),
+        )
+        state = ThermodynamicState(
+            temperature=temp0,
+            salt_molar=saltcon,
+            restraints=tuple(restraints),
+        )
+        return params, state, seed
+
+    # -------------------------------------------------------------- execution
+
+    def run_md(self, sandbox: Sandbox, tag: str) -> MDResult:
+        """Simulated ``sander``: parse mdin, integrate, write mdinfo/restart."""
+        params, state, seed = self._parse_mdin(sandbox, tag)
+        coords = self._read_coords(sandbox, f"{tag}.inpcrd")
+        rng = np.random.default_rng(seed)
+        result = self.toymd.run(coords, state, params, rng)
+        self._write_mdinfo(sandbox, tag, result)
+        self._write_coords(sandbox, self.restart_file(tag), result.final_coords)
+        self._write_trajectory(sandbox, tag, result)
+        return result
+
+    def _write_mdinfo(self, sandbox: Sandbox, tag: str, result: MDResult) -> None:
+        eamber = result.potential_energy - result.restraint_energy
+        text = (
+            f" NSTEP = {result.n_steps:8d}   TIME(PS) = "
+            f"{result.n_steps * 0.002:12.3f}  TEMP(K) = "
+            f"{result.temperature:8.2f}  PRESS =     0.0\n"
+            f" Etot   = {result.potential_energy:14.4f}  EKtot   = "
+            f"{0.0:14.4f}  EPtot      = {result.potential_energy:14.4f}\n"
+            f" RESTRAINT  = {result.restraint_energy:14.4f}\n"
+            f" EAMBER (non-restraint)  = {eamber:14.4f}\n"
+            f" TORSIONAL  = {result.torsional_energy:14.4f}  EBATH   = "
+            f"{result.bath_energy:14.4f}\n"
+        )
+        sandbox.write_text(self.info_file(tag), text)
+
+    def _write_trajectory(self, sandbox: Sandbox, tag: str, result: MDResult) -> None:
+        lines = [f"{row[0]: 12.7f}{row[1]: 12.7f}" for row in result.trajectory]
+        sandbox.write_text(f"{tag}.mdcrd", "\n".join(lines) + "\n")
+
+    # ----------------------------------------------------------------- output
+
+    def read_info(self, sandbox: Sandbox, tag: str) -> Dict[str, float]:
+        """Parse ``{tag}.mdinfo`` (the exchange phase's input)."""
+        text = sandbox.read_text(self.info_file(tag))
+
+        def grab(key: str) -> float:
+            m = re.search(rf"{re.escape(key)}\s*=\s*(-?[\d.]+)", text)
+            if m is None:
+                raise EngineError(f"{tag}.mdinfo: missing {key}")
+            return float(m.group(1))
+
+        return {
+            "potential_energy": grab("EPtot"),
+            "restraint_energy": grab("RESTRAINT"),
+            "torsional_energy": grab("TORSIONAL"),
+            "bath_energy": grab("EBATH"),
+            "temperature": grab("TEMP(K)"),
+        }
+
+    def read_restart(self, sandbox: Sandbox, tag: str) -> np.ndarray:
+        """Final (phi, psi) of the MD phase."""
+        return self._read_coords(sandbox, self.restart_file(tag))
+
+    def read_trajectory(self, sandbox: Sandbox, tag: str) -> np.ndarray:
+        """Sampled (phi, psi) trajectory of the MD phase, shape (n, 2)."""
+        text = sandbox.read_text(f"{tag}.mdcrd").strip()
+        if not text:
+            return np.empty((0, 2))
+        rows = [
+            [float(x) for x in line.split()] for line in text.splitlines()
+        ]
+        return np.asarray(rows)
+
+    # ------------------------------------------------------- single-point (S-REMD)
+
+    def write_groupfile(
+        self,
+        sandbox: Sandbox,
+        tag: str,
+        coords: np.ndarray,
+        states: Sequence[ThermodynamicState],
+    ) -> List[str]:
+        """Write a group file evaluating ``coords`` in every state.
+
+        One sander instance per state, exactly as the paper runs the
+        salt-concentration single-point energies.
+        """
+        files = []
+        group_lines = []
+        for j, state in enumerate(states):
+            sp_tag = f"{tag}.sp{j}"
+            mdin = [
+                f"{sp_tag}: single point energy",
+                " &cntrl",
+                "  imin = 1, maxcyc = 0,",
+                f"  igb = 1, saltcon = {_fmt_float(state.salt_molar)},",
+                f"  nmropt = {1 if state.restraints else 0},",
+                " /",
+            ]
+            if state.restraints:
+                mdin.append(" &wt type='END' /")
+                mdin.append(f"DISANG={sp_tag}.RST")
+                sandbox.write_text(
+                    f"{sp_tag}.RST", self._format_disang(state.restraints)
+                )
+                files.append(f"{sp_tag}.RST")
+            sandbox.write_text(f"{sp_tag}.mdin", "\n".join(mdin) + "\n")
+            files.append(f"{sp_tag}.mdin")
+            group_lines.append(
+                f"-O -i {sp_tag}.mdin -o {sp_tag}.mdout -c {tag}.inpcrd "
+                f"-inf {sp_tag}.mdinfo"
+            )
+        self._write_coords(sandbox, f"{tag}.inpcrd", np.asarray(coords))
+        files.append(f"{tag}.inpcrd")
+        sandbox.write_text(f"{tag}.groupfile", "\n".join(group_lines) + "\n")
+        files.append(f"{tag}.groupfile")
+        return files
+
+    def run_single_point_group(self, sandbox: Sandbox, tag: str) -> np.ndarray:
+        """Execute every entry of ``{tag}.groupfile``; returns the energies.
+
+        Also writes ``{tag}.matrix`` (one energy per line), the file staged
+        back for the exchange step.
+        """
+        group = sandbox.read_text(f"{tag}.groupfile").strip().splitlines()
+        energies = []
+        for line in group:
+            m = re.search(r"-i (\S+)\s.*-c (\S+)", line)
+            if m is None:
+                raise EngineError(f"malformed groupfile line: {line!r}")
+            mdin_name, coord_name = m.group(1), m.group(2)
+            sp_tag = mdin_name[: -len(".mdin")]
+            text = sandbox.read_text(mdin_name)
+            salt = float(
+                re.search(r"saltcon\s*=\s*([\d.eE+-]+)", text).group(1)
+            )
+            restraints: List[UmbrellaRestraint] = []
+            dm = re.search(r"DISANG=(\S+)", text)
+            if dm:
+                restraints = self._parse_disang(sandbox.read_text(dm.group(1)))
+            coords = self._read_coords(sandbox, coord_name)
+            state = ThermodynamicState(
+                temperature=300.0,  # irrelevant for a single point
+                salt_molar=salt,
+                restraints=tuple(restraints),
+            )
+            e = self.toymd.single_point_energy(coords, state)
+            energies.append(e)
+            sandbox.write_text(
+                f"{sp_tag}.mdinfo",
+                f" NSTEP = 0\n Etot   = {e:14.4f}  EPtot      = {e:14.4f}\n"
+                f" RESTRAINT  = {0.0:14.4f}\n",
+            )
+        arr = np.asarray(energies)
+        sandbox.write_text(
+            f"{tag}.matrix", "\n".join(f"{e:.8f}" for e in energies) + "\n"
+        )
+        return arr
+
+    def read_energy_row(self, sandbox: Sandbox, tag: str) -> np.ndarray:
+        """Read the staged single-point energy row written by the group run."""
+        text = sandbox.read_text(f"{tag}.matrix").strip()
+        return np.asarray([float(x) for x in text.splitlines()])

@@ -1,0 +1,210 @@
+"""Integrators for the torsional toy system.
+
+Two thermostatted integrators are provided:
+
+* :class:`BrownianIntegrator` — overdamped Langevin (position Langevin)
+  dynamics, the default.  Cheap, unconditionally stable for our smooth
+  surface, and samples the canonical distribution for small steps.
+* :class:`BAOABIntegrator` — underdamped Langevin via the BAOAB splitting
+  (Leimkuhler & Matthews), kept for realism and cross-checks: both must
+  converge to the same torsional marginal.
+
+Both are vectorized over walkers: ``state`` has shape ``(n_walkers, 2)``
+holding (phi, psi) in radians.  Integration loops over steps in Python but
+each step is a handful of small NumPy ops, so a 6000-step phase for one
+replica costs ~10 ms.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.md.forcefield import ForceField, UmbrellaRestraint, wrap_angle
+from repro.utils.units import KB_KCAL_PER_MOL_K
+
+
+@dataclass
+class IntegratorParams:
+    """Shared integrator knobs.
+
+    ``dt`` is in internal time units; ``friction`` sets the mobility of the
+    torsions.  Defaults give an RMS angular step of ~2.3 degrees at 300 K,
+    which crosses the ~2-4 kcal/mol intra-basin barriers within a few
+    thousand steps while resolving basin structure.
+    """
+
+    dt: float = 0.002
+    friction: float = 1.0
+    mass: float = 1.0
+
+    def __post_init__(self):
+        if self.dt <= 0:
+            raise ValueError(f"dt must be > 0, got {self.dt}")
+        if self.friction <= 0:
+            raise ValueError(f"friction must be > 0, got {self.friction}")
+        if self.mass <= 0:
+            raise ValueError(f"mass must be > 0, got {self.mass}")
+
+
+class BrownianIntegrator:
+    """Overdamped Langevin: ``x += -(dt/gamma) grad V + sqrt(2 kT dt/gamma) xi``."""
+
+    def __init__(
+        self,
+        forcefield: ForceField,
+        params: Optional[IntegratorParams] = None,
+    ):
+        self.ff = forcefield
+        self.params = params or IntegratorParams()
+
+    def run(
+        self,
+        state: np.ndarray,
+        n_steps: int,
+        temperature: float,
+        rng: np.random.Generator,
+        *,
+        salt_molar: float = 0.0,
+        restraints: Sequence[UmbrellaRestraint] = (),
+        sample_stride: int = 0,
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Integrate ``n_steps`` steps.
+
+        Parameters
+        ----------
+        state:
+            Array (n_walkers, 2) of (phi, psi) in radians; not modified.
+        sample_stride:
+            If > 0, record the state every ``sample_stride`` steps.
+
+        Returns
+        -------
+        (final_state, samples):
+            ``final_state`` shape (n_walkers, 2); ``samples`` shape
+            (n_samples, n_walkers, 2) or None when ``sample_stride == 0``.
+        """
+        if n_steps < 0:
+            raise ValueError(f"n_steps must be >= 0, got {n_steps}")
+        if temperature <= 0:
+            raise ValueError(f"temperature must be > 0, got {temperature}")
+        x = np.array(state, dtype=float, copy=True)
+        if x.ndim != 2 or x.shape[1] != 2:
+            raise ValueError(f"state must have shape (n, 2), got {x.shape}")
+
+        dt = self.params.dt
+        gamma = self.params.friction
+        kt = KB_KCAL_PER_MOL_K * temperature
+        drift = dt / gamma
+        noise_scale = math.sqrt(2.0 * kt * dt / gamma)
+
+        samples = [] if sample_stride > 0 else None
+        for step in range(n_steps):
+            gphi, gpsi = self.ff.gradient(
+                x[:, 0], x[:, 1], salt_molar=salt_molar, restraints=restraints
+            )
+            x[:, 0] -= drift * gphi
+            x[:, 1] -= drift * gpsi
+            x += noise_scale * rng.standard_normal(x.shape)
+            x = wrap_angle(x)
+            if samples is not None and (step + 1) % sample_stride == 0:
+                samples.append(x.copy())
+
+        out = np.array(samples) if samples is not None and samples else None
+        if samples is not None and not samples:
+            out = np.empty((0,) + x.shape)
+        return x, out
+
+
+class BAOABIntegrator:
+    """Underdamped Langevin via BAOAB splitting, with persistent velocities.
+
+    Velocities are drawn fresh from the Maxwell distribution at ``run``
+    start (velocity randomization is what Amber does on restart with
+    ``ntx=1``), so the caller only needs to carry positions between cycles.
+    """
+
+    def __init__(
+        self,
+        forcefield: ForceField,
+        params: Optional[IntegratorParams] = None,
+    ):
+        self.ff = forcefield
+        self.params = params or IntegratorParams()
+
+    def run(
+        self,
+        state: np.ndarray,
+        n_steps: int,
+        temperature: float,
+        rng: np.random.Generator,
+        *,
+        salt_molar: float = 0.0,
+        restraints: Sequence[UmbrellaRestraint] = (),
+        sample_stride: int = 0,
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Same contract as :meth:`BrownianIntegrator.run`."""
+        if n_steps < 0:
+            raise ValueError(f"n_steps must be >= 0, got {n_steps}")
+        if temperature <= 0:
+            raise ValueError(f"temperature must be > 0, got {temperature}")
+        x = np.array(state, dtype=float, copy=True)
+        if x.ndim != 2 or x.shape[1] != 2:
+            raise ValueError(f"state must have shape (n, 2), got {x.shape}")
+
+        p = self.params
+        kt = KB_KCAL_PER_MOL_K * temperature
+        sigma_v = math.sqrt(kt / p.mass)
+        v = sigma_v * rng.standard_normal(x.shape)
+        c1 = math.exp(-p.friction * p.dt)
+        c2 = math.sqrt(1.0 - c1 * c1) * sigma_v
+
+        def force(xx):
+            gphi, gpsi = self.ff.gradient(
+                xx[:, 0], xx[:, 1], salt_molar=salt_molar, restraints=restraints
+            )
+            return -np.stack([gphi, gpsi], axis=1)
+
+        f = force(x)
+        samples = [] if sample_stride > 0 else None
+        half = 0.5 * p.dt
+        for step in range(n_steps):
+            v += half * f / p.mass                     # B
+            x = wrap_angle(x + half * v)               # A
+            v = c1 * v + c2 * rng.standard_normal(x.shape)  # O
+            x = wrap_angle(x + half * v)               # A
+            f = force(x)
+            v += half * f / p.mass                     # B
+            if samples is not None and (step + 1) % sample_stride == 0:
+                samples.append(x.copy())
+
+        out = np.array(samples) if samples is not None and samples else None
+        if samples is not None and not samples:
+            out = np.empty((0,) + x.shape)
+        return x, out
+
+
+INTEGRATORS = {
+    "brownian": BrownianIntegrator,
+    "baoab": BAOABIntegrator,
+}
+
+
+def get_integrator(name: str, forcefield: ForceField, params=None):
+    """Instantiate an integrator by name.
+
+    Raises
+    ------
+    KeyError
+        If ``name`` is not registered.
+    """
+    try:
+        cls = INTEGRATORS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown integrator {name!r}; known: {sorted(INTEGRATORS)}"
+        ) from None
+    return cls(forcefield, params)

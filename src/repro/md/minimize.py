@@ -1,0 +1,144 @@
+"""Energy minimization and replica equilibration.
+
+The paper's validation notes "each replica was previously equilibrated for
+>1 ns" before production.  This module provides that preparation stage:
+
+* :func:`minimize` — gradient descent with backtracking line search on the
+  torsional surface (the toy counterpart of ``sander imin=1``),
+* :func:`equilibrate` — minimization followed by a short thermalization
+  MD segment at the replica's own temperature.
+
+``SimulationConfig.equilibration_steps > 0`` makes the AMM run this for
+every replica before cycle 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.md.forcefield import ForceField, wrap_angle
+from repro.md.toymd import MDParams, ThermodynamicState, ToyMD
+
+
+@dataclass
+class MinimizationResult:
+    """Outcome of a minimization."""
+
+    coords: np.ndarray
+    energy: float
+    n_iterations: int
+    converged: bool
+    #: gradient max-norm at the final point
+    grad_norm: float
+
+
+def minimize(
+    forcefield: ForceField,
+    coords: np.ndarray,
+    state: ThermodynamicState,
+    *,
+    max_iter: int = 500,
+    gtol: float = 1.0e-5,
+    initial_step: float = 0.05,
+) -> MinimizationResult:
+    """Gradient descent with backtracking on the full potential.
+
+    Operates on (phi, psi) in radians; angles stay wrapped.  Convergence is
+    declared when the gradient max-norm falls below ``gtol``
+    (kcal/mol/rad).
+
+    Raises
+    ------
+    ValueError
+        For malformed coordinates or non-positive controls.
+    """
+    x = np.asarray(coords, dtype=float).copy()
+    if x.shape != (2,):
+        raise ValueError(f"coords must have shape (2,), got {x.shape}")
+    if max_iter <= 0:
+        raise ValueError(f"max_iter must be > 0, got {max_iter}")
+    if gtol <= 0:
+        raise ValueError(f"gtol must be > 0, got {gtol}")
+    if initial_step <= 0:
+        raise ValueError(f"initial_step must be > 0, got {initial_step}")
+
+    def energy(p):
+        return float(
+            forcefield.energy(
+                p[0], p[1], salt_molar=state.salt_molar,
+                restraints=state.restraints,
+            )
+        )
+
+    def gradient(p):
+        g = forcefield.gradient(
+            p[0], p[1], salt_molar=state.salt_molar,
+            restraints=state.restraints,
+        )
+        return np.array([float(g[0]), float(g[1])])
+
+    e = energy(x)
+    step = initial_step
+    converged = False
+    iteration = 0
+    for iteration in range(1, max_iter + 1):
+        g = gradient(x)
+        gnorm = float(np.abs(g).max())
+        if gnorm < gtol:
+            converged = True
+            break
+        # backtracking line search along -g
+        improved = False
+        for _ in range(30):
+            trial = wrap_angle(x - step * g)
+            e_trial = energy(trial)
+            if e_trial < e:
+                x, e = trial, e_trial
+                step *= 1.3  # cautious growth after success
+                improved = True
+                break
+            step *= 0.5
+        if not improved:
+            break  # line search stalled at machine precision
+
+    g = gradient(x)
+    return MinimizationResult(
+        coords=x,
+        energy=e,
+        n_iterations=iteration,
+        converged=converged,
+        grad_norm=float(np.abs(g).max()),
+    )
+
+
+def equilibrate(
+    engine: ToyMD,
+    coords: np.ndarray,
+    state: ThermodynamicState,
+    *,
+    n_steps: int = 500,
+    rng: Optional[np.random.Generator] = None,
+    minimize_first: bool = True,
+) -> np.ndarray:
+    """Prepare one replica: minimize, then thermalize at its temperature.
+
+    Returns the equilibrated (phi, psi).  This is the toy equivalent of
+    the paper's ">1 ns" pre-equilibration.
+    """
+    if rng is None:
+        rng = np.random.default_rng(0)
+    x = np.asarray(coords, dtype=float)
+    if minimize_first:
+        x = minimize(engine.forcefield, x, state).coords
+    if n_steps > 0:
+        result = engine.run(
+            x,
+            state,
+            MDParams(n_steps=n_steps, sample_stride=0),
+            rng,
+        )
+        x = result.final_coords
+    return x

@@ -1,0 +1,140 @@
+"""Discrete-event simulation core: virtual clock and event queue.
+
+Every time-valued quantity the reproduction reports (MD time, exchange time,
+data time, RepEx/RP overheads, utilization) is measured on this virtual
+clock, replacing the wallclock of the paper's XSEDE runs.  The queue is a
+binary heap keyed by ``(time, sequence)`` so that simultaneous events fire
+in scheduling order, which keeps runs fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the event loop is driven into an invalid state."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Compare/sort by ``(time, seq)``."""
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so it is skipped when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Virtual clock + pending-event heap.
+
+    The clock only moves forward, and only by popping events; callbacks may
+    schedule further events.  ``run_until`` drives the loop to a predicate or
+    to queue exhaustion.
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._n_fired = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def n_fired(self) -> int:
+        """Total number of events executed so far (diagnostics)."""
+        return self._n_fired
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule into the past (t={time} < now={self._now})"
+            )
+        event = Event(time=float(time), seq=next(self._seq), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def step(self) -> bool:
+        """Execute the next pending event.  Return False if queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time < self._now:
+                raise SimulationError("event heap yielded a past event")
+            self._now = event.time
+            self._n_fired += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Drain the queue (optionally at most ``max_events`` events)."""
+        fired = 0
+        while self.step():
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                return
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        *,
+        max_events: int = 50_000_000,
+    ) -> None:
+        """Fire events until ``predicate()`` is true.
+
+        Raises
+        ------
+        SimulationError
+            If the queue empties or ``max_events`` fire before the predicate
+            holds — both indicate a deadlock in the simulated workload.
+        """
+        fired = 0
+        while not predicate():
+            if not self.step():
+                raise SimulationError(
+                    "event queue exhausted before condition was met "
+                    "(simulated workload deadlocked)"
+                )
+            fired += 1
+            if fired > max_events:
+                raise SimulationError(
+                    f"condition not met after {max_events} events"
+                )
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward with no events (idle time)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot move clock backwards (t={time} < now={self._now})"
+            )
+        if self._heap and not all(e.cancelled for e in self._heap):
+            next_t = min(e.time for e in self._heap if not e.cancelled)
+            if next_t < time:
+                raise SimulationError(
+                    "advance_to would skip pending events; run them first"
+                )
+        self._now = float(time)

@@ -1,0 +1,69 @@
+"""Failure injection for compute units.
+
+Large-scale RE runs "are more susceptive to both hardware and software
+failures, which result in failures of individual replicas" (paper,
+Section 2.1).  The injector decides, per unit, whether that unit's
+execution fails partway through; the RepEx fault policy
+(``repro.core.fault``) then decides whether to continue without the
+replica or to relaunch it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class UnitFailure(RuntimeError):
+    """Raised inside a unit when injected hardware/software failure fires."""
+
+
+@dataclass
+class FailureModel:
+    """Bernoulli per-unit failure with a uniform failure point.
+
+    Parameters
+    ----------
+    probability:
+        Chance that any given unit execution fails, in [0, 1].
+    rng:
+        Generator used for the draws; pass a seeded one for reproducibility.
+    only_phase:
+        If set, only units whose ``metadata['phase']`` equals this value are
+        eligible to fail (e.g. inject failures only into MD tasks).
+    """
+
+    probability: float = 0.0
+    rng: Optional[np.random.Generator] = None
+    only_phase: Optional[str] = None
+
+    def __post_init__(self):
+        if not (0.0 <= self.probability <= 1.0):
+            raise ValueError(
+                f"probability must be in [0, 1], got {self.probability}"
+            )
+        if self.rng is None:
+            self.rng = np.random.default_rng(0)
+
+    def draw(self, metadata: dict) -> Tuple[bool, float]:
+        """Decide whether a unit fails and at what fraction of its runtime.
+
+        Returns
+        -------
+        (fails, fraction):
+            ``fails`` is True if the unit should fail; ``fraction`` in
+            (0, 1) is the point during execution at which it dies (only
+            meaningful when ``fails``).
+        """
+        if self.probability == 0.0:
+            return False, 1.0
+        if self.only_phase is not None and metadata.get("phase") != self.only_phase:
+            return False, 1.0
+        fails = bool(self.rng.random() < self.probability)
+        fraction = float(self.rng.uniform(0.05, 0.95)) if fails else 1.0
+        return fails, fraction
+
+
+NO_FAILURES = FailureModel(probability=0.0)

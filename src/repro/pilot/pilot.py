@@ -1,0 +1,193 @@
+"""Pilots: placeholder jobs that acquire resources and run tasks.
+
+"The Pilot-Job concept was originally introduced to reduce queue waiting
+times ... the two most important [capabilities] are: management of
+dynamically varying resources and execution of dynamic workloads" (paper,
+Section 3.2.2).  A pilot here goes through the batch queue of its simulated
+cluster, becomes ACTIVE, and then schedules compute units onto the cores it
+holds until it is cancelled or its walltime expires.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.pilot.cluster import ClusterSpec, get_cluster
+from repro.pilot.events import EventQueue
+from repro.pilot.failures import FailureModel
+from repro.pilot.scheduler import AgentScheduler, SchedulerError
+from repro.pilot.staging import StagingArea
+from repro.pilot.unit import ComputeUnit, UnitDescription
+
+_pilot_counter = itertools.count()
+
+
+class PilotState(enum.Enum):
+    """Lifecycle of a pilot job."""
+
+    NEW = "NEW"
+    PENDING = "PENDING"  # waiting in the batch queue
+    ACTIVE = "ACTIVE"
+    DONE = "DONE"
+    CANCELED = "CANCELED"
+    FAILED = "FAILED"
+
+
+@dataclass
+class PilotDescription:
+    """Resource request for one pilot.
+
+    Parameters
+    ----------
+    resource:
+        Cluster preset name (``"stampede"``, ``"supermic"``,
+        ``"small-cluster"``) or a :class:`ClusterSpec`.
+    cores:
+        Number of cores the placeholder job requests.
+    walltime_minutes:
+        Requested allocation length; running units are cancelled when it
+        expires.
+    """
+
+    resource: object
+    cores: int
+    walltime_minutes: float = 24 * 60.0
+    #: GPUs requested alongside the cores (paper's GPU extension)
+    gpus: int = 0
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.cores <= 0:
+            raise ValueError(f"cores must be > 0, got {self.cores}")
+        if self.gpus < 0:
+            raise ValueError(f"gpus must be >= 0, got {self.gpus}")
+        if self.walltime_minutes <= 0:
+            raise ValueError(
+                f"walltime_minutes must be > 0, got {self.walltime_minutes}"
+            )
+
+    def cluster(self) -> ClusterSpec:
+        """Resolve the resource field to a :class:`ClusterSpec`."""
+        if isinstance(self.resource, ClusterSpec):
+            return self.resource
+        return get_cluster(str(self.resource))
+
+
+class Pilot:
+    """A pilot job on a simulated cluster."""
+
+    def __init__(
+        self,
+        description: PilotDescription,
+        clock: EventQueue,
+        staging_area: Optional[StagingArea] = None,
+        failure_model: Optional[FailureModel] = None,
+    ):
+        cluster = description.cluster()
+        if description.cores > cluster.total_cores:
+            raise ValueError(
+                f"pilot requests {description.cores} cores but "
+                f"{cluster.name} only has {cluster.total_cores}"
+            )
+        if description.gpus > cluster.total_gpus:
+            raise ValueError(
+                f"pilot requests {description.gpus} GPUs but "
+                f"{cluster.name} only has {cluster.total_gpus}"
+            )
+        self.uid = f"pilot.{next(_pilot_counter):04d}"
+        self.description = description
+        self.cluster = cluster
+        self._clock = clock
+        self.state = PilotState.NEW
+        self.timestamps = {PilotState.NEW: clock.now}
+        self.scheduler: Optional[AgentScheduler] = None
+        self._staging_area = staging_area if staging_area is not None else StagingArea()
+        self._failure_model = failure_model
+        self._pre_active_queue: List[ComputeUnit] = []
+        self._callbacks: List[Callable[["Pilot", PilotState], None]] = []
+        self._walltime_event = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def launch(self) -> None:
+        """Submit the placeholder job to the batch queue."""
+        if self.state is not PilotState.NEW:
+            raise RuntimeError(f"{self.uid}: already launched")
+        self._advance(PilotState.PENDING)
+        wait = self.cluster.queue.wait_time(self.description.cores)
+        self._clock.schedule(wait, self._activate)
+
+    def _activate(self) -> None:
+        self._advance(PilotState.ACTIVE)
+        self.scheduler = AgentScheduler(
+            clock=self._clock,
+            cluster=self.cluster,
+            capacity=self.description.cores,
+            staging_area=self._staging_area,
+            failure_model=self._failure_model,
+            gpu_capacity=self.description.gpus,
+        )
+        self._walltime_event = self._clock.schedule(
+            self.description.walltime_minutes * 60.0, self._expire
+        )
+        queued, self._pre_active_queue = self._pre_active_queue, []
+        for unit in queued:
+            self.scheduler.submit(unit)
+
+    def _expire(self) -> None:
+        if self.state is PilotState.ACTIVE:
+            if self.scheduler is not None:
+                self.scheduler.cancel_all()
+            self._advance(PilotState.DONE)
+
+    def cancel(self) -> None:
+        """Tear the pilot down; queued units are cancelled."""
+        if self.state in (PilotState.DONE, PilotState.CANCELED, PilotState.FAILED):
+            return
+        if self._walltime_event is not None:
+            self._walltime_event.cancel()
+        if self.scheduler is not None:
+            self.scheduler.cancel_all()
+        self._advance(PilotState.CANCELED)
+
+    def _advance(self, state: PilotState) -> None:
+        self.state = state
+        self.timestamps[state] = self._clock.now
+        for cb in list(self._callbacks):
+            cb(self, state)
+
+    def register_callback(
+        self, callback: Callable[["Pilot", PilotState], None]
+    ) -> None:
+        """Invoke ``callback(pilot, state)`` on every pilot state change."""
+        self._callbacks.append(callback)
+
+    # -- workload -----------------------------------------------------------
+
+    def submit_units(self, descriptions: List[UnitDescription]) -> List[ComputeUnit]:
+        """Create units for ``descriptions`` and hand them to the agent.
+
+        Units submitted before the pilot is ACTIVE are held and scheduled at
+        activation — "Tasks can be submitted for execution before or after
+        the pilot becomes active" (paper, Section 3.2.2).
+        """
+        if self.state in (PilotState.DONE, PilotState.CANCELED, PilotState.FAILED):
+            raise SchedulerError(f"{self.uid}: pilot is final ({self.state.value})")
+        units = [ComputeUnit(d) for d in descriptions]
+        if self.state is PilotState.ACTIVE:
+            assert self.scheduler is not None
+            for unit in units:
+                self.scheduler.submit(unit)
+        else:
+            # Held in NEW until activation; AgentScheduler.submit advances
+            # NEW -> SCHEDULING itself.
+            self._pre_active_queue.extend(units)
+        return units
+
+    @property
+    def staging_area(self) -> StagingArea:
+        """The shared staging area units of this pilot read/write."""
+        return self._staging_area

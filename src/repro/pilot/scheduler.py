@@ -1,0 +1,222 @@
+"""The pilot agent's task scheduler.
+
+Implements the spatial side of the Execution Modes: units wait in a FIFO
+queue and start as soon as enough cores are free (count-based backfill —
+any queued unit that fits may start, so small tasks fill holes left by
+large ones).  The temporal pipeline of each unit is::
+
+    SCHEDULING -> STAGING_INPUT -> AGENT_EXECUTING_PENDING -> EXECUTING
+               -> STAGING_OUTPUT -> DONE | FAILED
+
+Each stage charges the corresponding cluster model (filesystem, launcher,
+performance-model duration), producing the ``T_data`` / ``T_RP_over`` /
+``T_MD``/``T_EX`` decomposition of the paper's Eq. 1.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Set
+
+from repro.pilot.cluster import ClusterSpec
+from repro.pilot.events import EventQueue
+from repro.pilot.failures import FailureModel, NO_FAILURES, UnitFailure
+from repro.pilot.staging import StagingAction, StagingArea
+from repro.pilot.unit import ComputeUnit, UnitState
+
+
+class SchedulerError(RuntimeError):
+    """Raised when a unit can never be placed (e.g. more cores than pilot)."""
+
+
+class AgentScheduler:
+    """Allocates pilot cores to compute units and drives their pipeline."""
+
+    def __init__(
+        self,
+        clock: EventQueue,
+        cluster: ClusterSpec,
+        capacity: int,
+        staging_area: Optional[StagingArea] = None,
+        failure_model: Optional[FailureModel] = None,
+        gpu_capacity: int = 0,
+    ):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        if gpu_capacity < 0:
+            raise ValueError(f"gpu_capacity must be >= 0, got {gpu_capacity}")
+        self._clock = clock
+        self._cluster = cluster
+        self.capacity = capacity
+        self.free_cores = capacity
+        self.gpu_capacity = gpu_capacity
+        self.free_gpus = gpu_capacity
+        self.staging_area = staging_area if staging_area is not None else StagingArea()
+        self.failure_model = failure_model or NO_FAILURES
+        self._queue: Deque[ComputeUnit] = deque()
+        self._running: Set[ComputeUnit] = set()
+        #: transfers currently in flight, for filesystem contention
+        self._staging_in_flight = 0
+        #: units currently waiting on the launcher, for launch contention
+        self._launch_pending = 0
+        self._drained = False
+
+    # -- public API ---------------------------------------------------------
+
+    @property
+    def n_waiting(self) -> int:
+        """Units queued but not yet allocated cores."""
+        return len(self._queue)
+
+    @property
+    def n_running(self) -> int:
+        """Units holding cores right now."""
+        return len(self._running)
+
+    @property
+    def used_cores(self) -> int:
+        """Cores currently allocated."""
+        return self.capacity - self.free_cores
+
+    def submit(self, unit: ComputeUnit) -> None:
+        """Queue a unit; it is scheduled as soon as cores are available."""
+        if self._drained:
+            raise SchedulerError("scheduler has been drained (pilot ended)")
+        if unit.description.cores > self.capacity:
+            raise SchedulerError(
+                f"unit {unit.description.name!r} needs "
+                f"{unit.description.cores} cores but the pilot only has "
+                f"{self.capacity}"
+            )
+        if unit.description.gpus > self.gpu_capacity:
+            raise SchedulerError(
+                f"unit {unit.description.name!r} needs "
+                f"{unit.description.gpus} GPUs but the pilot only has "
+                f"{self.gpu_capacity}"
+            )
+        unit.advance(UnitState.SCHEDULING, self._clock.now)
+        self._queue.append(unit)
+        self._try_schedule()
+
+    def cancel_all(self) -> None:
+        """Cancel every queued unit (running units finish); used at teardown."""
+        while self._queue:
+            unit = self._queue.popleft()
+            unit.advance(UnitState.CANCELED, self._clock.now)
+        self._drained = True
+
+    # -- pipeline -----------------------------------------------------------
+
+    def _try_schedule(self) -> None:
+        """Start every queued unit that fits in the free cores (backfill)."""
+        if not self._queue:
+            return
+        still_waiting: Deque[ComputeUnit] = deque()
+        while self._queue:
+            unit = self._queue.popleft()
+            if (
+                unit.description.cores <= self.free_cores
+                and unit.description.gpus <= self.free_gpus
+            ):
+                self.free_cores -= unit.description.cores
+                self.free_gpus -= unit.description.gpus
+                self._running.add(unit)
+                self._begin_staging_in(unit)
+            else:
+                still_waiting.append(unit)
+        self._queue = still_waiting
+
+    def _staging_time(self, directives) -> float:
+        total = 0.0
+        for d in directives:
+            if d.action is StagingAction.LINK:
+                total += self._cluster.filesystem.link_time()
+            else:
+                total += self._cluster.filesystem.transfer_time(
+                    d.size_mb, concurrent=self._staging_in_flight
+                )
+        return total
+
+    def _begin_staging_in(self, unit: ComputeUnit) -> None:
+        unit.advance(UnitState.STAGING_INPUT, self._clock.now)
+        directives = unit.description.input_staging
+        delay = self._staging_time(directives)
+        self._staging_in_flight += len(directives)
+
+        def _done():
+            self._staging_in_flight -= len(directives)
+            for d in directives:
+                if d.target not in self.staging_area:
+                    self.staging_area.put(d.target, d.size_mb)
+                else:
+                    self.staging_area.get(d.target)
+            self._begin_launch(unit)
+
+        self._clock.schedule(delay, _done)
+
+    def _begin_launch(self, unit: ComputeUnit) -> None:
+        unit.advance(UnitState.AGENT_EXECUTING_PENDING, self._clock.now)
+        delay = self._cluster.launcher.launch_delay(
+            self._launch_pending, cores=unit.description.cores
+        )
+        self._launch_pending += 1
+
+        def _launched():
+            self._launch_pending -= 1
+            self._begin_execution(unit)
+
+        self._clock.schedule(delay, _launched)
+
+    def _begin_execution(self, unit: ComputeUnit) -> None:
+        unit.advance(UnitState.EXECUTING, self._clock.now)
+
+        fails, fraction = self.failure_model.draw(unit.description.metadata)
+        duration = unit.description.duration
+
+        if fails:
+            self._clock.schedule(
+                duration * fraction, lambda: self._fail(unit, UnitFailure("injected"))
+            )
+            return
+
+        # Run the real numerics now; the *result* is available when the unit
+        # completes on the virtual clock.  A raising work callable fails the
+        # unit exactly like an injected fault.
+        if unit.description.work is not None:
+            try:
+                unit.result = unit.description.work()
+            except Exception as exc:  # noqa: BLE001 - task isolation boundary
+                self._clock.schedule(
+                    0.0, lambda exc=exc: self._fail(unit, exc)
+                )
+                return
+
+        self._clock.schedule(duration, lambda: self._begin_staging_out(unit))
+
+    def _fail(self, unit: ComputeUnit, exc: BaseException) -> None:
+        unit.exception = exc
+        unit.advance(UnitState.FAILED, self._clock.now)
+        self._release(unit)
+
+    def _begin_staging_out(self, unit: ComputeUnit) -> None:
+        unit.advance(UnitState.STAGING_OUTPUT, self._clock.now)
+        directives = unit.description.output_staging
+        delay = self._staging_time(directives)
+        self._staging_in_flight += len(directives)
+
+        def _done():
+            self._staging_in_flight -= len(directives)
+            for d in directives:
+                self.staging_area.put(d.target, d.size_mb)
+            unit.advance(UnitState.DONE, self._clock.now)
+            self._release(unit)
+
+        self._clock.schedule(delay, _done)
+
+    def _release(self, unit: ComputeUnit) -> None:
+        self._running.discard(unit)
+        self.free_cores += unit.description.cores
+        self.free_gpus += unit.description.gpus
+        if self.free_cores > self.capacity or self.free_gpus > self.gpu_capacity:
+            raise SchedulerError("resource accounting corrupted (double release)")
+        self._try_schedule()

@@ -1,0 +1,175 @@
+"""Session: the user-facing entry point of the simulated pilot runtime.
+
+Mirrors RADICAL-Pilot's ``Session`` / ``PilotManager`` / ``UnitManager``
+split closely enough that the RepEx EMM code reads like real RP client
+code, while everything underneath runs on the virtual clock.
+
+Supports multiple concurrent pilots, which is how the paper's future-work
+item "RepEx can be extended to use multiple HPC resources simultaneously
+for a single REMD simulation" is realized here (see
+``examples/multi_cluster.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.pilot.events import EventQueue, SimulationError
+from repro.pilot.failures import FailureModel
+from repro.pilot.pilot import Pilot, PilotDescription, PilotState
+from repro.pilot.staging import StagingArea
+from repro.pilot.unit import ComputeUnit, UnitDescription
+
+
+class Session:
+    """Owns the virtual clock, the staging area, and all pilots."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        failure_model: Optional[FailureModel] = None,
+    ):
+        self.clock = EventQueue()
+        self.staging_area = StagingArea()
+        self.failure_model = failure_model
+        self.pilots: List[Pilot] = []
+        self._closed = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self.clock.now
+
+    # -- pilot management ----------------------------------------------------
+
+    def submit_pilot(self, description: PilotDescription) -> Pilot:
+        """Create and launch a pilot; returns immediately (pilot PENDING)."""
+        self._check_open()
+        pilot = Pilot(
+            description,
+            clock=self.clock,
+            staging_area=self.staging_area,
+            failure_model=self.failure_model,
+        )
+        self.pilots.append(pilot)
+        pilot.launch()
+        return pilot
+
+    def wait_pilot(self, pilot: Pilot, state: PilotState = PilotState.ACTIVE) -> None:
+        """Drive the clock until ``pilot`` reaches ``state``."""
+        self._check_open()
+        self.clock.run_until(lambda: pilot.state is state)
+
+    # -- unit management -----------------------------------------------------
+
+    def submit_units(
+        self,
+        pilot: Pilot,
+        descriptions: Sequence[UnitDescription],
+    ) -> List[ComputeUnit]:
+        """Submit unit descriptions to one pilot."""
+        self._check_open()
+        return pilot.submit_units(list(descriptions))
+
+    def submit_units_round_robin(
+        self,
+        pilots: Sequence[Pilot],
+        descriptions: Sequence[UnitDescription],
+    ) -> List[ComputeUnit]:
+        """Distribute units across several pilots (multi-resource execution)."""
+        self._check_open()
+        if not pilots:
+            raise ValueError("need at least one pilot")
+        units: List[ComputeUnit] = []
+        for i, desc in enumerate(descriptions):
+            units.extend(pilots[i % len(pilots)].submit_units([desc]))
+        return units
+
+    def wait_units(self, units: Iterable[ComputeUnit]) -> None:
+        """Drive the clock until every unit reaches a final state."""
+        self._check_open()
+        pending = list(units)
+        self.clock.run_until(lambda: all(u.done for u in pending))
+
+    def run_for(self, seconds: float) -> None:
+        """Advance the simulation by ``seconds`` of virtual time.
+
+        Events due within the window fire; the clock ends exactly at
+        ``now + seconds`` even if the queue empties earlier.
+        """
+        self._check_open()
+        deadline = self.clock.now + float(seconds)
+        while True:
+            upcoming = [e for e in self.clock._heap if not e.cancelled]
+            if not upcoming or min(e.time for e in upcoming) > deadline:
+                break
+            self.clock.step()
+        self.clock.advance_to(deadline)
+
+    # -- teardown --------------------------------------------------------------
+
+    def close(self) -> None:
+        """Cancel all pilots; the session cannot be used afterwards."""
+        if self._closed:
+            return
+        for pilot in self.pilots:
+            pilot.cancel()
+        self._closed = True
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SimulationError("session is closed")
+
+
+class PilotManager:
+    """Thin RP-API-shaped wrapper over :class:`Session` pilot methods."""
+
+    def __init__(self, session: Session):
+        self.session = session
+
+    def submit_pilots(self, descriptions) -> List[Pilot]:
+        """Submit one or many pilot descriptions."""
+        if isinstance(descriptions, PilotDescription):
+            descriptions = [descriptions]
+        return [self.session.submit_pilot(d) for d in descriptions]
+
+    def wait_pilots(self, pilots, state: PilotState = PilotState.ACTIVE) -> None:
+        """Wait for pilots to reach ``state``."""
+        if isinstance(pilots, Pilot):
+            pilots = [pilots]
+        for p in pilots:
+            self.session.wait_pilot(p, state)
+
+
+class UnitManager:
+    """Thin RP-API-shaped wrapper binding pilots to unit submission."""
+
+    def __init__(self, session: Session):
+        self.session = session
+        self._pilots: List[Pilot] = []
+
+    def add_pilots(self, pilots) -> None:
+        """Attach pilots this manager schedules onto."""
+        if isinstance(pilots, Pilot):
+            pilots = [pilots]
+        self._pilots.extend(pilots)
+
+    def submit_units(self, descriptions) -> List[ComputeUnit]:
+        """Submit descriptions round-robin across attached pilots."""
+        if not self._pilots:
+            raise RuntimeError("no pilots attached to this UnitManager")
+        if isinstance(descriptions, UnitDescription):
+            descriptions = [descriptions]
+        return self.session.submit_units_round_robin(self._pilots, descriptions)
+
+    def wait_units(self, units) -> None:
+        """Block (in virtual time) until all units are final."""
+        if isinstance(units, ComputeUnit):
+            units = [units]
+        self.session.wait_units(units)

@@ -1,0 +1,26 @@
+"""Shared utilities: physical constants, RNG streams, logging, tables."""
+
+from repro.utils.units import (
+    KB_KCAL_PER_MOL_K,
+    beta_from_temperature,
+    temperature_from_beta,
+    geometric_temperature_ladder,
+    uniform_ladder,
+    kcal_to_kj,
+    kj_to_kcal,
+)
+from repro.utils.rng import RNGRegistry, spawn_streams
+from repro.utils.tables import render_table
+
+__all__ = [
+    "KB_KCAL_PER_MOL_K",
+    "beta_from_temperature",
+    "temperature_from_beta",
+    "geometric_temperature_ladder",
+    "uniform_ladder",
+    "kcal_to_kj",
+    "kj_to_kcal",
+    "RNGRegistry",
+    "spawn_streams",
+    "render_table",
+]

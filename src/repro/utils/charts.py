@@ -1,0 +1,121 @@
+"""ASCII charts for benchmark output.
+
+The benchmarks print the same series the paper's figures plot; these
+helpers render them as horizontal bar charts and line plots in plain
+text, so `benchmarks/output/*.txt` can be eyeballed against the paper
+without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 50,
+    title: Optional[str] = None,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart, one row per label.
+
+    Raises
+    ------
+    ValueError
+        On mismatched lengths or negative values.
+    """
+    if len(labels) != len(values):
+        raise ValueError(
+            f"{len(labels)} labels but {len(values)} values"
+        )
+    for v in values:
+        if v < 0:
+            raise ValueError(f"bar values must be >= 0, got {v}")
+    vmax = max(values, default=0.0)
+    label_w = max((len(str(l)) for l in labels), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, v in zip(labels, values):
+        n = int(round(width * v / vmax)) if vmax > 0 else 0
+        lines.append(
+            f"{str(label).rjust(label_w)} |{'#' * n}{' ' * (width - n)}| "
+            f"{v:.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def line_plot(
+    x: Sequence[float],
+    series: Dict[str, Sequence[float]],
+    *,
+    width: int = 60,
+    height: int = 16,
+    title: Optional[str] = None,
+) -> str:
+    """Multi-series ASCII line plot (markers a, b, c, ... per series).
+
+    All series share the x grid; y is auto-scaled over all series.
+
+    Raises
+    ------
+    ValueError
+        On empty input or series/x length mismatch.
+    """
+    if not x or not series:
+        raise ValueError("need x values and at least one series")
+    for name, ys in series.items():
+        if len(ys) != len(x):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points, x has {len(x)}"
+            )
+    all_y = [y for ys in series.values() for y in ys]
+    y_lo, y_hi = min(all_y), max(all_y)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = min(x), max(x)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "abcdefghij"
+    for k, (name, ys) in enumerate(series.items()):
+        m = markers[k % len(markers)]
+        for xi, yi in zip(x, ys):
+            col = int(round((xi - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = int(
+                round((yi - y_lo) / (y_hi - y_lo) * (height - 1))
+            )
+            grid[height - 1 - row][col] = m
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: {y_lo:.2f} .. {y_hi:.2f}")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f"x: {x_lo:g} .. {x_hi:g}")
+    legend = "   ".join(
+        f"{markers[k % len(markers)]}={name}"
+        for k, name in enumerate(series)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend of a series using block characters."""
+    if not values:
+        return ""
+    blocks = " .:-=+*#%@"
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return blocks[5] * len(values)
+    out = []
+    for v in values:
+        idx = int((v - lo) / (hi - lo) * (len(blocks) - 1))
+        out.append(blocks[idx])
+    return "".join(out)

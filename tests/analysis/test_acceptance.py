@@ -1,0 +1,91 @@
+"""Tests for acceptance statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.acceptance import (
+    acceptance_by_dimension,
+    acceptance_by_pair,
+    round_trip_count,
+    summarize,
+)
+from repro.core import RepEx
+from repro.core.exchange.base import SwapProposal
+from repro.core.replica import CycleRecord, Replica
+from repro.core.results import SimulationResult
+
+from tests.conftest import small_tremd_config
+
+
+def prop(i, j, dim="t", accepted=True):
+    return SwapProposal(
+        rid_i=i, rid_j=j, dimension=dim, delta=0.0, accepted=accepted
+    )
+
+
+class TestByDimension:
+    def test_ratios(self):
+        proposals = [
+            prop(0, 1, "t", True),
+            prop(2, 3, "t", False),
+            prop(0, 1, "u", True),
+        ]
+        ratios = acceptance_by_dimension(proposals)
+        assert ratios["t"] == pytest.approx(0.5)
+        assert ratios["u"] == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert acceptance_by_dimension([]) == {}
+
+
+class TestByPair:
+    def test_pair_labels_unordered(self):
+        proposals = [prop(0, 1), prop(1, 0, accepted=False)]
+        windows = {0: 0, 1: 1}
+        ratios = acceptance_by_pair(proposals, "t", windows)
+        assert ratios[(0, 1)] == pytest.approx(0.5)
+
+    def test_other_dimension_ignored(self):
+        ratios = acceptance_by_pair([prop(0, 1, "u")], "t", {0: 0, 1: 1})
+        assert ratios == {}
+
+    def test_unknown_rids_skipped(self):
+        ratios = acceptance_by_pair([prop(7, 8)], "t", {0: 0})
+        assert ratios == {}
+
+
+class TestSummarize:
+    def test_matches_result_stats(self):
+        res = RepEx(small_tremd_config(n_cycles=4)).run()
+        s = summarize(res)
+        assert s["temperature"] == pytest.approx(
+            res.acceptance_ratio("temperature")
+        )
+
+
+class TestRoundTrips:
+    def _result_with_walk(self, windows_seq, n_windows=3):
+        rep = Replica(
+            rid=0, coords=np.zeros(2), param_indices={"t": windows_seq[0]}
+        )
+        for c, w in enumerate(windows_seq):
+            rep.history.append(
+                CycleRecord(c, "t", {"t": w}, -1.0, 0.0)
+            )
+        return SimulationResult(
+            title="x", type_string="T", pattern="synchronous",
+            execution_mode="I", n_replicas=1, pilot_cores=1, replicas=[rep],
+        )
+
+    def test_full_traversals_counted(self):
+        res = self._result_with_walk([0, 1, 2, 1, 0, 1, 2])
+        assert round_trip_count(res, "t", 3) == 3
+
+    def test_no_traversal(self):
+        res = self._result_with_walk([0, 1, 1, 0])
+        assert round_trip_count(res, "t", 3) == 0
+
+    def test_validation(self):
+        res = self._result_with_walk([0])
+        with pytest.raises(ValueError):
+            round_trip_count(res, "t", 1)

@@ -1,0 +1,147 @@
+"""Tests for the mixing/convergence diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import (
+    energy_autocorrelation,
+    mean_first_traversal,
+    mixing_report,
+    occupancy_matrix,
+    occupancy_uniformity,
+    replica_flow,
+    window_trajectory,
+)
+from repro.core import RepEx
+from repro.core.replica import CycleRecord, Replica
+from repro.core.results import SimulationResult
+
+from tests.conftest import small_tremd_config
+
+
+def replica_with_walk(rid, windows, energies=None):
+    rep = Replica(
+        rid=rid, coords=np.zeros(2), param_indices={"t": windows[0]}
+    )
+    for c, w in enumerate(windows):
+        e = energies[c] if energies else -100.0
+        rep.history.append(CycleRecord(c, "t", {"t": w}, e, 0.0))
+    return rep
+
+
+def fake_result(replicas):
+    return SimulationResult(
+        title="x", type_string="T", pattern="synchronous",
+        execution_mode="I", n_replicas=len(replicas),
+        pilot_cores=len(replicas), replicas=replicas,
+    )
+
+
+class TestOccupancy:
+    def test_window_trajectory(self):
+        rep = replica_with_walk(0, [0, 1, 2, 1])
+        assert window_trajectory(rep, "t") == [0, 1, 2, 1]
+        assert window_trajectory(rep, "other") == []
+
+    def test_matrix_counts(self):
+        res = fake_result([replica_with_walk(0, [0, 0, 1])])
+        occ = occupancy_matrix(res, "t", 2)
+        assert occ.tolist() == [[2, 1]]
+
+    def test_uniformity_perfect(self):
+        res = fake_result(
+            [replica_with_walk(0, [0, 1, 2, 3] * 5)]
+        )
+        assert occupancy_uniformity(res, "t", 4) == pytest.approx(1.0)
+
+    def test_uniformity_stuck_replica(self):
+        res = fake_result([replica_with_walk(0, [2] * 10)])
+        assert occupancy_uniformity(res, "t", 4) == pytest.approx(0.0)
+
+    def test_matrix_validates(self):
+        res = fake_result([])
+        with pytest.raises(ValueError):
+            occupancy_matrix(res, "t", 0)
+
+
+class TestReplicaFlow:
+    def test_ideal_linear_flow_endpoints(self):
+        # replica ping-pongs across a 3-rung ladder
+        res = fake_result(
+            [replica_with_walk(0, [0, 1, 2, 1, 0, 1, 2] * 4)]
+        )
+        f = replica_flow(res, "t", 3)
+        assert f[0] == pytest.approx(1.0)  # always labeled up at rung 0
+        assert f[2] == pytest.approx(0.0)  # always labeled down at top
+        assert 0.0 < f[1] < 1.0
+
+    def test_unvisited_window_nan(self):
+        res = fake_result([replica_with_walk(0, [0, 0])])
+        f = replica_flow(res, "t", 3)
+        assert np.isnan(f[1])
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            replica_flow(fake_result([]), "t", 1)
+
+
+class TestTraversal:
+    def test_simple_traversal(self):
+        res = fake_result([replica_with_walk(0, [0, 1, 2])])
+        assert mean_first_traversal(res, "t", 3) == pytest.approx(2.0)
+
+    def test_downward_traversal(self):
+        res = fake_result([replica_with_walk(0, [2, 1, 1, 0])])
+        assert mean_first_traversal(res, "t", 3) == pytest.approx(3.0)
+
+    def test_no_traversal(self):
+        res = fake_result([replica_with_walk(0, [1, 1, 1])])
+        assert mean_first_traversal(res, "t", 3) is None
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self):
+        rng = np.random.default_rng(0)
+        energies = list(rng.normal(size=50))
+        res = fake_result(
+            [replica_with_walk(0, [0] * 50, energies=energies)]
+        )
+        acf = energy_autocorrelation(res, max_lag=5)
+        assert acf[0] == pytest.approx(1.0)
+
+    def test_iid_decorrelates(self):
+        rng = np.random.default_rng(1)
+        reps = [
+            replica_with_walk(
+                i, [0] * 200, energies=list(rng.normal(size=200))
+            )
+            for i in range(4)
+        ]
+        acf = energy_autocorrelation(fake_result(reps), max_lag=3)
+        assert abs(acf[1]) < 0.2
+
+    def test_short_history_safe(self):
+        res = fake_result([replica_with_walk(0, [0, 1])])
+        acf = energy_autocorrelation(res, max_lag=10)
+        assert acf[0] == 1.0
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            energy_autocorrelation(fake_result([]), max_lag=-1)
+
+
+class TestEndToEnd:
+    def test_mixing_report_from_real_run(self):
+        cfg = small_tremd_config(
+            n_cycles=20,
+            dimensions=[
+                __import__(
+                    "repro.core.config", fromlist=["DimensionSpec"]
+                ).DimensionSpec("temperature", 4, 290.0, 310.0)
+            ],
+        )
+        res = RepEx(cfg).run()
+        report = mixing_report(res, "temperature", 4)
+        assert 0.0 < report["occupancy_uniformity"] <= 1.0
+        assert report["acceptance"] > 0.2
+        assert report["traversals"] >= 0

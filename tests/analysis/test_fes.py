@@ -1,0 +1,142 @@
+"""Tests for free-energy-surface utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fes import (
+    ascii_contour,
+    collect_window_samples,
+    find_basins,
+    free_energy_surface,
+)
+from repro.analysis.wham import Grid2D, WindowData, wham_2d
+from repro.core.exchange.umbrella import UmbrellaDimension
+from repro.core.replica import CycleRecord, Replica
+
+
+class TestCollectWindowSamples:
+    def _replica_with_history(self, rid, t_idx, u_idx, n_cycles=3):
+        rep = Replica(
+            rid=rid,
+            coords=np.zeros(2),
+            param_indices={"temperature": t_idx, "umbrella_phi": u_idx},
+        )
+        for c in range(n_cycles):
+            rep.history.append(
+                CycleRecord(
+                    cycle=c,
+                    dimension="temperature",
+                    param_indices={
+                        "temperature": t_idx,
+                        "umbrella_phi": u_idx,
+                    },
+                    potential_energy=-1.0,
+                    restraint_energy=0.0,
+                    trajectory=np.full((5, 2), float(rid)),
+                )
+            )
+        return rep
+
+    def test_collects_matching_temperature_only(self):
+        u_dim = UmbrellaDimension.uniform(4, angle="phi")
+        reps = [
+            self._replica_with_history(0, 0, 0),
+            self._replica_with_history(1, 1, 0),  # different temperature
+            self._replica_with_history(2, 0, 1),
+        ]
+        windows = collect_window_samples(
+            reps,
+            temperature_dim="temperature",
+            umbrella_dims=["umbrella_phi"],
+            umbrella_builders={"umbrella_phi": u_dim},
+            temperature_index=0,
+        )
+        assert len(windows) == 2  # u windows 0 and 1 at T index 0
+        assert windows[0].samples.shape == (15, 2)
+
+    def test_skip_cycles(self):
+        u_dim = UmbrellaDimension.uniform(4, angle="phi")
+        reps = [self._replica_with_history(0, 0, 0, n_cycles=4)]
+        windows = collect_window_samples(
+            reps,
+            temperature_dim="temperature",
+            umbrella_dims=["umbrella_phi"],
+            umbrella_builders={"umbrella_phi": u_dim},
+            temperature_index=0,
+            skip_cycles=2,
+        )
+        assert windows[0].samples.shape == (10, 2)
+
+    def test_restraints_attached(self):
+        u_dim = UmbrellaDimension.uniform(4, angle="phi", force_constant=0.01)
+        reps = [self._replica_with_history(0, 0, 2)]
+        windows = collect_window_samples(
+            reps,
+            temperature_dim="temperature",
+            umbrella_dims=["umbrella_phi"],
+            umbrella_builders={"umbrella_phi": u_dim},
+            temperature_index=0,
+        )
+        (w,) = windows
+        # uniform(4) windows are [0, 90, 180, 270]; index 2 -> 180
+        assert w.restraints[0].center_deg == pytest.approx(180.0)
+
+
+class TestFindBasins:
+    def test_single_gaussian_basin_found(self):
+        rng = np.random.default_rng(0)
+        samples = np.stack(
+            [
+                rng.normal(np.radians(-60), 0.25, 40000),
+                rng.normal(np.radians(-45), 0.25, 40000),
+            ],
+            axis=1,
+        )
+        res = wham_2d(
+            [WindowData(restraints=(), samples=samples)],
+            300.0,
+            grid=Grid2D(n_bins=24),
+        )
+        basins = find_basins(res, threshold_kcal=1.0)
+        assert basins
+        phi, psi, fe = basins[0]
+        assert fe == pytest.approx(0.0)
+        assert abs(phi - (-60.0)) < 20.0
+        assert abs(psi - (-45.0)) < 20.0
+
+
+class TestAsciiContour:
+    def test_render_dimensions(self):
+        rng = np.random.default_rng(1)
+        samples = rng.normal(0, 0.5, size=(10000, 2))
+        res = wham_2d(
+            [WindowData(restraints=(), samples=samples)],
+            300.0,
+            grid=Grid2D(n_bins=12),
+        )
+        art = ascii_contour(res)
+        lines = art.splitlines()
+        assert len(lines) == 12
+        assert all(len(line) == 12 for line in lines)
+
+    def test_basin_darker_than_rim(self):
+        rng = np.random.default_rng(2)
+        samples = rng.normal(0, 0.3, size=(20000, 2))
+        res = wham_2d(
+            [WindowData(restraints=(), samples=samples)],
+            300.0,
+            grid=Grid2D(n_bins=11),
+        )
+        art = ascii_contour(res).splitlines()
+        center_char = art[5][5]
+        assert center_char in "%@#"
+
+
+class TestFreeEnergySurface:
+    def test_wrapper(self):
+        rng = np.random.default_rng(3)
+        samples = rng.uniform(-np.pi, np.pi, size=(5000, 2))
+        res = free_energy_surface(
+            [WindowData(restraints=(), samples=samples)], 300.0, n_bins=8
+        )
+        assert res.free_energy.shape == (8, 8)

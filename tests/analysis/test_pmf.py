@@ -1,0 +1,132 @@
+"""Tests for 1-D PMF extraction, including the REMD-vs-analytic check."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.pmf import analytic_pmf, pmf_from_surface, pmf_rmsd
+from repro.analysis.wham import Grid2D, WindowData, wham_2d
+from repro.md.forcefield import ForceField
+from repro.md.integrators import BrownianIntegrator
+from repro.utils.units import KB_KCAL_PER_MOL_K, beta_from_temperature
+
+
+class TestAnalyticPMF:
+    def test_min_shifted(self):
+        centers, pmf = analytic_pmf(ForceField(), 300.0, n_bins=24)
+        assert pmf.min() == pytest.approx(0.0)
+        assert len(centers) == 24
+
+    def test_minimum_in_negative_phi_region(self):
+        """Both physical basins (alpha-R, beta) sit at phi < 0."""
+        centers, pmf = analytic_pmf(ForceField(), 300.0, n_bins=36)
+        phi_min = np.degrees(centers[np.argmin(pmf)])
+        assert -170.0 < phi_min < -20.0
+
+    def test_alpha_l_region_penalized(self):
+        centers, pmf = analytic_pmf(ForceField(), 300.0, n_bins=36)
+        phi_deg = np.degrees(centers)
+        left = pmf[(phi_deg > -120) & (phi_deg < -20)].min()
+        right = pmf[(phi_deg > 20) & (phi_deg < 120)].min()
+        assert right > left + 0.5
+
+    def test_axis_validation(self):
+        with pytest.raises(ValueError):
+            analytic_pmf(ForceField(), 300.0, axis="chi")
+
+
+class TestPMFFromSurface:
+    @staticmethod
+    def _sampled_rmsd(temperature, n_steps):
+        ff = ForceField()
+        integ = BrownianIntegrator(ff)
+        rng = np.random.default_rng(0)
+        x0 = rng.uniform(-np.pi, np.pi, size=(128, 2))
+        _, samples = integ.run(
+            x0, n_steps, temperature, rng, sample_stride=20
+        )
+        samples = samples[len(samples) // 5 :].reshape(-1, 2)
+        surface = wham_2d(
+            [WindowData(restraints=(), samples=samples)],
+            temperature,
+            grid=Grid2D(n_bins=24),
+        )
+        _, pmf = pmf_from_surface(surface, temperature, axis="phi")
+        _, pmf_ref = analytic_pmf(
+            ff, temperature, axis="phi", n_bins=24
+        )
+        return pmf_rmsd(pmf, pmf_ref, cutoff_kcal=5.0)
+
+    def test_direct_sampling_recovers_analytic_pmf_at_high_t(self):
+        """At 600 K barriers are crossable: long unbiased sampling ->
+        WHAM -> 1-D PMF must match direct quadrature of the same force
+        field.  Closes the loop between dynamics, estimator and
+        potential."""
+        assert self._sampled_rmsd(600.0, 20000) < 0.25  # kcal/mol
+
+    def test_direct_md_traps_at_low_t(self):
+        """At 450 K direct MD stays trapped in its initial basins and the
+        sampled PMF mis-weights them — the quantitative version of the
+        paper's motivation for replica exchange."""
+        rmsd_low = self._sampled_rmsd(450.0, 20000)
+        rmsd_high = self._sampled_rmsd(600.0, 20000)
+        assert rmsd_low > 2.0 * rmsd_high
+
+    def test_axis_marginalization_differs(self):
+        rng = np.random.default_rng(1)
+        # anisotropic cloud: tight in phi, wide in psi
+        samples = np.stack(
+            [rng.normal(0, 0.2, 20000), rng.normal(0, 1.0, 20000)],
+            axis=1,
+        )
+        surface = wham_2d(
+            [WindowData(restraints=(), samples=samples)],
+            300.0,
+            grid=Grid2D(n_bins=16),
+        )
+        _, pmf_phi = pmf_from_surface(surface, 300.0, axis="phi")
+        _, pmf_psi = pmf_from_surface(surface, 300.0, axis="psi")
+        # the tight direction has the steeper (larger) finite PMF range
+        assert (
+            pmf_phi[np.isfinite(pmf_phi)].max()
+            > pmf_psi[np.isfinite(pmf_psi)].max()
+        )
+
+    def test_validation(self):
+        rng = np.random.default_rng(2)
+        surface = wham_2d(
+            [
+                WindowData(
+                    restraints=(),
+                    samples=rng.uniform(-3, 3, size=(500, 2)),
+                )
+            ],
+            300.0,
+            grid=Grid2D(n_bins=8),
+        )
+        with pytest.raises(ValueError):
+            pmf_from_surface(surface, 300.0, axis="theta")
+
+
+class TestRMSD:
+    def test_identical_is_zero(self):
+        pmf = np.array([0.0, 1.0, 2.0])
+        assert pmf_rmsd(pmf, pmf) == pytest.approx(0.0)
+
+    def test_constant_offset_ignored(self):
+        a = np.array([0.0, 1.0, 2.0])
+        assert pmf_rmsd(a, a + 3.0) == pytest.approx(0.0)
+
+    def test_cutoff_excludes_high_bins(self):
+        a = np.array([0.0, 1.0, 100.0])
+        b = np.array([0.0, 1.0, 50.0])
+        assert pmf_rmsd(a, b, cutoff_kcal=6.0) == pytest.approx(0.0)
+
+    def test_no_common_bins_raises(self):
+        a = np.array([np.inf, 10.0])
+        b = np.array([0.0, np.inf])
+        with pytest.raises(ValueError):
+            pmf_rmsd(a, b)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pmf_rmsd(np.zeros(3), np.zeros(4))

@@ -1,0 +1,113 @@
+"""Tests for the Eq. 2-4 scaling metrics."""
+
+import pytest
+
+from repro.analysis.timings import (
+    ScalingPoint,
+    mremd_cycle_decomposition,
+    strong_scaling_efficiency,
+    utilization_percent,
+    weak_scaling_efficiency,
+)
+from repro.core import RepEx
+from repro.core.results import CycleTiming, SimulationResult
+
+from tests.conftest import small_tremd_config
+
+
+class TestWeakScaling:
+    def test_first_point_is_100(self):
+        eff = weak_scaling_efficiency([10.0, 12.0, 15.0])
+        assert eff[0] == 100.0
+
+    def test_slower_cycles_lower_efficiency(self):
+        eff = weak_scaling_efficiency([10.0, 20.0])
+        assert eff[1] == pytest.approx(50.0)
+
+    def test_perfect_scaling(self):
+        eff = weak_scaling_efficiency([10.0, 10.0, 10.0])
+        assert eff == [100.0, 100.0, 100.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            weak_scaling_efficiency([])
+        with pytest.raises(ValueError):
+            weak_scaling_efficiency([10.0, 0.0])
+
+
+class TestStrongScaling:
+    def test_perfect_halving(self):
+        eff = strong_scaling_efficiency(
+            [100.0, 50.0, 25.0], [100, 200, 400]
+        )
+        assert eff == pytest.approx([100.0, 100.0, 100.0])
+
+    def test_sublinear_speedup_drops(self):
+        eff = strong_scaling_efficiency([100.0, 80.0], [100, 200])
+        assert eff[1] == pytest.approx(100.0 * 100 / (80 * 200) * 100)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            strong_scaling_efficiency([1.0], [1, 2])
+        with pytest.raises(ValueError):
+            strong_scaling_efficiency([], [])
+        with pytest.raises(ValueError):
+            strong_scaling_efficiency([1.0], [0])
+
+
+class TestUtilization:
+    def test_percent_of_result(self):
+        res = RepEx(small_tremd_config()).run()
+        assert utilization_percent(res) == pytest.approx(
+            100.0 * res.utilization()
+        )
+
+
+class TestScalingPoint:
+    def test_from_result(self):
+        res = RepEx(small_tremd_config()).run()
+        pt = ScalingPoint.from_result(res, cores=4)
+        assert pt.cores == 4
+        assert pt.replicas == 4
+        assert pt.t_md > 0
+        assert pt.avg_cycle_time >= pt.t_md
+
+
+def fake_result(dims, n_full_cycles):
+    timings = []
+    c = 0
+    for _ in range(n_full_cycles):
+        for d in dims:
+            timings.append(
+                CycleTiming(
+                    cycle=c, dimension=d, t_md=100.0, t_ex=5.0,
+                    t_data=1.0, t_repex=1.0, t_rp=2.0, span=110.0,
+                    t_start=0.0, t_end=110.0,
+                )
+            )
+            c += 1
+    return SimulationResult(
+        title="f", type_string="TSU", pattern="synchronous",
+        execution_mode="I", n_replicas=8, pilot_cores=8,
+        cycle_timings=timings,
+    )
+
+
+class TestMremdDecomposition:
+    def test_md_times_sum_over_dims(self):
+        res = fake_result(["t", "s", "u"], 2)
+        decomp = mremd_cycle_decomposition(res, 3)
+        assert decomp["t_md"] == pytest.approx(300.0)
+        assert decomp["t_ex[s]"] == pytest.approx(5.0)
+        assert decomp["span"] == pytest.approx(330.0)
+
+    def test_incomplete_cycle_dropped(self):
+        res = fake_result(["t", "s", "u"], 2)
+        res.cycle_timings.append(res.cycle_timings[0])  # a dangling 1-D cycle
+        decomp = mremd_cycle_decomposition(res, 3)
+        assert decomp["t_md"] == pytest.approx(300.0)
+
+    def test_no_complete_cycles_raises(self):
+        res = fake_result(["t"], 1)
+        with pytest.raises(ValueError):
+            mremd_cycle_decomposition(res, 3)

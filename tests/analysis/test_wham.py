@@ -1,0 +1,141 @@
+"""Tests for the 2-D WHAM solver."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.wham import Grid2D, WindowData, wham_2d
+from repro.md.forcefield import UmbrellaRestraint
+from repro.utils.units import KB_KCAL_PER_MOL_K
+
+
+class TestGrid2D:
+    def test_edges_and_centers(self):
+        g = Grid2D(n_bins=4)
+        assert len(g.edges) == 5
+        assert len(g.centers) == 4
+        assert g.edges[0] == pytest.approx(-np.pi)
+        assert g.edges[-1] == pytest.approx(np.pi)
+
+    def test_histogram_counts(self):
+        g = Grid2D(n_bins=2)
+        samples = np.array([[-1.0, -1.0], [1.0, 1.0], [1.0, 1.0]])
+        h = g.histogram(samples)
+        assert h.sum() == 3
+        assert h[0, 0] == 1
+        assert h[1, 1] == 2
+
+    def test_histogram_shape_validated(self):
+        with pytest.raises(ValueError):
+            Grid2D().histogram(np.zeros((3, 3)))
+
+    def test_nbins_validated(self):
+        with pytest.raises(ValueError):
+            Grid2D(n_bins=1)
+
+
+class TestWindowData:
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            WindowData(restraints=(), samples=np.zeros((2, 5)))
+
+
+class TestWHAM:
+    def test_unbiased_uniform_sampling_gives_flat_surface(self):
+        """One window, no bias, uniform samples => flat free energy."""
+        rng = np.random.default_rng(0)
+        samples = rng.uniform(-np.pi, np.pi, size=(60000, 2))
+        res = wham_2d(
+            [WindowData(restraints=(), samples=samples)],
+            300.0,
+            grid=Grid2D(n_bins=8),
+        )
+        assert res.converged
+        fe = res.free_energy
+        assert np.isfinite(fe).all()
+        assert fe.max() < 0.15  # kcal/mol wiggle from sampling noise
+
+    def test_biased_sampling_recovers_known_free_energy(self):
+        """Samples from exp(-beta(V+W)) with known V: WHAM must recover V.
+
+        V is a 1-D double well in phi; two umbrella windows cover the two
+        halves; the unbiased surface must show the well depths correctly.
+        """
+        rng = np.random.default_rng(1)
+        t = 300.0
+        beta = 1.0 / (KB_KCAL_PER_MOL_K * t)
+        k = 0.0002  # kcal/mol/deg^2 -> sigma ~ 39 degrees
+
+        def sample_window(center_deg, n):
+            # target: V = 0 (flat) + umbrella; exact Gaussian in angle
+            sigma_deg = np.sqrt(1.0 / (2 * beta * k))
+            phi = np.radians(
+                rng.normal(center_deg, sigma_deg, size=n)
+            )
+            psi = rng.uniform(-np.pi, np.pi, size=n)
+            return np.stack(
+                [(phi + np.pi) % (2 * np.pi) - np.pi, psi], axis=1
+            )
+
+        grid = Grid2D(n_bins=12)
+        windows = [
+            WindowData(
+                restraints=(UmbrellaRestraint("phi", c, k),),
+                samples=sample_window(c, 40000),
+            )
+            for c in (-120.0, -60.0, 0.0, 60.0, 120.0, 180.0)
+        ]
+        res = wham_2d(windows, t, grid=grid)
+        # underlying V is flat: unbiased FE must be flat over the
+        # well-sampled bins (enough counts for the estimate to be tight)
+        counts = sum(grid.histogram(w.samples) for w in windows)
+        well_sampled = counts > 300
+        fe = res.free_energy
+        assert well_sampled.sum() > 40
+        spread = fe[well_sampled].max() - fe[well_sampled].min()
+        assert spread < 0.5
+
+    def test_min_shifted_to_zero(self):
+        rng = np.random.default_rng(2)
+        samples = rng.normal(0.0, 0.4, size=(20000, 2))
+        res = wham_2d(
+            [WindowData(restraints=(), samples=samples)], 300.0,
+            grid=Grid2D(n_bins=10),
+        )
+        finite = res.free_energy[np.isfinite(res.free_energy)]
+        assert finite.min() == pytest.approx(0.0)
+
+    def test_unvisited_bins_are_inf(self):
+        samples = np.zeros((100, 2))  # all in one bin
+        res = wham_2d(
+            [WindowData(restraints=(), samples=samples)], 300.0,
+            grid=Grid2D(n_bins=6),
+        )
+        assert np.isinf(res.free_energy).any()
+        assert np.isfinite(res.free_energy).any()
+
+    def test_empty_windows_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            wham_2d(
+                [WindowData(restraints=(), samples=np.empty((0, 2)))],
+                300.0,
+            )
+        with pytest.raises(ValueError, match="window"):
+            wham_2d([], 300.0)
+
+    def test_f_k_gauge(self):
+        rng = np.random.default_rng(3)
+        windows = [
+            WindowData(
+                restraints=(UmbrellaRestraint("phi", c, 0.001),),
+                samples=np.stack(
+                    [
+                        rng.normal(np.radians(c), 0.3, 5000),
+                        rng.uniform(-np.pi, np.pi, 5000),
+                    ],
+                    axis=1,
+                ),
+            )
+            for c in (0.0, 45.0)
+        ]
+        res = wham_2d(windows, 300.0, grid=Grid2D(n_bins=10))
+        assert res.f_k[0] == pytest.approx(1.0)  # gauge-fixed

@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DimensionSpec,
+    PatternSpec,
+    ResourceSpec,
+    SimulationConfig,
+)
+from repro.md import deterministic_model
+from repro.pilot import EventQueue, Session
+
+
+@pytest.fixture
+def clock():
+    """A fresh virtual clock."""
+    return EventQueue()
+
+
+@pytest.fixture
+def session():
+    """A fresh simulation session."""
+    with Session() as s:
+        yield s
+
+
+@pytest.fixture
+def rng():
+    """A seeded NumPy generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def quiet_perf():
+    """Performance model without jitter (exact arithmetic)."""
+    return deterministic_model()
+
+
+def small_tremd_config(**overrides) -> SimulationConfig:
+    """A fast 1D T-REMD config used across core tests."""
+    defaults = dict(
+        title="test-tremd",
+        dimensions=[DimensionSpec("temperature", 4, 273.0, 373.0)],
+        resource=ResourceSpec("supermic", cores=4),
+        n_cycles=2,
+        steps_per_cycle=6000,
+        numeric_steps=20,
+        sample_stride=5,
+        seed=7,
+    )
+    defaults.update(overrides)
+    return SimulationConfig(**defaults)
+
+
+@pytest.fixture
+def tremd_config():
+    """Default small T-REMD configuration."""
+    return small_tremd_config()

@@ -1,0 +1,203 @@
+"""Tests for adaptive sampling (replica termination + spawning)."""
+
+import numpy as np
+import pytest
+
+from repro.core import RepEx
+from repro.core.adaptive import (
+    AdaptiveSpec,
+    CloneDonorPolicy,
+    EnergyPlateauCriterion,
+    NeverTerminate,
+    NoSpawn,
+    build_adaptive,
+)
+from repro.core.config import (
+    ConfigError,
+    DimensionSpec,
+    PatternSpec,
+    ResourceSpec,
+)
+from repro.core.replica import CycleRecord, Replica, ReplicaStatus
+
+from tests.conftest import small_tremd_config
+
+
+def replica_with_energies(rid, energies):
+    rep = Replica(
+        rid=rid, coords=np.zeros(2), param_indices={"temperature": 0}
+    )
+    for c, e in enumerate(energies):
+        rep.history.append(
+            CycleRecord(c, "temperature", {"temperature": 0}, e, 0.0)
+        )
+    return rep
+
+
+class TestEnergyPlateauCriterion:
+    def test_flat_history_terminates(self):
+        crit = EnergyPlateauCriterion(window=3, tolerance=0.5)
+        rep = replica_with_energies(0, [10.0, 10.1, 10.05, 10.02])
+        assert crit.should_terminate(rep)
+
+    def test_noisy_history_continues(self):
+        crit = EnergyPlateauCriterion(window=3, tolerance=0.5)
+        rep = replica_with_energies(0, [10.0, 14.0, 7.0, 12.0])
+        assert not crit.should_terminate(rep)
+
+    def test_short_history_continues(self):
+        crit = EnergyPlateauCriterion(window=4, tolerance=0.5)
+        rep = replica_with_energies(0, [10.0, 10.0])
+        assert not crit.should_terminate(rep)
+
+    def test_failed_cycles_ignored(self):
+        crit = EnergyPlateauCriterion(window=3, tolerance=0.5)
+        rep = replica_with_energies(0, [10.0, 10.0, 10.0])
+        rep.history[1].failed = True
+        assert not crit.should_terminate(rep)  # only 2 usable cycles
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyPlateauCriterion(window=1)
+        with pytest.raises(ValueError):
+            EnergyPlateauCriterion(tolerance=-1.0)
+
+
+class TestSpawnPolicies:
+    def test_clone_donor_keeps_lattice_point(self, rng):
+        retired = replica_with_energies(0, [1.0])
+        retired.param_indices = {"temperature": 3}
+        donor = Replica(
+            rid=1, coords=np.array([1.0, -1.0]),
+            param_indices={"temperature": 5},
+        )
+        fresh = CloneDonorPolicy().spawn(retired, [donor], 7, rng)
+        assert fresh.rid == 7
+        assert fresh.param_indices == {"temperature": 3}
+        assert np.allclose(fresh.coords, donor.coords, atol=0.5)
+
+    def test_clone_falls_back_to_retiree(self, rng):
+        retired = replica_with_energies(0, [1.0])
+        fresh = CloneDonorPolicy().spawn(retired, [], 1, rng)
+        assert fresh is not None
+
+    def test_no_spawn(self, rng):
+        assert NoSpawn().spawn(replica_with_energies(0, []), [], 1, rng) is None
+
+
+class TestBuildAdaptive:
+    def test_disabled_is_inert(self):
+        crit, policy = build_adaptive(AdaptiveSpec(enabled=False))
+        assert isinstance(crit, NeverTerminate)
+        assert isinstance(policy, NoSpawn)
+
+    def test_enabled_with_tolerance(self):
+        crit, policy = build_adaptive(
+            AdaptiveSpec(enabled=True, energy_tolerance=1.0)
+        )
+        assert isinstance(crit, EnergyPlateauCriterion)
+        assert isinstance(policy, CloneDonorPolicy)
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveSpec(min_cycles=0)
+        with pytest.raises(ValueError):
+            AdaptiveSpec(max_spawns=-1)
+
+
+def adaptive_config(**over):
+    defaults = dict(
+        dimensions=[DimensionSpec("temperature", 6, 290.0, 315.0)],
+        resource=ResourceSpec("supermic", cores=6),
+        pattern=PatternSpec(kind="asynchronous", window_seconds=60.0),
+        adaptive=AdaptiveSpec(
+            enabled=True,
+            min_cycles=2,
+            energy_tolerance=1000.0,  # generous: retire fast in tests
+            spawn_replacements=True,
+        ),
+        n_cycles=6,
+        numeric_steps=20,
+    )
+    defaults.update(over)
+    return small_tremd_config(**defaults)
+
+
+class TestAdaptiveRuns:
+    def test_requires_async_pattern(self):
+        with pytest.raises(ConfigError, match="asynchronous"):
+            adaptive_config(pattern=PatternSpec(kind="synchronous"))
+
+    def test_replicas_retire_early(self):
+        res = RepEx(adaptive_config()).run()
+        assert res.n_retired > 0
+        retired = [
+            r for r in res.replicas if r.status is ReplicaStatus.RETIRED
+        ]
+        assert len(retired) == res.n_retired
+        for rep in retired:
+            assert len(rep.history) < 6
+
+    def test_spawns_refill_lattice(self):
+        res = RepEx(adaptive_config()).run()
+        assert res.n_spawned > 0
+        # active replicas still tile the ladder (retired + spawned balance)
+        active = [
+            r for r in res.replicas if r.status is ReplicaStatus.ACTIVE
+        ]
+        windows = sorted(r.window("temperature") for r in active)
+        assert windows == list(range(6))
+
+    def test_no_spawn_variant_shrinks_ensemble(self):
+        res = RepEx(
+            adaptive_config(
+                adaptive=AdaptiveSpec(
+                    enabled=True,
+                    min_cycles=2,
+                    energy_tolerance=1000.0,
+                    spawn_replacements=False,
+                )
+            )
+        ).run()
+        assert res.n_retired > 0
+        assert res.n_spawned == 0
+        active = [
+            r for r in res.replicas if r.status is ReplicaStatus.ACTIVE
+        ]
+        assert len(active) < 6
+
+    def test_spawn_cap_respected(self):
+        res = RepEx(
+            adaptive_config(
+                adaptive=AdaptiveSpec(
+                    enabled=True,
+                    min_cycles=2,
+                    energy_tolerance=1000.0,
+                    spawn_replacements=True,
+                    max_spawns=1,
+                )
+            )
+        ).run()
+        assert res.n_spawned <= 1
+
+    def test_strict_tolerance_never_retires(self):
+        res = RepEx(
+            adaptive_config(
+                adaptive=AdaptiveSpec(
+                    enabled=True,
+                    min_cycles=2,
+                    energy_tolerance=1e-12,
+                )
+            )
+        ).run()
+        assert res.n_retired == 0
+        for rep in res.replicas:
+            assert len(rep.history) == 6
+
+    def test_config_roundtrip_with_adaptive(self):
+        cfg = adaptive_config()
+        from repro.core.config import SimulationConfig
+
+        again = SimulationConfig.from_dict(cfg.to_dict())
+        assert again.adaptive.enabled
+        assert again.adaptive.energy_tolerance == 1000.0

@@ -1,0 +1,49 @@
+"""Tests for the Table 1 feature registry."""
+
+from repro.core.capabilities import (
+    LITERATURE_ROWS,
+    TABLE1_HEADERS,
+    feature_matrix,
+    repex_row,
+    table1_rows,
+)
+
+
+class TestTable1:
+    def test_seven_packages(self):
+        rows = table1_rows()
+        assert len(rows) == 7  # six literature + RepEx
+
+    def test_row_width_matches_headers(self):
+        for row in table1_rows():
+            assert len(row) == len(TABLE1_HEADERS)
+
+    def test_repex_row_probes_engines(self):
+        row = repex_row()
+        assert "Amber" in row.md_engines
+        assert "NAMD" in row.md_engines
+
+    def test_repex_supports_both_patterns(self):
+        assert repex_row().re_patterns == "sync, async"
+
+    def test_repex_is_only_3plus_dim_package(self):
+        matrix = feature_matrix()
+        for name, feats in matrix.items():
+            if name == "RepEx":
+                assert int(feats.n_dims) >= 3
+            else:
+                assert int(feats.n_dims) <= 2
+
+    def test_literature_values_match_paper(self):
+        matrix = feature_matrix()
+        assert matrix["CHARMM"].max_replicas == "4096"
+        assert matrix["Charm++/NAMD MCA"].max_cpu_cores == "524288"
+        assert matrix["VCG async"].re_patterns == "sync, async"
+        assert matrix["LAMMPS"].max_replicas == "100"
+
+    def test_only_vcg_and_repex_async(self):
+        matrix = feature_matrix()
+        async_pkgs = {
+            n for n, f in matrix.items() if "async" in f.re_patterns
+        }
+        assert async_pkgs == {"VCG async", "RepEx"}

@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def config_file(tmp_path):
+    cfg = {
+        "title": "cli-test",
+        "resource": {"name": "supermic", "cores": 4},
+        "dimensions": [
+            {
+                "kind": "temperature",
+                "n_windows": 4,
+                "min_value": 273.0,
+                "max_value": 373.0,
+            }
+        ],
+        "n_cycles": 2,
+        "steps_per_cycle": 6000,
+        "numeric_steps": 10,
+        "seed": 1,
+    }
+    path = tmp_path / "config.json"
+    path.write_text(json.dumps(cfg))
+    return path
+
+
+class TestRun:
+    def test_run_prints_summary(self, config_file, capsys):
+        rc = main(["run", str(config_file)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "cli-test" in out
+        assert "average cycle time" in out
+        assert "acceptance[temperature]" in out
+
+    def test_run_writes_json_summary(self, config_file, tmp_path, capsys):
+        out_path = tmp_path / "summary.json"
+        rc = main(["run", str(config_file), "-o", str(out_path)])
+        assert rc == 0
+        summary = json.loads(out_path.read_text())
+        assert summary["title"] == "cli-test"
+        assert len(summary["cycles"]) == 2
+        assert 0.0 < summary["utilization"] <= 1.0
+
+    def test_run_missing_file(self, capsys):
+        rc = main(["run", "/does/not/exist.json"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_run_invalid_config(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"dimensions": []}')
+        rc = main(["run", str(bad)])
+        assert rc == 2
+
+
+class TestCheck:
+    def test_valid_config(self, config_file, capsys):
+        rc = main(["check", str(config_file)])
+        assert rc == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_invalid_config(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"n_cylces": 3}')
+        rc = main(["check", str(bad)])
+        assert rc == 2
+        assert "invalid" in capsys.readouterr().err
+
+
+class TestInfoCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "RepEx" in out
+        assert "CHARMM" in out
+
+    def test_engines(self, capsys):
+        assert main(["engines"]) == 0
+        out = capsys.readouterr().out
+        assert "amber" in out
+        assert "namd" in out
+
+
+class TestExampleConfigs:
+    @pytest.mark.parametrize(
+        "name", ["tremd.json", "tsu_mode2.json", "async_namd.json"]
+    )
+    def test_shipped_configs_are_valid(self, name):
+        from pathlib import Path
+
+        path = Path(__file__).parents[2] / "examples" / "configs" / name
+        assert main(["check", str(path)]) == 0

@@ -1,0 +1,50 @@
+"""Tests for the Metropolis machinery."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.exchange.base import metropolis_accept, metropolis_delta
+
+
+class TestMetropolisDelta:
+    def test_symmetric_states_zero(self):
+        d = metropolis_delta(1.0, 1.0, -5.0, -5.0, -5.0, -5.0)
+        assert d == 0.0
+
+    def test_temperature_reduction(self):
+        """With equal Hamiltonians the general form reduces to
+        (beta_i - beta_j)(U_j - U_i)."""
+        beta_i, beta_j = 1.8, 1.5
+        u_i, u_j = -10.0, -7.0
+        d = metropolis_delta(beta_i, beta_j, u_i, u_j, u_i, u_j)
+        assert d == pytest.approx((beta_i - beta_j) * (u_j - u_i))
+
+    def test_sign_convention(self):
+        """A swap lowering total weighted energy has negative delta."""
+        # state i (cold) holds high-energy config, j (hot) holds low:
+        # swapping is favourable
+        d = metropolis_delta(2.0, 1.0, 10.0, 0.0, 0.0, 10.0)
+        # beta_i (E_i(x_j) - E_i(x_i)) + beta_j (E_j(x_i) - E_j(x_j))
+        assert d == pytest.approx(2.0 * (0 - 10) + 1.0 * (0 - 10))
+        assert d < 0  # favourable swap
+
+
+class TestMetropolisAccept:
+    def test_negative_delta_always_accepts(self, rng):
+        assert metropolis_accept(-0.1, rng)
+        assert metropolis_accept(0.0, rng)
+
+    def test_huge_delta_never_accepts(self, rng):
+        assert not any(metropolis_accept(500.0, rng) for _ in range(100))
+
+    def test_overflow_safe(self, rng):
+        assert metropolis_accept(1e9, rng) is False
+
+    def test_acceptance_rate_matches_boltzmann(self):
+        rng = np.random.default_rng(3)
+        delta = 1.2
+        n = 20000
+        rate = sum(metropolis_accept(delta, rng) for _ in range(n)) / n
+        assert rate == pytest.approx(math.exp(-delta), abs=0.01)

@@ -1,0 +1,87 @@
+"""Tests for Execution Modes I and II."""
+
+import pytest
+
+from repro.core.execution_modes import ModeI, ModeII, make_mode
+from repro.pilot.pilot import PilotDescription
+from repro.pilot.session import Session
+from repro.pilot.unit import UnitDescription
+
+
+def run_with_mode(mode, n_units=8, cores=4, duration=10.0, unit_cores=1):
+    with Session() as s:
+        pilot = s.submit_pilot(
+            PilotDescription(resource="small-cluster", cores=cores)
+        )
+        s.wait_pilot(pilot)
+        t0 = s.now
+        descs = [
+            UnitDescription(name=f"u{i}", cores=unit_cores, duration=duration)
+            for i in range(n_units)
+        ]
+        units = mode.run_phase(s, pilot, descs)
+        return units, s.now - t0
+
+
+class TestModeI:
+    def test_all_concurrent(self):
+        units, span = run_with_mode(ModeI(), n_units=4, cores=4)
+        assert all(u.succeeded for u in units)
+        assert span < 2 * 10.0  # one wave only
+
+    def test_empty_phase(self):
+        with Session() as s:
+            pilot = s.submit_pilot(
+                PilotDescription(resource="small-cluster", cores=4)
+            )
+            s.wait_pilot(pilot)
+            assert ModeI().run_phase(s, pilot, []) == []
+
+
+class TestModeII:
+    def test_oversubscribed_runs_in_waves(self):
+        units, span = run_with_mode(
+            ModeII(wave_gap_s=0.0), n_units=8, cores=4
+        )
+        assert all(u.succeeded for u in units)
+        assert span >= 2 * 10.0  # two waves of 10 s
+
+    def test_wave_gap_charged(self):
+        _, span_nogap = run_with_mode(
+            ModeII(wave_gap_s=0.0), n_units=8, cores=4
+        )
+        _, span_gap = run_with_mode(
+            ModeII(wave_gap_s=5.0), n_units=8, cores=4
+        )
+        assert span_gap == pytest.approx(span_nogap + 5.0, abs=0.5)
+
+    def test_multicore_units_batch_correctly(self):
+        units, span = run_with_mode(
+            ModeII(wave_gap_s=0.0),
+            n_units=4,
+            cores=4,
+            unit_cores=2,
+            duration=10.0,
+        )
+        assert all(u.succeeded for u in units)
+        assert span >= 2 * 10.0  # 2 units per wave
+
+    def test_n_waves_helper(self):
+        assert ModeII.n_waves(1728, 1, 112) == 16
+        assert ModeII.n_waves(1728, 1, 1728) == 1
+        assert ModeII.n_waves(216, 64, 13824) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ModeII(wave_gap_s=-1.0)
+
+
+class TestFactory:
+    def test_make_mode(self):
+        assert isinstance(make_mode("I"), ModeI)
+        assert isinstance(make_mode("II"), ModeII)
+        assert make_mode("II", wave_gap_s=3.0).wave_gap_s == 3.0
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_mode("III")

@@ -1,0 +1,52 @@
+"""Tests for fault policies."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FailureSpec
+from repro.core.fault import (
+    ContinuePolicy,
+    FaultAction,
+    RelaunchPolicy,
+    policy_from_spec,
+)
+from repro.core.replica import Replica
+
+
+def rep():
+    return Replica(rid=0, coords=np.zeros(2), param_indices={"t": 0})
+
+
+class TestContinuePolicy:
+    def test_always_continue(self):
+        p = ContinuePolicy()
+        for attempt in (1, 2, 10):
+            assert p.on_failure(rep(), attempt) is FaultAction.CONTINUE
+
+
+class TestRelaunchPolicy:
+    def test_relaunch_until_budget(self):
+        p = RelaunchPolicy(max_relaunches=2)
+        assert p.on_failure(rep(), 1) is FaultAction.RELAUNCH
+        assert p.on_failure(rep(), 2) is FaultAction.RELAUNCH
+        assert p.on_failure(rep(), 3) is FaultAction.CONTINUE
+
+    def test_zero_budget_means_continue(self):
+        p = RelaunchPolicy(max_relaunches=0)
+        assert p.on_failure(rep(), 1) is FaultAction.CONTINUE
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RelaunchPolicy(max_relaunches=-1)
+
+
+class TestFactory:
+    def test_from_spec(self):
+        assert isinstance(
+            policy_from_spec(FailureSpec(policy="continue")), ContinuePolicy
+        )
+        p = policy_from_spec(
+            FailureSpec(policy="relaunch", max_relaunches=5)
+        )
+        assert isinstance(p, RelaunchPolicy)
+        assert p.max_relaunches == 5

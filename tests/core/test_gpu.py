@@ -1,0 +1,117 @@
+"""Tests for the GPU extension (paper: 'support for GPUs is already
+available on Stampede')."""
+
+import pytest
+
+from repro.core import RepEx
+from repro.core.config import (
+    ConfigError,
+    DimensionSpec,
+    ResourceSpec,
+    SimulationConfig,
+)
+from repro.md.perfmodel import deterministic_model
+from repro.md.system import alanine_dipeptide_large
+from repro.pilot import (
+    PilotDescription,
+    Session,
+    UnitDescription,
+)
+
+from tests.conftest import small_tremd_config
+
+
+def gpu_config(**over):
+    defaults = dict(
+        dimensions=[DimensionSpec("temperature", 4, 273.0, 373.0)],
+        resource=ResourceSpec("stampede", cores=4, gpus=4),
+        gpus_per_replica=1,
+        engine=__import__(
+            "repro.core.config", fromlist=["EngineSpec"]
+        ).EngineSpec(name="amber", system="ala2-large"),
+        steps_per_cycle=20000,
+    )
+    defaults.update(over)
+    return small_tremd_config(**defaults)
+
+
+class TestPilotGPUs:
+    def test_gpu_units_scheduled_and_capped(self):
+        with Session() as s:
+            pilot = s.submit_pilot(
+                PilotDescription(resource="stampede", cores=8, gpus=2)
+            )
+            s.wait_pilot(pilot)
+            units = s.submit_units(
+                pilot,
+                [
+                    UnitDescription(name=f"g{i}", cores=1, gpus=1,
+                                    duration=10.0)
+                    for i in range(4)
+                ],
+            )
+            s.wait_units(units)
+            assert all(u.succeeded for u in units)
+            # only 2 GPUs: tasks ran in two waves
+            starts = sorted(u.start_time for u in units)
+            assert starts[2] > starts[0] + 9.0
+
+    def test_gpu_request_validated_against_cluster(self):
+        with Session() as s:
+            with pytest.raises(ValueError, match="GPUs"):
+                s.submit_pilot(
+                    PilotDescription(
+                        resource="supermic", cores=8, gpus=4
+                    )  # supermic preset has no GPUs
+                )
+
+    def test_oversized_gpu_unit_rejected(self):
+        with Session() as s:
+            pilot = s.submit_pilot(
+                PilotDescription(resource="stampede", cores=8, gpus=1)
+            )
+            s.wait_pilot(pilot)
+            from repro.pilot import SchedulerError
+
+            with pytest.raises(SchedulerError, match="GPUs"):
+                s.submit_units(
+                    pilot,
+                    [UnitDescription(name="big", cores=1, gpus=2)],
+                )
+
+
+class TestGPUConfig:
+    def test_cuda_executable_selected(self):
+        r = RepEx(gpu_config())
+        assert r.amm.executable == "pmemd.cuda"
+
+    def test_explicit_executable_wins(self):
+        from repro.core.config import EngineSpec
+
+        cfg = gpu_config(
+            engine=EngineSpec(
+                name="amber", system="ala2-large", executable="sander"
+            )
+        )
+        assert RepEx(cfg).amm.executable == "sander"
+
+    def test_gpus_require_pilot_gpus(self):
+        with pytest.raises(ConfigError, match="GPU"):
+            gpu_config(resource=ResourceSpec("stampede", cores=4, gpus=0))
+
+    def test_gpu_run_is_faster_than_cpu(self):
+        gpu_res = RepEx(gpu_config()).run()
+        cpu_res = RepEx(
+            gpu_config(gpus_per_replica=0)  # falls back to sander
+        ).run()
+        assert (
+            gpu_res.mean_component("t_md")
+            < 0.25 * cpu_res.mean_component("t_md")
+        )
+
+    def test_perfmodel_cuda_anchor(self):
+        perf = deterministic_model()
+        big = alanine_dipeptide_large()
+        t_cuda = perf.md_duration("pmemd.cuda", big, 20000, cores=1)
+        t_serial = perf.md_duration("sander", big, 20000, cores=1)
+        assert t_cuda < t_serial / 10

@@ -1,0 +1,119 @@
+"""Tests for M-REMD scheduling and grouping."""
+
+import numpy as np
+import pytest
+
+from repro.core.exchange.multidim import (
+    DimensionSchedule,
+    exchange_groups,
+    lattice_size,
+)
+from repro.core.exchange.salt import SaltDimension
+from repro.core.exchange.temperature import TemperatureDimension
+from repro.core.exchange.umbrella import UmbrellaDimension
+from repro.core.replica import Replica
+
+
+def tsu_dims():
+    return [
+        TemperatureDimension.geometric(273.0, 373.0, 3),
+        SaltDimension.linear(0.0, 1.0, 4),
+        UmbrellaDimension.uniform(2, angle="phi"),
+    ]
+
+
+def full_lattice(dims):
+    import itertools
+
+    reps = []
+    ranges = [range(d.n_windows) for d in dims]
+    for rid, combo in enumerate(itertools.product(*ranges)):
+        reps.append(
+            Replica(
+                rid=rid,
+                coords=np.zeros(2),
+                param_indices={
+                    d.name: i for d, i in zip(dims, combo)
+                },
+            )
+        )
+    return reps
+
+
+class TestDimensionSchedule:
+    def test_round_robin(self):
+        sched = DimensionSchedule(tsu_dims())
+        assert sched.active(0).code == "T"
+        assert sched.active(1).code == "S"
+        assert sched.active(2).code == "U"
+        assert sched.active(3).code == "T"
+
+    def test_type_string(self):
+        assert DimensionSchedule(tsu_dims()).type_string == "TSU"
+
+    def test_tuu_ordering(self):
+        dims = [
+            TemperatureDimension.geometric(273.0, 373.0, 2),
+            UmbrellaDimension.uniform(2, angle="phi"),
+            UmbrellaDimension.uniform(2, angle="psi"),
+        ]
+        assert DimensionSchedule(dims).type_string == "TUU"
+
+    def test_by_name(self):
+        sched = DimensionSchedule(tsu_dims())
+        assert sched.by_name("salt").code == "S"
+        with pytest.raises(KeyError):
+            sched.by_name("ph")
+
+    def test_duplicate_names_rejected(self):
+        d = TemperatureDimension.geometric(273.0, 373.0, 2)
+        d2 = TemperatureDimension.geometric(273.0, 373.0, 2)
+        with pytest.raises(ValueError, match="duplicate"):
+            DimensionSchedule([d, d2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DimensionSchedule([])
+
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            DimensionSchedule(tsu_dims()).active(-1)
+
+
+class TestExchangeGroups:
+    def test_group_count_and_size(self):
+        dims = tsu_dims()
+        reps = full_lattice(dims)
+        assert len(reps) == lattice_size(dims) == 3 * 4 * 2
+
+        groups = exchange_groups(reps, dims[1])  # along salt
+        assert len(groups) == 3 * 2  # T x U combinations
+        assert all(len(g) == 4 for g in groups)
+
+    def test_groups_sorted_by_active_window(self):
+        dims = tsu_dims()
+        reps = full_lattice(dims)
+        for g in exchange_groups(reps, dims[0]):
+            windows = [r.window("temperature") for r in g]
+            assert windows == sorted(windows)
+
+    def test_groups_homogeneous_in_other_dims(self):
+        dims = tsu_dims()
+        reps = full_lattice(dims)
+        for g in exchange_groups(reps, dims[2]):
+            keys = {r.group_key("umbrella_phi") for r in g}
+            assert len(keys) == 1
+
+    def test_1d_single_group(self):
+        dims = [TemperatureDimension.geometric(273.0, 373.0, 5)]
+        reps = full_lattice(dims)
+        groups = exchange_groups(reps, dims[0])
+        assert len(groups) == 1
+        assert len(groups[0]) == 5
+
+    def test_partial_population(self):
+        """Groups handle missing lattice points (failed/retired replicas)."""
+        dims = tsu_dims()
+        reps = full_lattice(dims)[:-3]
+        groups = exchange_groups(reps, dims[1])
+        assert sum(len(g) for g in groups) == len(reps)

@@ -1,0 +1,93 @@
+"""Tests for replica objects."""
+
+import numpy as np
+import pytest
+
+from repro.core.replica import (
+    CycleRecord,
+    Replica,
+    ReplicaStatus,
+    swap_parameters,
+)
+
+
+def make_replica(rid=0, **params):
+    indices = params or {"temperature": 0}
+    return Replica(rid=rid, coords=np.zeros(2), param_indices=dict(indices))
+
+
+class TestConstruction:
+    def test_defaults(self):
+        r = make_replica()
+        assert r.status is ReplicaStatus.ACTIVE
+        assert r.cycle == 0
+        assert r.cores == 1
+
+    def test_coords_validated(self):
+        with pytest.raises(ValueError):
+            Replica(rid=0, coords=np.zeros(3), param_indices={"t": 0})
+
+    def test_rid_validated(self):
+        with pytest.raises(ValueError):
+            Replica(rid=-1, coords=np.zeros(2), param_indices={"t": 0})
+
+    def test_cores_validated(self):
+        with pytest.raises(ValueError):
+            Replica(
+                rid=0, coords=np.zeros(2), param_indices={"t": 0}, cores=0
+            )
+
+
+class TestWindows:
+    def test_window_lookup(self):
+        r = make_replica(temperature=3, salt=1)
+        assert r.window("temperature") == 3
+        assert r.window("salt") == 1
+
+    def test_missing_dimension_raises(self):
+        with pytest.raises(KeyError):
+            make_replica().window("salt")
+
+    def test_group_key_excludes_active(self):
+        r = make_replica(temperature=2, salt=1, umbrella=0)
+        key = r.group_key("salt")
+        assert key == (("temperature", 2), ("umbrella", 0))
+
+    def test_group_key_sorted_and_stable(self):
+        a = make_replica(rid=1, z=1, a=2)
+        b = make_replica(rid=2, a=2, z=1)
+        assert a.group_key("none") == b.group_key("none")
+
+
+class TestSwap:
+    def test_swap_parameters(self):
+        a = make_replica(rid=0, temperature=0)
+        b = make_replica(rid=1, temperature=1)
+        swap_parameters(a, b, "temperature")
+        assert a.window("temperature") == 1
+        assert b.window("temperature") == 0
+
+    def test_swap_only_touches_dimension(self):
+        a = make_replica(rid=0, temperature=0, salt=5)
+        b = make_replica(rid=1, temperature=1, salt=7)
+        swap_parameters(a, b, "temperature")
+        assert a.window("salt") == 5
+        assert b.window("salt") == 7
+
+
+class TestHistory:
+    def test_exchange_counters(self):
+        r = make_replica()
+        r.history.append(
+            CycleRecord(0, "temperature", {"temperature": 0}, -1.0, 0.0,
+                        partner=1, accepted=True)
+        )
+        r.history.append(
+            CycleRecord(1, "temperature", {"temperature": 1}, -1.0, 0.0,
+                        partner=2, accepted=False)
+        )
+        r.history.append(
+            CycleRecord(2, "temperature", {"temperature": 1}, -1.0, 0.0)
+        )
+        assert r.n_exchanges_attempted == 2
+        assert r.n_exchanges_accepted == 1

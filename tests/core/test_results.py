@@ -1,0 +1,97 @@
+"""Tests for the result containers."""
+
+import pytest
+
+from repro.core.results import CycleTiming, ExchangeStats, SimulationResult
+
+
+def timing(cycle=0, dim="t", **over):
+    defaults = dict(
+        t_md=100.0, t_ex=10.0, t_data=1.0, t_repex=2.0, t_rp=5.0,
+        span=120.0, t_start=0.0, t_end=120.0,
+    )
+    defaults.update(over)
+    return CycleTiming(cycle=cycle, dimension=dim, **defaults)
+
+
+def result(timings, **over):
+    defaults = dict(
+        title="r", type_string="T", pattern="synchronous",
+        execution_mode="I", n_replicas=8, pilot_cores=8,
+        cycle_timings=timings,
+    )
+    defaults.update(over)
+    return SimulationResult(**defaults)
+
+
+class TestCycleTiming:
+    def test_tc_is_eq1_sum(self):
+        c = timing()
+        assert c.tc == pytest.approx(100.0 + 10.0 + 1.0 + 2.0 + 5.0)
+
+
+class TestExchangeStats:
+    def test_ratio(self):
+        s = ExchangeStats(attempted=4, accepted=1)
+        assert s.ratio == 0.25
+
+    def test_zero_attempts(self):
+        assert ExchangeStats().ratio == 0.0
+
+
+class TestSimulationResult:
+    def test_average_cycle_time(self):
+        res = result([timing(span=100.0), timing(cycle=1, span=200.0)])
+        assert res.average_cycle_time() == pytest.approx(150.0)
+
+    def test_empty_timings(self):
+        res = result([])
+        assert res.average_cycle_time() == 0.0
+        assert res.mean_component("t_md") == 0.0
+
+    def test_mean_component(self):
+        res = result([timing(t_md=100.0), timing(cycle=1, t_md=140.0)])
+        assert res.mean_component("t_md") == pytest.approx(120.0)
+
+    def test_mean_exchange_time_filters_dimension(self):
+        res = result(
+            [
+                timing(dim="t", t_ex=10.0),
+                timing(cycle=1, dim="s", t_ex=100.0),
+            ]
+        )
+        assert res.mean_exchange_time("t") == pytest.approx(10.0)
+        assert res.mean_exchange_time("s") == pytest.approx(100.0)
+        assert res.mean_exchange_time("u") == 0.0
+
+    def test_mean_md_time_optional_filter(self):
+        res = result(
+            [timing(dim="t", t_md=100.0), timing(cycle=1, dim="s", t_md=200.0)]
+        )
+        assert res.mean_md_time() == pytest.approx(150.0)
+        assert res.mean_md_time("s") == pytest.approx(200.0)
+
+    def test_wallclock(self):
+        res = result([], t_start=10.0, t_end=110.0)
+        assert res.wallclock == 100.0
+
+    def test_utilization(self):
+        res = result(
+            [], t_start=0.0, t_end=100.0, md_core_seconds=400.0,
+            pilot_cores=8,
+        )
+        assert res.utilization() == pytest.approx(0.5)
+
+    def test_utilization_zero_wallclock(self):
+        res = result([])
+        assert res.utilization() == 0.0
+
+    def test_acceptance_ratio_missing_dimension(self):
+        res = result([])
+        with pytest.raises(KeyError):
+            res.acceptance_ratio("nope")
+
+    def test_full_cycle_grouping_validates(self):
+        res = result([timing()])
+        with pytest.raises(ValueError):
+            res.full_cycle_timings(0)

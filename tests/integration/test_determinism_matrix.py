@@ -1,0 +1,86 @@
+"""Determinism matrix: every configuration class replays bit-identically.
+
+HPC reproducibility guarantee: with a fixed seed, the virtual-clock
+timeline, exchange decisions and final replica states are exact functions
+of the configuration — across patterns, engines, modes and dimensions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import RepEx
+from repro.core.config import (
+    DimensionSpec,
+    EngineSpec,
+    FailureSpec,
+    PatternSpec,
+    ResourceSpec,
+)
+
+from tests.conftest import small_tremd_config
+
+SCENARIOS = {
+    "sync-t": dict(),
+    "async-t": dict(
+        pattern=PatternSpec(kind="asynchronous", window_seconds=60.0)
+    ),
+    "mode2": dict(
+        dimensions=[DimensionSpec("temperature", 8, 273.0, 373.0)],
+        resource=ResourceSpec("supermic", cores=2),
+    ),
+    "namd": dict(engine=EngineSpec(name="namd"), steps_per_cycle=4000),
+    "salt": dict(
+        dimensions=[DimensionSpec("salt", 4, 0.0, 1.0)],
+    ),
+    "tsu": dict(
+        dimensions=[
+            DimensionSpec("temperature", 2, 273.0, 373.0),
+            DimensionSpec("salt", 2, 0.0, 1.0),
+            DimensionSpec(
+                "umbrella", 2, 0.0, 360.0, force_constant=0.0005
+            ),
+        ],
+        resource=ResourceSpec("supermic", cores=8),
+        n_cycles=3,
+    ),
+    "failures": dict(
+        failure=FailureSpec(probability=0.3, policy="relaunch"),
+        numeric_steps=10,
+    ),
+}
+
+
+def fingerprint(result):
+    """A structural digest of everything a run produced."""
+    return (
+        round(result.t_end, 9),
+        tuple(
+            (round(c.t_md, 9), round(c.t_ex, 9), round(c.span, 9))
+            for c in result.cycle_timings
+        ),
+        tuple(
+            (p.rid_i, p.rid_j, p.accepted, round(p.delta, 9))
+            for p in result.proposals
+        ),
+        tuple(
+            (r.rid, tuple(sorted(r.param_indices.items())),
+             tuple(np.round(r.coords, 12)))
+            for r in result.replicas
+        ),
+        result.n_failures,
+        result.n_relaunches,
+    )
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_replay_is_bit_identical(name):
+    overrides = SCENARIOS[name]
+    a = RepEx(small_tremd_config(**overrides)).run()
+    b = RepEx(small_tremd_config(**overrides)).run()
+    assert fingerprint(a) == fingerprint(b)
+
+
+def test_different_seeds_differ():
+    a = RepEx(small_tremd_config(seed=1)).run()
+    b = RepEx(small_tremd_config(seed=2)).run()
+    assert fingerprint(a) != fingerprint(b)

@@ -1,0 +1,172 @@
+"""End-to-end integration tests across pilot, md, core and analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.acceptance import acceptance_by_dimension
+from repro.analysis.timings import weak_scaling_efficiency
+from repro.core import RepEx, run_simulation
+from repro.core.config import (
+    DimensionSpec,
+    EngineSpec,
+    PatternSpec,
+    ResourceSpec,
+    SimulationConfig,
+)
+
+from tests.conftest import small_tremd_config
+
+
+class TestPaperValidationSetup:
+    """A scaled-down version of the paper's Sec. 3.4 validation: TUU with
+    6 T x (u x u) windows."""
+
+    def test_tuu_run(self):
+        cfg = SimulationConfig(
+            title="validation-mini",
+            dimensions=[
+                DimensionSpec("temperature", 3, 273.0, 373.0),
+                DimensionSpec(
+                    "umbrella", 2, 0.0, 360.0, angle="phi",
+                    force_constant=0.0006,
+                ),
+                DimensionSpec(
+                    "umbrella", 2, 0.0, 360.0, angle="psi",
+                    force_constant=0.0006,
+                ),
+            ],
+            resource=ResourceSpec("stampede", cores=12),
+            n_cycles=6,
+            steps_per_cycle=20000,
+            numeric_steps=60,
+            sample_stride=10,
+        )
+        res = RepEx(cfg).run()
+        assert res.n_replicas == 12
+        assert res.type_string == "TUU"
+        ratios = acceptance_by_dimension(res.proposals)
+        assert set(ratios) <= {
+            "temperature", "umbrella_phi", "umbrella_psi",
+        }
+        # trajectories recorded for FES analysis
+        n_samples = sum(
+            rec.trajectory.shape[0]
+            for r in res.replicas
+            for rec in r.history
+            if rec.trajectory is not None
+        )
+        assert n_samples > 0
+
+
+class TestWeakScalingShape:
+    def test_efficiency_decreases_with_replicas(self):
+        """Mini version of Fig. 7: weak-scaling efficiency declines."""
+        times = []
+        for n in (4, 16, 64):
+            cfg = small_tremd_config(
+                dimensions=[DimensionSpec("temperature", n, 273.0, 373.0)],
+                resource=ResourceSpec("supermic", cores=n),
+                n_cycles=2,
+                numeric_steps=10,
+            )
+            times.append(RepEx(cfg).run().average_cycle_time())
+        eff = weak_scaling_efficiency(times)
+        assert eff[0] == 100.0
+        assert eff[1] < 100.0
+        assert eff[2] < eff[1]
+
+
+class TestEngineSwap:
+    def test_amber_and_namd_same_framework_path(self):
+        """The paper's 'minimal conceptual or implementation changes'."""
+        results = {}
+        for engine in ("amber", "namd"):
+            cfg = small_tremd_config(
+                engine=EngineSpec(name=engine),
+                steps_per_cycle=4000,
+            )
+            results[engine] = RepEx(cfg).run()
+        for res in results.values():
+            assert len(res.cycle_timings) == 2
+            assert res.exchange_stats["temperature"].attempted > 0
+        # NAMD MD phase is costlier per step at this size (Fig. 8 vs 6)
+        assert (
+            results["namd"].mean_component("t_md")
+            > results["amber"].mean_component("t_md")
+        )
+
+
+class TestExchangePhysics:
+    def test_hot_replicas_have_higher_energy(self):
+        """Canonical ordering: mean potential energy rises with T."""
+        cfg = small_tremd_config(
+            dimensions=[DimensionSpec("temperature", 4, 273.0, 500.0)],
+            n_cycles=6,
+            numeric_steps=100,
+        )
+        res = RepEx(cfg).run()
+        by_window = {}
+        for rep in res.replicas:
+            for rec in rep.history:
+                w = rec.param_indices["temperature"]
+                by_window.setdefault(w, []).append(rec.potential_energy)
+        means = [np.mean(by_window[w]) for w in sorted(by_window)]
+        assert means[-1] > means[0]
+
+    def test_acceptance_decreases_with_ladder_gap(self):
+        """Wider temperature spacing -> lower acceptance."""
+        ratios = []
+        for t_max in (300.0, 400.0):
+            cfg = small_tremd_config(
+                dimensions=[
+                    DimensionSpec("temperature", 4, 280.0, t_max)
+                ],
+                n_cycles=8,
+                numeric_steps=10,
+            )
+            res = RepEx(cfg).run()
+            ratios.append(res.acceptance_ratio("temperature"))
+        assert ratios[0] > ratios[1]
+
+
+class TestAsyncVsSyncIntegration:
+    def test_same_sampling_different_utilization(self):
+        base = dict(n_cycles=3, numeric_steps=20)
+        sync = RepEx(small_tremd_config(**base)).run()
+        async_ = RepEx(
+            small_tremd_config(
+                pattern=PatternSpec(
+                    kind="asynchronous", window_seconds=60.0
+                ),
+                **base,
+            )
+        ).run()
+        assert sync.utilization() > async_.utilization()
+        for res in (sync, async_):
+            for rep in res.replicas:
+                assert len(rep.history) == 3
+
+
+class TestConfigDrivenRun:
+    def test_from_json_to_result(self):
+        """The paper's usability requirement: a run is fully specified by a
+        configuration file."""
+        text = """
+        {
+          "title": "json-driven",
+          "engine": {"name": "amber", "system": "ala2"},
+          "resource": {"name": "supermic", "cores": 4},
+          "dimensions": [
+            {"kind": "temperature", "n_windows": 4,
+             "min_value": 273.0, "max_value": 373.0}
+          ],
+          "n_cycles": 2,
+          "steps_per_cycle": 6000,
+          "numeric_steps": 10,
+          "seed": 11
+        }
+        """
+        cfg = SimulationConfig.from_json(text)
+        res = run_simulation(cfg)
+        assert res.title == "json-driven"
+        assert len(res.cycle_timings) == 2

@@ -1,0 +1,50 @@
+"""Smoke tests: the shipped examples must run cleanly end to end.
+
+Only the fast examples are exercised (the Fig.-4 validation example takes
+a minute and is covered by its benchmark); each is executed in-process and
+its stdout checked for the landmark lines.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parents[2] / "examples"
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "Cycle time decomposition" in out
+        assert "T acceptance ratio" in out
+        assert "permutation" in out
+
+    def test_mremd_tsu(self, capsys):
+        out = run_example("mremd_tsu.py", capsys)
+        assert "Execution Mode II" in out
+        assert "salt" in out
+        assert "Acceptance ratios" in out
+
+    def test_multi_cluster(self, capsys):
+        out = run_example("multi_cluster.py", capsys)
+        assert "stampede" in out
+        assert "supermic" in out
+        assert "two pilots active" in out
+
+    def test_trace_timeline(self, capsys):
+        out = run_example("trace_timeline.py", capsys)
+        assert "Where the virtual time went" in out
+        assert "EXECUTING" in out
+        assert "Ladder mixing diagnostics" in out
+
+    def test_async_fault_tolerance(self, capsys):
+        out = run_example("async_fault_tolerance.py", capsys)
+        assert "RE pattern comparison" in out
+        assert "relaunch" in out

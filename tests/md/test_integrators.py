@@ -1,0 +1,151 @@
+"""Tests for the Langevin integrators."""
+
+import numpy as np
+import pytest
+
+from repro.md.forcefield import ForceField, GaussianWell, UmbrellaRestraint
+from repro.md.integrators import (
+    BAOABIntegrator,
+    BrownianIntegrator,
+    IntegratorParams,
+    get_integrator,
+)
+from repro.utils.units import KB_KCAL_PER_MOL_K
+
+
+@pytest.fixture
+def ff():
+    return ForceField()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestIntegratorParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IntegratorParams(dt=0.0)
+        with pytest.raises(ValueError):
+            IntegratorParams(friction=0.0)
+        with pytest.raises(ValueError):
+            IntegratorParams(mass=-1.0)
+
+
+class TestBrownian:
+    def test_shapes(self, ff, rng):
+        integ = BrownianIntegrator(ff)
+        x0 = np.zeros((5, 2))
+        final, samples = integ.run(x0, 100, 300.0, rng, sample_stride=10)
+        assert final.shape == (5, 2)
+        assert samples.shape == (10, 5, 2)
+
+    def test_no_sampling(self, ff, rng):
+        integ = BrownianIntegrator(ff)
+        final, samples = integ.run(np.zeros((1, 2)), 10, 300.0, rng)
+        assert samples is None
+
+    def test_input_not_mutated(self, ff, rng):
+        integ = BrownianIntegrator(ff)
+        x0 = np.ones((2, 2))
+        integ.run(x0, 50, 300.0, rng)
+        assert np.all(x0 == 1.0)
+
+    def test_angles_stay_wrapped(self, ff, rng):
+        integ = BrownianIntegrator(ff)
+        final, samples = integ.run(
+            np.zeros((3, 2)), 500, 600.0, rng, sample_stride=50
+        )
+        assert np.all(np.abs(final) <= np.pi)
+        assert np.all(np.abs(samples) <= np.pi)
+
+    def test_zero_steps_identity(self, ff, rng):
+        integ = BrownianIntegrator(ff)
+        x0 = np.array([[0.3, -0.4]])
+        final, _ = integ.run(x0, 0, 300.0, rng)
+        assert np.allclose(final, x0)
+
+    def test_deterministic_given_seed(self, ff):
+        integ = BrownianIntegrator(ff)
+        a, _ = integ.run(
+            np.zeros((1, 2)), 100, 300.0, np.random.default_rng(7)
+        )
+        b, _ = integ.run(
+            np.zeros((1, 2)), 100, 300.0, np.random.default_rng(7)
+        )
+        assert np.allclose(a, b)
+
+    def test_validation(self, ff, rng):
+        integ = BrownianIntegrator(ff)
+        with pytest.raises(ValueError):
+            integ.run(np.zeros((1, 3)), 10, 300.0, rng)
+        with pytest.raises(ValueError):
+            integ.run(np.zeros((1, 2)), -1, 300.0, rng)
+        with pytest.raises(ValueError):
+            integ.run(np.zeros((1, 2)), 10, -5.0, rng)
+
+
+class TestCanonicalSampling:
+    """Both integrators must sample the Boltzmann distribution."""
+
+    def _flat_well_ff(self):
+        # single harmonic-ish well (one deep Gaussian) so we can predict
+        # the stationary variance analytically near the bottom
+        well = GaussianWell(center=(0.0, 0.0), depth=50.0, sigma=0.5)
+        return ForceField(wells=(well,), offset=50.0, elec_amplitude=0.0)
+
+    @pytest.mark.parametrize("kind", ["brownian", "baoab"])
+    def test_harmonic_variance(self, kind, rng):
+        ff = self._flat_well_ff()
+        # near the bottom: V ~ (depth/(2 sigma^2)) r^2 = 100 (x^2 + y^2),
+        # so per-DOF variance is kT / (2 k) with k = 100
+        k_eff = 0.5 * 50.0 / 0.5**2
+        t = 300.0
+        expected_var = KB_KCAL_PER_MOL_K * t / (2 * k_eff)
+        integ = get_integrator(
+            kind, ff, IntegratorParams(dt=0.0005, friction=1.0)
+        )
+        _, samples = integ.run(
+            np.zeros((64, 2)), 15000, t, rng, sample_stride=20
+        )
+        var = samples[200:].var()
+        assert var == pytest.approx(expected_var, rel=0.15)
+
+    def test_brownian_and_baoab_agree(self, rng):
+        ff = self._flat_well_ff()
+        t = 300.0
+        _, sb = BrownianIntegrator(
+            ff, IntegratorParams(dt=0.0005)
+        ).run(np.zeros((64, 2)), 15000, t, np.random.default_rng(1),
+              sample_stride=20)
+        _, sa = BAOABIntegrator(
+            ff, IntegratorParams(dt=0.0005)
+        ).run(np.zeros((64, 2)), 15000, t, np.random.default_rng(2),
+              sample_stride=20)
+        assert sb[200:].var() == pytest.approx(sa[200:].var(), rel=0.15)
+
+    def test_restraint_confines(self, ff, rng):
+        integ = BrownianIntegrator(ff)
+        restraint = (UmbrellaRestraint("phi", 90.0, 0.02),)
+        final, samples = integ.run(
+            np.radians([[90.0, 0.0]] * 8),
+            2000,
+            300.0,
+            rng,
+            restraints=restraint,
+            sample_stride=20,
+        )
+        phis = np.degrees(samples[..., 0]).ravel()
+        # k=0.02/deg^2 => sigma ~ sqrt(kT/(2k)) ~ 3.9 degrees
+        assert np.abs(phis - 90.0).mean() < 12.0
+
+
+class TestRegistry:
+    def test_lookup(self, ff):
+        assert isinstance(get_integrator("brownian", ff), BrownianIntegrator)
+        assert isinstance(get_integrator("baoab", ff), BAOABIntegrator)
+
+    def test_unknown(self, ff):
+        with pytest.raises(KeyError, match="unknown integrator"):
+            get_integrator("verlet9000", ff)

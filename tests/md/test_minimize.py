@@ -1,0 +1,131 @@
+"""Tests for minimization and equilibration."""
+
+import numpy as np
+import pytest
+
+from repro.md.forcefield import ForceField, UmbrellaRestraint
+from repro.md.minimize import equilibrate, minimize
+from repro.md.toymd import ThermodynamicState, ToyMD
+
+
+@pytest.fixture
+def ff():
+    return ForceField()
+
+
+class TestMinimize:
+    def test_converges_to_stationary_point(self, ff):
+        res = minimize(
+            ff, np.radians([-50.0, -30.0]), ThermodynamicState()
+        )
+        assert res.converged
+        assert res.grad_norm < 1e-4
+
+    def test_descends_from_start(self, ff):
+        start = np.radians([-40.0, -80.0])
+        e0 = float(ff.energy(start[0], start[1]))
+        res = minimize(ff, start, ThermodynamicState())
+        assert res.energy < e0
+
+    def test_finds_alpha_r_from_nearby(self, ff):
+        res = minimize(
+            ff, np.radians([-70.0, -50.0]), ThermodynamicState()
+        )
+        phi, psi = np.degrees(res.coords)
+        assert abs(phi - (-63.0)) < 15.0
+        assert abs(psi - (-42.0)) < 15.0
+
+    def test_restraint_shifts_minimum(self, ff):
+        r = UmbrellaRestraint("phi", 0.0, 0.05)  # strong pull to phi=0
+        res = minimize(
+            ff,
+            np.radians([-63.0, -42.0]),
+            ThermodynamicState(restraints=(r,)),
+        )
+        phi = np.degrees(res.coords[0])
+        assert abs(phi) < abs(-63.0)  # dragged toward the restraint
+
+    def test_coords_stay_wrapped(self, ff):
+        res = minimize(
+            ff, np.radians([170.0, -170.0]), ThermodynamicState()
+        )
+        assert np.all(np.abs(res.coords) <= np.pi)
+
+    def test_validation(self, ff):
+        with pytest.raises(ValueError):
+            minimize(ff, np.zeros(3), ThermodynamicState())
+        with pytest.raises(ValueError):
+            minimize(ff, np.zeros(2), ThermodynamicState(), max_iter=0)
+        with pytest.raises(ValueError):
+            minimize(ff, np.zeros(2), ThermodynamicState(), gtol=0.0)
+
+
+class TestEquilibrate:
+    def test_returns_valid_coords(self):
+        engine = ToyMD()
+        rng = np.random.default_rng(0)
+        out = equilibrate(
+            engine,
+            np.radians([100.0, 100.0]),
+            ThermodynamicState(300.0),
+            n_steps=200,
+            rng=rng,
+        )
+        assert out.shape == (2,)
+        assert np.all(np.abs(out) <= np.pi)
+
+    def test_deterministic_with_rng(self):
+        engine = ToyMD()
+        a = equilibrate(
+            engine,
+            np.zeros(2),
+            ThermodynamicState(),
+            n_steps=100,
+            rng=np.random.default_rng(5),
+        )
+        b = equilibrate(
+            engine,
+            np.zeros(2),
+            ThermodynamicState(),
+            n_steps=100,
+            rng=np.random.default_rng(5),
+        )
+        assert np.allclose(a, b)
+
+    def test_minimize_only(self):
+        engine = ToyMD()
+        out = equilibrate(
+            engine,
+            np.radians([-70.0, -50.0]),
+            ThermodynamicState(),
+            n_steps=0,
+        )
+        phi, psi = np.degrees(out)
+        assert abs(phi - (-63.0)) < 15.0
+
+
+class TestConfigIntegration:
+    def test_equilibration_moves_replicas_to_basins(self):
+        from repro.core import RepEx
+        from tests.conftest import small_tremd_config
+
+        cfg_raw = small_tremd_config(equilibration_steps=0)
+        cfg_eq = small_tremd_config(equilibration_steps=300)
+        raw = RepEx(cfg_raw).amm.create_replicas()
+        eq = RepEx(cfg_eq).amm.create_replicas()
+        ff = ForceField()
+        e_raw = np.mean(
+            [float(ff.energy(r.coords[0], r.coords[1])) for r in raw]
+        )
+        e_eq = np.mean(
+            [float(ff.energy(r.coords[0], r.coords[1])) for r in eq]
+        )
+        # equilibrated replicas sit lower on the surface on average
+        assert e_eq <= e_raw + 0.5
+
+    def test_config_validation(self):
+        from repro.core.config import ConfigError
+        from tests.conftest import small_tremd_config
+
+        with pytest.raises(ConfigError):
+            small_tremd_config(equilibration_steps=-1)

@@ -1,0 +1,160 @@
+"""Tests for the calibrated performance model."""
+
+import pytest
+
+from repro.md.perfmodel import (
+    PerfModelError,
+    PerformanceModel,
+    deterministic_model,
+)
+from repro.md.system import alanine_dipeptide, alanine_dipeptide_large
+
+
+@pytest.fixture
+def perf():
+    return deterministic_model()
+
+
+@pytest.fixture
+def ala2():
+    return alanine_dipeptide()
+
+
+class TestMDDuration:
+    def test_sander_calibration_anchor(self, perf, ala2):
+        """6000 sander steps of ala2 must reproduce the paper's 139.6 s
+        (plus the fixed startup)."""
+        t = perf.md_duration("sander", ala2, 6000, cores=1)
+        assert t == pytest.approx(139.6 + 1.5, abs=0.5)
+
+    def test_scales_linearly_with_steps(self, perf, ala2):
+        t1 = perf.md_duration("sander", ala2, 1000)
+        t2 = perf.md_duration("sander", ala2, 2000)
+        # startup is fixed; the per-step parts scale 2x
+        assert (t2 - 1.5) == pytest.approx(2 * (t1 - 1.5), rel=1e-6)
+
+    def test_sander_serial_only(self, perf, ala2):
+        with pytest.raises(PerfModelError, match="serial"):
+            perf.md_duration("sander", ala2, 100, cores=4)
+
+    def test_pmemd_needs_multiple_cores(self, perf, ala2):
+        with pytest.raises(PerfModelError, match="single CPU core"):
+            perf.md_duration("pmemd.MPI", ala2, 100, cores=1)
+
+    def test_pmemd_speedup_with_cores(self, perf):
+        big = alanine_dipeptide_large()
+        t16 = perf.md_duration("pmemd.MPI", big, 20000, cores=16)
+        t64 = perf.md_duration("pmemd.MPI", big, 20000, cores=64)
+        assert t64 < t16
+
+    def test_pmemd_sublinear_speedup(self, perf):
+        """Fig. 12: doubling cores does not halve time (comm overhead)."""
+        big = alanine_dipeptide_large()
+        t16 = perf.md_duration("pmemd.MPI", big, 20000, cores=16)
+        t32 = perf.md_duration("pmemd.MPI", big, 20000, cores=32)
+        assert t32 > t16 / 2
+
+    def test_multicore_beats_serial_sander(self, perf):
+        """The paper's 'substantial drop in MD times' with pmemd.MPI."""
+        big = alanine_dipeptide_large()
+        t_serial = perf.md_duration("sander", big, 20000, cores=1)
+        t_16 = perf.md_duration("pmemd.MPI", big, 20000, cores=16)
+        assert t_16 < t_serial / 5
+
+    def test_namd_calibration_anchor(self, perf, ala2):
+        """4000 NAMD steps of ala2 ~ 230 s + startup (Fig. 8 bars)."""
+        t = perf.md_duration("namd2", ala2, 4000, cores=1)
+        assert t == pytest.approx(230.0 + 12.0, abs=1.0)
+
+    def test_unknown_executable(self, perf, ala2):
+        with pytest.raises(PerfModelError, match="unknown executable"):
+            perf.md_duration("gromacs", ala2, 100)
+
+    def test_validation(self, perf, ala2):
+        with pytest.raises(PerfModelError):
+            perf.md_duration("sander", ala2, -1)
+        with pytest.raises(PerfModelError):
+            perf.md_duration("sander", ala2, 100, cores=0)
+
+
+class TestExchangeDurations:
+    def test_exchange_grows_linearly(self, perf):
+        t64 = perf.exchange_calc_duration(64)
+        t1728 = perf.exchange_calc_duration(1728)
+        assert t1728 > t64
+        # near-linear growth (Fig. 6)
+        assert t1728 / t64 == pytest.approx(
+            (0.6 + 0.012 * 1728) / (0.6 + 0.012 * 64), rel=1e-6
+        )
+
+    def test_multidim_costs_more(self, perf):
+        assert perf.exchange_calc_duration(
+            100, multidim=True
+        ) > perf.exchange_calc_duration(100, multidim=False)
+
+    def test_single_point_cores_split_states(self, perf, ala2):
+        t1 = perf.single_point_duration(ala2, 3, cores=1)
+        t3 = perf.single_point_duration(ala2, 3, cores=3)
+        assert t3 < t1
+
+    def test_single_point_validation(self, perf, ala2):
+        with pytest.raises(PerfModelError):
+            perf.single_point_duration(ala2, 0, cores=1)
+        with pytest.raises(PerfModelError):
+            perf.single_point_duration(ala2, 1, cores=0)
+
+    def test_negative_group_rejected(self, perf):
+        with pytest.raises(PerfModelError):
+            perf.exchange_calc_duration(-1)
+
+
+class TestPrepOverhead:
+    def test_grows_with_replicas(self, perf):
+        assert perf.task_prep_overhead(1728) > perf.task_prep_overhead(64)
+
+    def test_3d_costs_more_than_1d(self, perf):
+        """Fig. 5: RepEx overhead (3D) > RepEx overhead (1D)."""
+        assert perf.task_prep_overhead(512, 3) > perf.task_prep_overhead(512, 1)
+
+    def test_validation(self, perf):
+        with pytest.raises(PerfModelError):
+            perf.task_prep_overhead(-1)
+        with pytest.raises(PerfModelError):
+            perf.task_prep_overhead(10, 0)
+
+
+class TestJitter:
+    def test_deterministic_per_key(self):
+        pm = PerformanceModel(jitter=0.05)
+        ala2 = alanine_dipeptide()
+        a = pm.md_duration("sander", ala2, 1000, task_key="k1")
+        b = pm.md_duration("sander", ala2, 1000, task_key="k1")
+        assert a == b
+
+    def test_different_keys_differ(self):
+        pm = PerformanceModel(jitter=0.05)
+        ala2 = alanine_dipeptide()
+        a = pm.md_duration("sander", ala2, 1000, task_key="k1")
+        b = pm.md_duration("sander", ala2, 1000, task_key="k2")
+        assert a != b
+
+    def test_no_key_no_jitter(self):
+        pm = PerformanceModel(jitter=0.05)
+        ala2 = alanine_dipeptide()
+        a = pm.md_duration("sander", ala2, 1000)
+        b = deterministic_model().md_duration("sander", ala2, 1000)
+        assert a == b
+
+    def test_jitter_validated(self):
+        with pytest.raises(ValueError):
+            PerformanceModel(jitter=-0.1)
+
+
+class TestFileSizes:
+    def test_restart_scales_with_atoms(self, perf):
+        small = alanine_dipeptide()
+        big = alanine_dipeptide_large()
+        assert perf.restart_size_mb(big) > perf.restart_size_mb(small)
+
+    def test_groupfile_scales_with_states(self, perf):
+        assert perf.groupfile_size_mb(10) > perf.groupfile_size_mb(1)

@@ -1,0 +1,51 @@
+"""Tests for molecular system presets."""
+
+import pytest
+
+from repro.md.system import (
+    MolecularSystem,
+    alanine_dipeptide,
+    alanine_dipeptide_large,
+    get_system,
+    vacuum_dipeptide,
+)
+
+
+class TestPresets:
+    def test_paper_atom_counts(self):
+        assert alanine_dipeptide().n_atoms == 2881
+        assert alanine_dipeptide_large().n_atoms == 64366
+
+    def test_solvent_atoms(self):
+        s = alanine_dipeptide()
+        assert s.n_solvent_atoms == 2881 - 22
+
+    def test_vacuum_has_no_bath(self):
+        assert vacuum_dipeptide().bath_dof == 0
+
+    def test_bath_scales_with_size(self):
+        assert (
+            alanine_dipeptide_large().bath_dof > alanine_dipeptide().bath_dof
+        )
+
+    def test_get_system(self):
+        assert get_system("ala2").n_atoms == 2881
+        assert get_system("ala2-large").n_atoms == 64366
+
+    def test_get_system_unknown(self):
+        with pytest.raises(KeyError, match="unknown system"):
+            get_system("water-box")
+
+
+class TestValidation:
+    def test_rejects_nonpositive_atoms(self):
+        with pytest.raises(ValueError):
+            MolecularSystem(name="x", n_atoms=0)
+
+    def test_rejects_solute_exceeding_total(self):
+        with pytest.raises(ValueError):
+            MolecularSystem(name="x", n_atoms=10, n_solute_atoms=11)
+
+    def test_rejects_negative_bath(self):
+        with pytest.raises(ValueError):
+            MolecularSystem(name="x", n_atoms=10, bath_dof=-1)

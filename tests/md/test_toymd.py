@@ -1,0 +1,163 @@
+"""Tests for the toy MD engine."""
+
+import numpy as np
+import pytest
+
+from repro.md.forcefield import UmbrellaRestraint
+from repro.md.system import vacuum_dipeptide
+from repro.md.toymd import MDParams, MDResult, ThermodynamicState, ToyMD
+
+
+@pytest.fixture
+def engine():
+    return ToyMD()
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestThermodynamicState:
+    def test_defaults(self):
+        s = ThermodynamicState()
+        assert s.temperature == 300.0
+        assert s.salt_molar == 0.0
+        assert s.restraints == ()
+
+    def test_with_methods_return_copies(self):
+        s = ThermodynamicState()
+        s2 = s.with_temperature(350.0)
+        assert s.temperature == 300.0
+        assert s2.temperature == 350.0
+        s3 = s.with_salt(0.5)
+        assert s3.salt_molar == 0.5
+        r = (UmbrellaRestraint("phi", 0.0),)
+        s4 = s.with_restraints(r)
+        assert s4.restraints == r
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThermodynamicState(temperature=-1.0)
+        with pytest.raises(ValueError):
+            ThermodynamicState(salt_molar=-0.5)
+
+
+class TestMDParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MDParams(n_steps=-1)
+        with pytest.raises(ValueError):
+            MDParams(sample_stride=-1)
+
+
+class TestRun:
+    def test_result_fields(self, engine, rng):
+        res = engine.run(
+            np.radians([-63.0, -42.0]),
+            ThermodynamicState(),
+            MDParams(n_steps=200, sample_stride=20),
+            rng,
+        )
+        assert isinstance(res, MDResult)
+        assert res.final_coords.shape == (2,)
+        assert res.trajectory.shape == (10, 2)
+        assert res.n_steps == 200
+        assert res.temperature == 300.0
+
+    def test_energy_decomposition_consistent(self, engine, rng):
+        state = ThermodynamicState(
+            restraints=(UmbrellaRestraint("phi", -60.0, 0.01),)
+        )
+        res = engine.run(
+            np.radians([-63.0, -42.0]), state, MDParams(n_steps=100), rng
+        )
+        assert res.potential_energy == pytest.approx(
+            res.torsional_energy + res.restraint_energy + res.bath_energy
+        )
+
+    def test_bath_energy_positive_for_solvated(self, engine, rng):
+        res = engine.run(
+            np.radians([-63.0, -42.0]),
+            ThermodynamicState(),
+            MDParams(n_steps=10),
+            rng,
+        )
+        assert res.bath_energy > 0
+
+    def test_vacuum_bath_is_zero(self, rng):
+        engine = ToyMD(system=vacuum_dipeptide())
+        res = engine.run(
+            np.zeros(2), ThermodynamicState(), MDParams(n_steps=10), rng
+        )
+        assert res.bath_energy == 0.0
+
+    def test_bad_coords_rejected(self, engine, rng):
+        with pytest.raises(ValueError):
+            engine.run(
+                np.zeros(3), ThermodynamicState(), MDParams(n_steps=1), rng
+            )
+
+    def test_as_dict_roundtrip(self, engine, rng):
+        res = engine.run(
+            np.zeros(2), ThermodynamicState(), MDParams(n_steps=10), rng
+        )
+        d = res.as_dict()
+        assert d["n_steps"] == 10
+        assert d["potential_energy"] == res.potential_energy
+
+
+class TestRunBatch:
+    def test_batch_matches_count(self, engine, rng):
+        coords = np.zeros((6, 2))
+        results = engine.run_batch(
+            coords, ThermodynamicState(), MDParams(n_steps=50), rng
+        )
+        assert len(results) == 6
+        for r in results:
+            assert r.final_coords.shape == (2,)
+
+    def test_batch_rejects_bad_shape(self, engine, rng):
+        with pytest.raises(ValueError):
+            engine.run_batch(
+                np.zeros((3, 3)), ThermodynamicState(), MDParams(), rng
+            )
+
+
+class TestSinglePoint:
+    def test_matches_forcefield(self, engine):
+        coords = np.radians([-100.0, 120.0])
+        state = ThermodynamicState(salt_molar=0.3)
+        e = engine.single_point_energy(coords, state)
+        expected = float(
+            engine.forcefield.energy(coords[0], coords[1], salt_molar=0.3)
+        )
+        assert e == pytest.approx(expected)
+
+    def test_includes_restraints(self, engine):
+        coords = np.radians([0.0, 0.0])
+        r = UmbrellaRestraint("phi", 90.0, 0.02)
+        state = ThermodynamicState(restraints=(r,))
+        with_r = engine.single_point_energy(coords, state)
+        without_r = engine.single_point_energy(
+            coords, state, include_restraints=False
+        )
+        assert with_r - without_r == pytest.approx(0.02 * 90.0**2)
+
+    def test_restraint_energy_helper(self, engine):
+        coords = np.radians([45.0, 0.0])
+        r = UmbrellaRestraint("phi", 0.0, 0.01)
+        state = ThermodynamicState(restraints=(r,))
+        assert engine.restraint_energy(coords, state) == pytest.approx(
+            0.01 * 45.0**2
+        )
+
+    def test_salt_changes_single_point(self, engine):
+        coords = np.radians([30.0, -30.0])
+        e0 = engine.single_point_energy(coords, ThermodynamicState(salt_molar=0.0))
+        e1 = engine.single_point_energy(coords, ThermodynamicState(salt_molar=2.0))
+        assert e0 != e1
+
+    def test_bad_coords_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.single_point_energy(np.zeros(1), ThermodynamicState())

@@ -1,0 +1,111 @@
+"""Tests for the simulated cluster models."""
+
+import pytest
+
+from repro.pilot.cluster import (
+    ClusterSpec,
+    FilesystemModel,
+    LaunchOverheadModel,
+    QueueModel,
+    get_cluster,
+    small_cluster,
+    stampede,
+    supermic,
+)
+
+
+class TestFilesystemModel:
+    def test_transfer_time_grows_with_size(self):
+        fs = FilesystemModel()
+        assert fs.transfer_time(100.0) > fs.transfer_time(1.0)
+
+    def test_contention_slows_transfers(self):
+        fs = FilesystemModel(contention=0.5)
+        assert fs.transfer_time(10.0, concurrent=100) > fs.transfer_time(
+            10.0, concurrent=0
+        )
+
+    def test_zero_contention_ignores_concurrency(self):
+        fs = FilesystemModel(contention=0.0, metadata_contention=0.0)
+        assert fs.transfer_time(10.0, concurrent=100) == pytest.approx(
+            fs.transfer_time(10.0, concurrent=0)
+        )
+
+    def test_metadata_contention_slows_small_files(self):
+        fs = FilesystemModel(metadata_contention=0.01)
+        assert fs.transfer_time(0.001, concurrent=1000) > 2 * fs.transfer_time(
+            0.001, concurrent=0
+        )
+
+    def test_zero_size_costs_latency_only(self):
+        fs = FilesystemModel(latency_s=0.1, metadata_op_s=0.0)
+        assert fs.transfer_time(0.0) == pytest.approx(0.1)
+
+    def test_link_cheaper_than_copy(self):
+        fs = FilesystemModel()
+        assert fs.link_time() < fs.transfer_time(1.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            FilesystemModel().transfer_time(-1.0)
+
+
+class TestQueueModel:
+    def test_wait_grows_with_cores(self):
+        q = QueueModel()
+        assert q.wait_time(10000) > q.wait_time(10)
+
+    def test_rejects_nonpositive_cores(self):
+        with pytest.raises(ValueError):
+            QueueModel().wait_time(0)
+
+
+class TestLaunchOverheadModel:
+    def test_grows_with_concurrency(self):
+        m = LaunchOverheadModel()
+        assert m.launch_delay(1000) > m.launch_delay(0)
+
+    def test_proportional_to_concurrency(self):
+        # "RP overhead is proportional to the number of replicas" (Sec 4.1)
+        m = LaunchOverheadModel(base_s=0.0, per_concurrent_s=0.01)
+        assert m.launch_delay(200) == pytest.approx(2 * m.launch_delay(100))
+
+    def test_mpi_extra_for_multicore(self):
+        m = LaunchOverheadModel()
+        assert m.launch_delay(0, cores=16) > m.launch_delay(0, cores=1)
+
+    def test_rejects_negative_concurrency(self):
+        with pytest.raises(ValueError):
+            LaunchOverheadModel().launch_delay(-1)
+
+
+class TestClusterSpec:
+    def test_total_cores(self):
+        c = ClusterSpec(name="x", nodes=10, cores_per_node=16)
+        assert c.total_cores == 160
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(name="x", nodes=0, cores_per_node=16)
+        with pytest.raises(ValueError):
+            ClusterSpec(name="x", nodes=4, cores_per_node=0)
+
+    def test_presets(self):
+        assert stampede().name == "stampede"
+        assert supermic().name == "supermic"
+        assert supermic().total_cores == 380 * 20
+
+    def test_stampede_slower_per_core(self):
+        # calibrated from the paper's 139.6 s vs ~165 s MD times
+        assert stampede().speed_factor > supermic().speed_factor
+
+    def test_small_cluster_fits_request(self):
+        c = small_cluster(cores=100, cores_per_node=16)
+        assert c.total_cores >= 100
+
+    def test_get_cluster_lookup(self):
+        assert get_cluster("stampede").name == "stampede"
+
+    def test_get_cluster_unknown(self):
+        with pytest.raises(KeyError, match="unknown cluster"):
+            get_cluster("does-not-exist")

@@ -1,0 +1,140 @@
+"""Tests for the DES event queue."""
+
+import pytest
+
+from repro.pilot.events import EventQueue, SimulationError
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert EventQueue().now == 0.0
+
+    def test_events_fire_in_time_order(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(3.0, lambda: fired.append("c"))
+        q.schedule(1.0, lambda: fired.append("a"))
+        q.schedule(2.0, lambda: fired.append("b"))
+        q.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fire_in_submission_order(self):
+        q = EventQueue()
+        fired = []
+        for name in "abc":
+            q.schedule(1.0, lambda n=name: fired.append(n))
+        q.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self):
+        q = EventQueue()
+        q.schedule(5.5, lambda: None)
+        q.run()
+        assert q.now == 5.5
+
+    def test_callbacks_can_schedule_more(self):
+        q = EventQueue()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                q.schedule(1.0, lambda: chain(n + 1))
+
+        q.schedule(1.0, lambda: chain(1))
+        q.run()
+        assert fired == [1, 2, 3]
+        assert q.now == 3.0
+
+    def test_negative_delay_rejected(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        q = EventQueue()
+        q.schedule(10.0, lambda: None)
+        q.run()
+        with pytest.raises(SimulationError):
+            q.schedule_at(5.0, lambda: None)
+
+
+class TestCancel:
+    def test_cancelled_event_skipped(self):
+        q = EventQueue()
+        fired = []
+        e = q.schedule(1.0, lambda: fired.append("x"))
+        e.cancel()
+        q.run()
+        assert fired == []
+
+    def test_len_excludes_cancelled(self):
+        q = EventQueue()
+        e1 = q.schedule(1.0, lambda: None)
+        q.schedule(2.0, lambda: None)
+        e1.cancel()
+        assert len(q) == 1
+
+
+class TestRunUntil:
+    def test_stops_at_predicate(self):
+        q = EventQueue()
+        state = {"n": 0}
+        for _ in range(10):
+            q.schedule(1.0, lambda: state.__setitem__("n", state["n"] + 1))
+        q.run_until(lambda: state["n"] >= 3)
+        assert state["n"] == 3
+
+    def test_deadlock_raises(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError, match="deadlock"):
+            q.run_until(lambda: False)
+
+    def test_immediately_true_predicate_runs_nothing(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(1.0, lambda: fired.append(1))
+        q.run_until(lambda: True)
+        assert fired == []
+
+
+class TestAdvanceTo:
+    def test_advance_idle_time(self):
+        q = EventQueue()
+        q.advance_to(42.0)
+        assert q.now == 42.0
+
+    def test_cannot_rewind(self):
+        q = EventQueue()
+        q.advance_to(10.0)
+        with pytest.raises(SimulationError):
+            q.advance_to(5.0)
+
+    def test_cannot_skip_pending_events(self):
+        q = EventQueue()
+        q.schedule(1.0, lambda: None)
+        with pytest.raises(SimulationError):
+            q.advance_to(2.0)
+
+    def test_can_advance_past_cancelled(self):
+        q = EventQueue()
+        e = q.schedule(1.0, lambda: None)
+        e.cancel()
+        q.advance_to(2.0)
+        assert q.now == 2.0
+
+
+class TestCounters:
+    def test_n_fired(self):
+        q = EventQueue()
+        for _ in range(4):
+            q.schedule(1.0, lambda: None)
+        q.run()
+        assert q.n_fired == 4
+
+    def test_max_events_limit(self):
+        q = EventQueue()
+        for _ in range(10):
+            q.schedule(1.0, lambda: None)
+        q.run(max_events=3)
+        assert q.n_fired == 3

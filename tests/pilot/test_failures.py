@@ -1,0 +1,43 @@
+"""Tests for the failure injector."""
+
+import numpy as np
+import pytest
+
+from repro.pilot.failures import FailureModel, NO_FAILURES
+
+
+class TestFailureModel:
+    def test_zero_probability_never_fails(self):
+        fm = FailureModel(probability=0.0)
+        for _ in range(100):
+            fails, _ = fm.draw({})
+            assert not fails
+
+    def test_certain_failure(self):
+        fm = FailureModel(probability=1.0, rng=np.random.default_rng(1))
+        fails, fraction = fm.draw({})
+        assert fails
+        assert 0.0 < fraction < 1.0
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            FailureModel(probability=1.5)
+        with pytest.raises(ValueError):
+            FailureModel(probability=-0.1)
+
+    def test_phase_filter(self):
+        fm = FailureModel(
+            probability=1.0,
+            rng=np.random.default_rng(0),
+            only_phase="md",
+        )
+        assert fm.draw({"phase": "exchange"})[0] is False
+        assert fm.draw({"phase": "md"})[0] is True
+
+    def test_empirical_rate(self):
+        fm = FailureModel(probability=0.3, rng=np.random.default_rng(7))
+        n_fail = sum(fm.draw({})[0] for _ in range(5000))
+        assert 0.25 < n_fail / 5000 < 0.35
+
+    def test_no_failures_singleton(self):
+        assert NO_FAILURES.draw({"phase": "md"})[0] is False

@@ -1,0 +1,101 @@
+"""Tests for Session / PilotManager / UnitManager."""
+
+import pytest
+
+from repro.pilot.events import SimulationError
+from repro.pilot.pilot import PilotDescription, PilotState
+from repro.pilot.session import PilotManager, Session, UnitManager
+from repro.pilot.unit import UnitDescription
+
+
+def small_pilot_desc(cores=4):
+    return PilotDescription(resource="small-cluster", cores=cores)
+
+
+class TestSession:
+    def test_submit_and_wait_pilot(self):
+        with Session() as s:
+            p = s.submit_pilot(small_pilot_desc())
+            s.wait_pilot(p)
+            assert p.state is PilotState.ACTIVE
+            assert s.now > 0
+
+    def test_submit_and_wait_units(self):
+        with Session() as s:
+            p = s.submit_pilot(small_pilot_desc())
+            s.wait_pilot(p)
+            units = s.submit_units(
+                p, [UnitDescription(name=f"u{i}", duration=2.0) for i in range(8)]
+            )
+            s.wait_units(units)
+            assert all(u.succeeded for u in units)
+
+    def test_run_for_advances_clock(self):
+        with Session() as s:
+            t0 = s.now
+            s.run_for(100.0)
+            assert s.now == pytest.approx(t0 + 100.0)
+
+    def test_run_for_fires_due_events(self):
+        with Session() as s:
+            fired = []
+            s.clock.schedule(5.0, lambda: fired.append(1))
+            s.run_for(10.0)
+            assert fired == [1]
+            assert s.now == pytest.approx(10.0)
+
+    def test_closed_session_rejects_work(self):
+        s = Session()
+        s.close()
+        with pytest.raises(SimulationError):
+            s.submit_pilot(small_pilot_desc())
+
+    def test_close_cancels_pilots(self):
+        s = Session()
+        p = s.submit_pilot(small_pilot_desc())
+        s.wait_pilot(p)
+        s.close()
+        assert p.state is PilotState.CANCELED
+
+    def test_round_robin_distribution(self):
+        with Session() as s:
+            p1 = s.submit_pilot(small_pilot_desc())
+            p2 = s.submit_pilot(small_pilot_desc())
+            s.wait_pilot(p1)
+            s.wait_pilot(p2)
+            descs = [UnitDescription(name=f"u{i}", duration=1.0) for i in range(6)]
+            units = s.submit_units_round_robin([p1, p2], descs)
+            s.wait_units(units)
+            assert all(u.succeeded for u in units)
+
+    def test_round_robin_needs_pilots(self):
+        with Session() as s:
+            with pytest.raises(ValueError):
+                s.submit_units_round_robin([], [UnitDescription(name="x")])
+
+
+class TestManagers:
+    def test_pilot_manager_api(self):
+        with Session() as s:
+            pmgr = PilotManager(s)
+            (p,) = pmgr.submit_pilots(small_pilot_desc())
+            pmgr.wait_pilots(p)
+            assert p.state is PilotState.ACTIVE
+
+    def test_unit_manager_api(self):
+        with Session() as s:
+            pmgr, umgr = PilotManager(s), UnitManager(s)
+            pilots = pmgr.submit_pilots([small_pilot_desc(), small_pilot_desc()])
+            pmgr.wait_pilots(pilots)
+            umgr.add_pilots(pilots)
+            units = umgr.submit_units(
+                [UnitDescription(name=f"u{i}", duration=1.0) for i in range(4)]
+            )
+            umgr.wait_units(units)
+            assert all(u.succeeded for u in units)
+
+    def test_unit_manager_requires_pilots(self):
+        with Session() as s:
+            umgr = UnitManager(s)
+            with pytest.raises(RuntimeError):
+                umgr.submit_units(UnitDescription(name="x"))

@@ -1,0 +1,74 @@
+"""Property-based tests for the DES event queue."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pilot.events import EventQueue
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=200)
+def test_events_fire_in_nondecreasing_time_order(delays):
+    q = EventQueue()
+    fired_times = []
+    for d in delays:
+        q.schedule(d, lambda: fired_times.append(q.now))
+    q.run()
+    assert fired_times == sorted(fired_times)
+    assert len(fired_times) == len(delays)
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=1e3, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    ),
+    cancel_mask=st.lists(st.booleans(), min_size=1, max_size=30),
+)
+@settings(max_examples=200)
+def test_cancelled_events_never_fire(delays, cancel_mask):
+    q = EventQueue()
+    fired = []
+    events = []
+    for i, d in enumerate(delays):
+        events.append(q.schedule(d, lambda i=i: fired.append(i)))
+    for ev, cancel in zip(events, cancel_mask):
+        if cancel:
+            ev.cancel()
+    q.run()
+    cancelled = {
+        i
+        for i, (ev, c) in enumerate(zip(events, cancel_mask))
+        if c
+    }
+    assert set(fired).isdisjoint(cancelled)
+    expected = set(range(len(delays))) - cancelled
+    assert set(fired) == expected
+
+
+@given(
+    chain_depth=st.integers(min_value=1, max_value=20),
+    step=st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+)
+@settings(max_examples=100)
+def test_chained_scheduling_advances_monotonically(chain_depth, step):
+    q = EventQueue()
+    times = []
+
+    def tick(n):
+        times.append(q.now)
+        if n > 0:
+            q.schedule(step, lambda: tick(n - 1))
+
+    q.schedule(step, lambda: tick(chain_depth - 1))
+    q.run()
+    assert len(times) == chain_depth
+    for a, b in zip(times, times[1:]):
+        assert b >= a

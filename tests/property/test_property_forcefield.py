@@ -1,0 +1,80 @@
+"""Property-based tests for the force field."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md.forcefield import (
+    ForceField,
+    UmbrellaRestraint,
+    debye_screening_factor,
+    wrap_angle,
+)
+
+angle = st.floats(
+    min_value=-math.pi, max_value=math.pi, allow_nan=False,
+    allow_infinity=False,
+)
+any_angle = st.floats(
+    min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+salt = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+
+FF = ForceField()
+
+
+@given(phi=any_angle, psi=any_angle)
+@settings(max_examples=300)
+def test_energy_is_2pi_periodic(phi, psi):
+    e1 = float(FF.rama_energy(phi, psi))
+    e2 = float(FF.rama_energy(phi + 2 * math.pi, psi - 2 * math.pi))
+    assert abs(e1 - e2) < 1e-9
+
+
+@given(phi=angle, psi=angle, c=salt)
+@settings(max_examples=200)
+def test_energy_bounded(phi, psi, c):
+    e = float(FF.energy(phi, psi, salt_molar=c))
+    assert -FF.elec_amplitude - 1e-9 <= e <= FF.offset + FF.elec_amplitude
+
+
+@given(phi=angle, psi=angle, c=salt)
+@settings(max_examples=150)
+def test_gradient_matches_finite_difference(phi, psi, c):
+    h = 1e-6
+    gphi, gpsi = FF.gradient(phi, psi, salt_molar=c)
+    num_phi = (
+        float(FF.energy(phi + h, psi, salt_molar=c))
+        - float(FF.energy(phi - h, psi, salt_molar=c))
+    ) / (2 * h)
+    assert abs(float(gphi) - num_phi) < 1e-3
+
+
+@given(c1=salt, c2=salt)
+@settings(max_examples=100)
+def test_screening_monotone_decreasing(c1, c2):
+    lo, hi = sorted((c1, c2))
+    assert debye_screening_factor(hi) <= debye_screening_factor(lo) + 1e-12
+
+
+@given(x=st.floats(min_value=-100.0, max_value=100.0, allow_nan=False))
+@settings(max_examples=200)
+def test_wrap_angle_idempotent(x):
+    w1 = float(wrap_angle(x))
+    w2 = float(wrap_angle(w1))
+    assert abs(w1 - w2) < 1e-12
+    assert -math.pi <= w1 < math.pi
+
+
+@given(
+    center=st.floats(min_value=-360.0, max_value=720.0, allow_nan=False),
+    k=st.floats(min_value=0.0, max_value=0.1, allow_nan=False),
+    phi=angle,
+)
+@settings(max_examples=200)
+def test_restraint_energy_nonnegative_and_zero_at_center(center, k, phi):
+    r = UmbrellaRestraint("phi", center, k)
+    assert float(r.energy(phi, 0.0)) >= 0.0
+    assert float(r.energy(math.radians(center), 0.0)) < 1e-9

@@ -1,0 +1,89 @@
+"""Property-based tests for the WHAM solver."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.wham import Grid2D, WindowData, wham_2d
+from repro.md.forcefield import UmbrellaRestraint
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    n_bins=st.integers(min_value=4, max_value=16),
+    n_samples=st.integers(min_value=500, max_value=3000),
+)
+@settings(max_examples=30, deadline=None)
+def test_probability_nonnegative_and_free_energy_min_zero(
+    seed, n_bins, n_samples
+):
+    rng = np.random.default_rng(seed)
+    samples = rng.uniform(-np.pi, np.pi, size=(n_samples, 2))
+    res = wham_2d(
+        [WindowData(restraints=(), samples=samples)],
+        300.0,
+        grid=Grid2D(n_bins=n_bins),
+    )
+    assert np.all(res.probability >= 0.0)
+    finite = res.free_energy[np.isfinite(res.free_energy)]
+    assert finite.size > 0
+    assert abs(finite.min()) < 1e-9
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    temperature=st.floats(min_value=250.0, max_value=450.0),
+)
+@settings(max_examples=20, deadline=None)
+def test_gauge_invariance_first_window(seed, temperature):
+    rng = np.random.default_rng(seed)
+    windows = [
+        WindowData(
+            restraints=(UmbrellaRestraint("phi", c, 0.0003),),
+            samples=np.stack(
+                [
+                    rng.normal(np.radians(c), 0.5, 2000),
+                    rng.uniform(-np.pi, np.pi, 2000),
+                ],
+                axis=1,
+            ),
+        )
+        for c in (-60.0, 60.0)
+    ]
+    res = wham_2d(windows, temperature, grid=Grid2D(n_bins=8))
+    assert res.f_k[0] == 1.0
+
+
+@given(seed=st.integers(min_value=0, max_value=500))
+@settings(max_examples=20, deadline=None)
+def test_sample_count_preserved_in_histograms(seed):
+    rng = np.random.default_rng(seed)
+    grid = Grid2D(n_bins=10)
+    samples = rng.uniform(-np.pi, np.pi - 1e-9, size=(777, 2))
+    h = grid.histogram(samples)
+    assert int(h.sum()) == 777
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=500),
+    scale=st.floats(min_value=1.0, max_value=100.0),
+)
+@settings(max_examples=20, deadline=None)
+def test_free_energy_invariant_under_sample_duplication(seed, scale):
+    """Duplicating every sample k times must not change the surface."""
+    rng = np.random.default_rng(seed)
+    base = rng.normal(0.0, 0.6, size=(1500, 2))
+    base = (base + np.pi) % (2 * np.pi) - np.pi
+    res1 = wham_2d(
+        [WindowData(restraints=(), samples=base)],
+        300.0,
+        grid=Grid2D(n_bins=8),
+    )
+    res2 = wham_2d(
+        [WindowData(restraints=(), samples=np.tile(base, (3, 1)))],
+        300.0,
+        grid=Grid2D(n_bins=8),
+    )
+    f1, f2 = res1.free_energy, res2.free_energy
+    mask = np.isfinite(f1) & np.isfinite(f2)
+    assert np.allclose(f1[mask], f2[mask], atol=1e-9)

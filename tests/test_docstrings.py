@@ -1,0 +1,74 @@
+"""Quality gate: every public item carries a docstring.
+
+Deliverable (e) requires doc comments on every public item; this
+meta-test enforces it so it cannot silently regress.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def iter_modules():
+    yield repro
+    for info in pkgutil.walk_packages(
+        repro.__path__, prefix="repro."
+    ):
+        if info.name.endswith("__main__"):
+            continue  # importing it would execute the CLI
+        yield importlib.import_module(info.name)
+
+
+def public_members(module):
+    for name in dir(module):
+        if name.startswith("_"):
+            continue
+        obj = getattr(module, name)
+        if inspect.ismodule(obj):
+            continue
+        mod = getattr(obj, "__module__", None)
+        if mod is None or not str(mod).startswith("repro"):
+            continue  # re-exports of third-party objects
+        if mod != module.__name__:
+            continue  # defined elsewhere; checked there
+        yield name, obj
+
+
+ALL_MODULES = list(iter_modules())
+
+
+@pytest.mark.parametrize(
+    "module", ALL_MODULES, ids=lambda m: m.__name__
+)
+def test_module_has_docstring(module):
+    assert module.__doc__, f"{module.__name__} lacks a module docstring"
+
+
+@pytest.mark.parametrize(
+    "module", ALL_MODULES, ids=lambda m: m.__name__
+)
+def test_public_classes_and_functions_documented(module):
+    missing = []
+    for name, obj in public_members(module):
+        if inspect.isclass(obj):
+            if not obj.__doc__:
+                missing.append(f"{module.__name__}.{name}")
+            for meth_name, meth in inspect.getmembers(
+                obj, inspect.isfunction
+            ):
+                if meth_name.startswith("_"):
+                    continue
+                if meth.__qualname__.split(".")[0] != obj.__name__:
+                    continue  # inherited
+                if not meth.__doc__:
+                    missing.append(
+                        f"{module.__name__}.{name}.{meth_name}"
+                    )
+        elif inspect.isfunction(obj):
+            if not obj.__doc__:
+                missing.append(f"{module.__name__}.{name}")
+    assert not missing, f"undocumented public items: {missing}"

@@ -1,0 +1,36 @@
+"""Tests for ASCII table rendering."""
+
+import pytest
+
+from repro.utils.tables import render_table
+
+
+class TestRenderTable:
+    def test_basic_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2], [33, 44]])
+        lines = out.splitlines()
+        assert lines[0].endswith("bb")
+        assert "33" in lines[-1]
+
+    def test_title(self):
+        out = render_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+        assert set(out.splitlines()[1]) == {"="}
+
+    def test_float_formatting(self):
+        out = render_table(["v"], [[3.14159]])
+        assert "3.14" in out
+        assert "3.14159" not in out
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = render_table(["a"], [])
+        assert "a" in out
+
+    def test_left_alignment(self):
+        out = render_table(["name"], [["x"]], align_right=False)
+        row = out.splitlines()[-1]
+        assert row.startswith("x")

@@ -1,0 +1,114 @@
+"""Tests for physical constants and ladder construction."""
+
+import math
+
+import pytest
+
+from repro.utils.units import (
+    KB_KCAL_PER_MOL_K,
+    angular_distance_degrees,
+    beta_from_temperature,
+    geometric_temperature_ladder,
+    kcal_to_kj,
+    kj_to_kcal,
+    temperature_from_beta,
+    uniform_ladder,
+    wrap_degrees,
+)
+
+
+class TestBeta:
+    def test_room_temperature(self):
+        beta = beta_from_temperature(300.0)
+        assert beta == pytest.approx(1.0 / (KB_KCAL_PER_MOL_K * 300.0))
+
+    def test_roundtrip(self):
+        for t in (273.0, 300.0, 373.0, 1000.0):
+            assert temperature_from_beta(beta_from_temperature(t)) == pytest.approx(t)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            beta_from_temperature(0.0)
+        with pytest.raises(ValueError):
+            beta_from_temperature(-10.0)
+        with pytest.raises(ValueError):
+            temperature_from_beta(0.0)
+
+    def test_beta_decreases_with_temperature(self):
+        assert beta_from_temperature(273.0) > beta_from_temperature(373.0)
+
+
+class TestEnergyConversion:
+    def test_kcal_kj_roundtrip(self):
+        assert kj_to_kcal(kcal_to_kj(3.7)) == pytest.approx(3.7)
+
+    def test_known_value(self):
+        assert kcal_to_kj(1.0) == pytest.approx(4.184)
+
+
+class TestGeometricLadder:
+    def test_paper_ladder_endpoints(self):
+        ladder = geometric_temperature_ladder(273.0, 373.0, 6)
+        assert len(ladder) == 6
+        assert ladder[0] == pytest.approx(273.0)
+        assert ladder[-1] == pytest.approx(373.0)
+
+    def test_constant_ratio(self):
+        ladder = geometric_temperature_ladder(273.0, 373.0, 6)
+        ratios = [b / a for a, b in zip(ladder, ladder[1:])]
+        for r in ratios:
+            assert r == pytest.approx(ratios[0])
+
+    def test_monotonic(self):
+        ladder = geometric_temperature_ladder(200.0, 800.0, 12)
+        assert all(a < b for a, b in zip(ladder, ladder[1:]))
+
+    def test_single_window(self):
+        assert geometric_temperature_ladder(273.0, 373.0, 1) == [273.0]
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            geometric_temperature_ladder(273.0, 373.0, 0)
+        with pytest.raises(ValueError):
+            geometric_temperature_ladder(373.0, 273.0, 4)
+        with pytest.raises(ValueError):
+            geometric_temperature_ladder(-1.0, 373.0, 4)
+
+
+class TestUniformLadder:
+    def test_periodic_paper_windows(self):
+        windows = uniform_ladder(0.0, 360.0, 8, periodic=True)
+        assert windows == [0.0, 45.0, 90.0, 135.0, 180.0, 225.0, 270.0, 315.0]
+
+    def test_nonperiodic_includes_endpoints(self):
+        windows = uniform_ladder(0.0, 1.0, 5)
+        assert windows[0] == 0.0
+        assert windows[-1] == 1.0
+        assert len(windows) == 5
+
+    def test_single_window(self):
+        assert uniform_ladder(2.0, 8.0, 1) == [2.0]
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            uniform_ladder(0.0, 1.0, 0)
+        with pytest.raises(ValueError):
+            uniform_ladder(1.0, 0.0, 3)
+
+
+class TestAngles:
+    def test_wrap_degrees_range(self):
+        for a in (-720.0, -180.0, 0.0, 179.9, 180.0, 359.0, 720.0):
+            w = wrap_degrees(a)
+            assert -180.0 <= w < 180.0
+
+    def test_wrap_identity_in_range(self):
+        assert wrap_degrees(-90.0) == pytest.approx(-90.0)
+        assert wrap_degrees(90.0) == pytest.approx(90.0)
+
+    def test_angular_distance_symmetric(self):
+        assert angular_distance_degrees(10.0, 350.0) == pytest.approx(20.0)
+        assert angular_distance_degrees(350.0, 10.0) == pytest.approx(20.0)
+
+    def test_angular_distance_max_180(self):
+        assert angular_distance_degrees(0.0, 180.0) == pytest.approx(180.0)
