@@ -10,6 +10,9 @@ several figures share data (Figs. 5, 6 and 7 all come from the 1-D weak-
 scaling sweep; Fig. 11 re-analyzes Figs. 9-10).
 
 Set ``REPRO_FAST=1`` to trim the replica counts for a quick smoke pass.
+Set ``REPRO_OBS=0`` to run with the observability layer disabled (null
+metrics registry, no tracer, no manifests) when timing the benchmarks
+themselves rather than the simulated workload.
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ import os
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.core import (
     DimensionSpec,
     PatternSpec,
@@ -29,6 +33,9 @@ from repro.core.config import EngineSpec
 from repro.core.results import SimulationResult
 
 FAST = os.environ.get("REPRO_FAST", "0") == "1"
+
+if os.environ.get("REPRO_OBS", "1") == "0":
+    obs.null_registry()
 
 #: The paper's replica counts for the weak-scaling experiments.
 REPLICA_COUNTS: List[int] = [64, 216] if FAST else [64, 216, 512, 1000, 1728]
@@ -187,3 +194,31 @@ def run_mremd(
 def one_dimensional_sweep(kind: str, **kwargs) -> List[SimulationResult]:
     """The Figs. 5-7 sweep: replicas == cores over REPLICA_COUNTS."""
     return [run_1d(kind, n, **kwargs) for n in REPLICA_COUNTS]
+
+
+#: Manifest phase buckets, in presentation order.
+PHASES: Tuple[str, ...] = ("md", "exchange", "staging", "overhead", "other")
+
+
+def phase_decomposition(result: SimulationResult) -> Dict[str, float]:
+    """Per-phase busy core-seconds of one run, from its manifest.
+
+    Empty when the run was executed with ``REPRO_OBS=0`` (no manifest).
+    """
+    if result.manifest is None:
+        return {}
+    return dict(result.manifest.phase_totals)
+
+
+def phase_rows(results: List[SimulationResult]) -> List[List]:
+    """Table rows [replicas, md, exchange, staging, overhead, util%] —
+    the same decomposition for every figure script that wants it."""
+    rows = []
+    for res in results:
+        phases = phase_decomposition(res)
+        rows.append(
+            [res.n_replicas]
+            + [phases.get(p, 0.0) for p in PHASES[:4]]
+            + [100.0 * res.utilization()]
+        )
+    return rows

@@ -10,7 +10,13 @@ S exchange substantially longer (extra single-point tasks) but still
 near-linear.
 """
 
-from _harness import REPLICA_COUNTS, one_dimensional_sweep, report
+from _harness import (
+    PHASES,
+    REPLICA_COUNTS,
+    one_dimensional_sweep,
+    phase_rows,
+    report,
+)
 from repro.utils.tables import render_table
 
 
@@ -21,11 +27,11 @@ def collect():
             (r.mean_component("t_md"), r.mean_component("t_ex"))
             for r in one_dimensional_sweep(kind)
         ]
-    return data
+    return data, phase_rows(one_dimensional_sweep("temperature"))
 
 
 def test_fig06_1d_weak_scaling(benchmark):
-    data = benchmark.pedantic(collect, rounds=1, iterations=1)
+    data, phases = benchmark.pedantic(collect, rounds=1, iterations=1)
     rows = []
     for i, n in enumerate(REPLICA_COUNTS):
         rows.append(
@@ -55,6 +61,16 @@ def test_fig06_1d_weak_scaling(benchmark):
             title=(
                 "Fig. 6: 1D-REMD weak scaling - MD and exchange time (s)"
             ),
+        )
+        + (
+            "\n\n"
+            + render_table(
+                ["replicas"] + [p for p in PHASES[:4]] + ["util %"],
+                phases,
+                title="T-REMD manifest phase totals (busy core-seconds)",
+            )
+            if any(any(r[1:5]) for r in phases)
+            else ""
         ),
     )
 

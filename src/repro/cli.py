@@ -5,8 +5,10 @@ specified by configuration files"; this module makes that literal:
 
 .. code-block:: console
 
-    $ python -m repro run examples/configs/tremd.json
+    $ python -m repro run examples/configs/tremd.json --manifest run.jsonl
     $ python -m repro check examples/configs/tremd.json
+    $ python -m repro obs summary run.jsonl
+    $ python -m repro obs timeline run.jsonl
     $ python -m repro table1
     $ python -m repro engines
 
@@ -27,6 +29,7 @@ from repro.core import RepEx
 from repro.core.capabilities import TABLE1_HEADERS, table1_rows
 from repro.core.config import ConfigError, SimulationConfig
 from repro.md.engine import available_engines
+from repro.obs.manifest import ManifestError, RunManifest
 from repro.utils.tables import render_table
 
 
@@ -110,6 +113,20 @@ def cmd_run(args: argparse.Namespace) -> int:
         }
         Path(args.output).write_text(json.dumps(summary, indent=2))
         print(f"\nsummary written to {args.output}")
+
+    if args.manifest:
+        if result.manifest is None:
+            print(
+                "warning: no manifest recorded (observability disabled)",
+                file=sys.stderr,
+            )
+        else:
+            try:
+                result.manifest.dump(args.manifest)
+            except OSError as exc:
+                print(f"error: cannot write manifest: {exc}", file=sys.stderr)
+                return 2
+            print(f"manifest written to {args.manifest}")
     return 0
 
 
@@ -125,6 +142,41 @@ def cmd_check(args: argparse.Namespace) -> int:
         f"({config.type_string}), mode {config.effective_mode}, "
         f"{config.engine.name} on {config.resource.name}"
     )
+    return 0
+
+
+def _load_manifest(path: str) -> Optional[RunManifest]:
+    try:
+        return RunManifest.load(path)
+    except (OSError, ManifestError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+
+
+def cmd_obs_summary(args: argparse.Namespace) -> int:
+    """Print a run manifest's phase decomposition and metrics."""
+    manifest = _load_manifest(args.manifest)
+    if manifest is None:
+        return 2
+    for line in manifest.summary_lines():
+        print(line)
+    return 0
+
+
+def cmd_obs_timeline(args: argparse.Namespace) -> int:
+    """Print a manifest's event-ordered unit timeline."""
+    manifest = _load_manifest(args.manifest)
+    if manifest is None:
+        return 2
+    events = manifest.timeline
+    if args.limit and len(events) > args.limit:
+        shown, hidden = events[: args.limit], len(events) - args.limit
+    else:
+        shown, hidden = events, 0
+    for t, unit, state in shown:
+        print(f"{t:14.6f}  {state:<24} {unit}")
+    if hidden:
+        print(f"... {hidden} more events")
     return 0
 
 
@@ -161,7 +213,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "-o", "--output", help="write a JSON summary to this path"
     )
+    p_run.add_argument(
+        "-m", "--manifest", help="write the run manifest (JSONL) to this path"
+    )
     p_run.set_defaults(func=cmd_run)
+
+    p_obs = sub.add_parser(
+        "obs", help="inspect run manifests (metrics, spans, timelines)"
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_obs_summary = obs_sub.add_parser(
+        "summary", help="print phase totals and metrics of a manifest"
+    )
+    p_obs_summary.add_argument("manifest", help="path to a manifest JSONL")
+    p_obs_summary.set_defaults(func=cmd_obs_summary)
+    p_obs_timeline = obs_sub.add_parser(
+        "timeline", help="print the event-ordered unit timeline"
+    )
+    p_obs_timeline.add_argument("manifest", help="path to a manifest JSONL")
+    p_obs_timeline.add_argument(
+        "-n", "--limit", type=int, default=40,
+        help="max events to print (0 = all)",
+    )
+    p_obs_timeline.set_defaults(func=cmd_obs_timeline)
 
     p_check = sub.add_parser("check", help="validate a JSON config")
     p_check.add_argument("config", help="path to the JSON configuration")

@@ -29,6 +29,7 @@ from repro.core.execution_modes import ExecutionMode, make_mode
 from repro.core.fault import FaultAction, FaultPolicy, policy_from_spec
 from repro.core.replica import Replica, ReplicaStatus
 from repro.core.results import CycleTiming, SimulationResult
+from repro.obs.metrics import get_registry
 from repro.pilot.pilot import Pilot, PilotState
 from repro.pilot.session import Session
 from repro.pilot.unit import ComputeUnit
@@ -61,6 +62,15 @@ class ExecutionManagerBase:
         #: staging time of the most recent exchange phase (SP + exchange
         #: units), folded into the cycle's T_data
         self._last_exchange_data_time = 0.0
+        # Observability: spans are stamped on this session's virtual
+        # clock; instrument references are cached for the event loop.
+        self.metrics = get_registry()
+        self.metrics.bind_clock(session.clock)
+        self._c_cycles = self.metrics.counter("emm.cycles")
+        self._c_sweeps = self.metrics.counter("emm.exchange_sweeps")
+        self._c_failures = self.metrics.counter("emm.failures")
+        self._c_relaunches = self.metrics.counter("emm.relaunches")
+        self._h_cycle_span = self.metrics.histogram("emm.cycle_seconds")
 
     # -- helpers ---------------------------------------------------------------
 
@@ -103,6 +113,7 @@ class ExecutionManagerBase:
             if not failed:
                 break
             self.n_failures += len(failed)
+            self._c_failures.inc(len(failed))
             to_relaunch: List[Replica] = []
             by_rid = {r.rid: r for r in replicas}
             for rid in failed:
@@ -114,6 +125,7 @@ class ExecutionManagerBase:
             if not to_relaunch:
                 break
             self.n_relaunches += len(to_relaunch)
+            self._c_relaunches.inc(len(to_relaunch))
             redo = [self.amm.md_task(r, cycle) for r in to_relaunch]
             redo_units = self.mode.run_phase(self.session, self.pilot, redo)
             self._account_md(redo_units)
@@ -205,6 +217,12 @@ class SynchronousEMM(ExecutionManagerBase):
                 else None
             )
             cycle_start = self.session.now
+            cycle_span = self.metrics.begin_span(
+                "cycle",
+                pattern="synchronous",
+                cycle=cycle,
+                dimension=dimension.name if dimension else None,
+            )
 
             # RepEx overhead: prepare and serialize task descriptions.
             prep = self.amm.perf.task_prep_overhead(
@@ -216,8 +234,12 @@ class SynchronousEMM(ExecutionManagerBase):
             active = [
                 r for r in self.replicas if r.status is ReplicaStatus.ACTIVE
             ]
+            md_span = self.metrics.begin_span(
+                "md", cycle=cycle, n_replicas=len(active)
+            )
             unit_of = self._run_md_with_recovery(cycle, active)
             md_end = self.session.now
+            md_span.end()
 
             n_failed = 0
             for rep in active:
@@ -238,7 +260,14 @@ class SynchronousEMM(ExecutionManagerBase):
                     if r.status is ReplicaStatus.ACTIVE
                     and not (r.history and r.history[-1].failed)
                 ]
-                proposals = self._run_exchange(cycle, dimension, healthy)
+                with self.metrics.span(
+                    "exchange",
+                    pattern="synchronous",
+                    cycle=cycle,
+                    dimension=dimension.name,
+                ):
+                    proposals = self._run_exchange(cycle, dimension, healthy)
+                self._c_sweeps.inc()
                 all_proposals.extend(proposals)
             ex_end = self.session.now
 
@@ -267,6 +296,9 @@ class SynchronousEMM(ExecutionManagerBase):
                     n_failed=n_failed,
                 )
             )
+            cycle_span.end()
+            self._c_cycles.inc()
+            self._h_cycle_span.observe(self.session.now - cycle_start)
 
         result = self._build_result(timings, t_start)
         result.proposals = all_proposals
@@ -306,6 +338,7 @@ class AsynchronousEMM(ExecutionManagerBase):
         window = self.config.pattern.window_seconds
         exchange_busy = {"flag": False}
         sweep_counter = {"n": 0}
+        pool_gauge = self.metrics.gauge("emm.pool_depth")
 
         def all_done() -> bool:
             return (
@@ -351,9 +384,11 @@ class AsynchronousEMM(ExecutionManagerBase):
             cycle = cycles_done[rep.rid]
             if not unit.succeeded:
                 self.n_failures += 1
+                self._c_failures.inc()
                 action = self.policy.on_failure(rep, rep.n_failures + 1)
                 if action is FaultAction.RELAUNCH:
                     self.n_relaunches += 1
+                    self._c_relaunches.inc()
                     submit_md(rep)
                     return
                 if action is FaultAction.RETIRE:
@@ -399,6 +434,7 @@ class AsynchronousEMM(ExecutionManagerBase):
                         submit_md(fresh)
                 return
             pool.append(rep.rid)
+            pool_gauge.set(len(pool))
             if fifo_count is not None and len(pool) >= fifo_count:
                 trigger_exchange()
 
@@ -407,11 +443,19 @@ class AsynchronousEMM(ExecutionManagerBase):
                 return
             ready = [by_rid[rid] for rid in pool]
             pool.clear()
+            pool_gauge.set(0)
             exchange_busy["flag"] = True
             sweep = sweep_counter["n"]
             sweep_counter["n"] += 1
             dimension = self.amm.schedule.active(sweep)
             t_sweep_start = self.session.now
+            sweep_span = self.metrics.begin_span(
+                "exchange",
+                pattern="asynchronous",
+                sweep=sweep,
+                dimension=dimension.name,
+                n_replicas=len(ready),
+            )
 
             # S-REMD in async mode would need its SP stage serialized here;
             # the paper's async experiments are T-REMD, and we support the
@@ -428,6 +472,8 @@ class AsynchronousEMM(ExecutionManagerBase):
             def on_ex_final(u: ComputeUnit, _s) -> None:
                 if not u.done:
                     return
+                sweep_span.end()
+                self._c_sweeps.inc()
                 self._account_exchange([u])
                 proposals = (
                     list(u.result) if u.succeeded and u.result else []
@@ -468,6 +514,10 @@ class AsynchronousEMM(ExecutionManagerBase):
                         n_replicas=len(ready),
                     )
                 )
+                self._c_cycles.inc()
+                self._h_cycle_span.observe(
+                    self.session.now + prep - t_sweep_start
+                )
                 self.session.clock.schedule(prep, resubmit)
 
             units[0].register_callback(on_ex_final)
@@ -475,6 +525,7 @@ class AsynchronousEMM(ExecutionManagerBase):
         def flush_pool() -> None:
             """Resubmit pooled replicas without exchange (no partners left)."""
             ready, pool[:] = list(pool), []
+            pool_gauge.set(0)
             for rid in ready:
                 if cycles_done[rid] < n_cycles:
                     submit_md(by_rid[rid])

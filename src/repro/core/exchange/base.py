@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.core.replica import Replica
 from repro.md.toymd import ThermodynamicState
+from repro.obs.metrics import get_registry
 from repro.utils.units import beta_from_temperature
 
 
@@ -46,11 +47,24 @@ def metropolis_delta(
 
 
 def metropolis_accept(delta: float, rng: np.random.Generator) -> bool:
-    """Accept a swap with probability ``min(1, exp(-delta))``."""
+    """Accept a swap with probability ``min(1, exp(-delta))``.
+
+    Every call counts toward ``exchange.attempted`` /
+    ``exchange.accepted`` in the process-local metrics registry — this
+    is the single choke point every dimension's swap decision goes
+    through, so the counters agree with the per-dimension
+    :class:`~repro.core.results.ExchangeStats` by construction.
+    """
+    registry = get_registry()
+    registry.counter("exchange.attempted").inc()
     if delta <= 0.0:
+        registry.counter("exchange.accepted").inc()
         return True
     # exp underflows harmlessly to 0 for large delta
-    return bool(rng.random() < math.exp(-min(delta, 700.0)))
+    accepted = bool(rng.random() < math.exp(-min(delta, 700.0)))
+    if accepted:
+        registry.counter("exchange.accepted").inc()
+    return accepted
 
 
 @dataclass

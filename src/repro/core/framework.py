@@ -29,10 +29,13 @@ from repro.core.results import SimulationResult
 from repro.md.engine import EngineAdapter
 from repro.md.perfmodel import PerformanceModel
 from repro.md.sandbox import Sandbox
+from repro.obs.manifest import RunManifest
+from repro.obs.metrics import get_registry
 from repro.pilot.cluster import get_cluster
 from repro.pilot.failures import FailureModel
 from repro.pilot.pilot import PilotDescription
 from repro.pilot.session import Session
+from repro.pilot.trace import Tracer
 from repro.utils.rng import RNGRegistry
 
 
@@ -72,6 +75,16 @@ class RepEx:
         if session is not None and failure_model is not None:
             self.session.failure_model = failure_model
 
+        # Observability: bind the registry to this run's virtual clock and
+        # auto-trace every unit the session submits.  Under a NullRegistry
+        # the tracer is skipped entirely, so the off-path cost is only the
+        # no-op instrument calls.
+        self.registry = get_registry()
+        self.registry.bind_clock(self.session.clock)
+        if self.registry.enabled and self.session.tracer is None:
+            self.session.tracer = Tracer()
+        self.tracer = self.session.tracer
+
         self.amm = ApplicationManager(
             config,
             self.cluster,
@@ -101,11 +114,20 @@ class RepEx:
         )
 
     def run(self) -> SimulationResult:
-        """Execute the simulation and tear the pilot down."""
+        """Execute the simulation and tear the pilot down.
+
+        The process-local metrics registry is reset at entry so the
+        manifest attached to the result reflects this run alone.
+        """
+        self.registry.reset()
         try:
-            return self.emm.run()
+            result = self.emm.run()
         finally:
             self.pilot.cancel()
+        result.manifest = RunManifest.from_run(
+            self.config, result, self.tracer, self.registry
+        )
+        return result
 
 
 def run_simulation(config: SimulationConfig, **kwargs) -> SimulationResult:

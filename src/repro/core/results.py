@@ -93,6 +93,12 @@ class SimulationResult:
     #: adaptive sampling: replicas retired early / spawned as replacements
     n_retired: int = 0
     n_spawned: int = 0
+    #: observability artifact attached by :meth:`RepEx.run()
+    #: <repro.core.framework.RepEx.run>`; None when the run bypassed the
+    #: framework facade or observability was disabled mid-flight.
+    #: (Typed loosely to keep results import-light; it is a
+    #: :class:`repro.obs.manifest.RunManifest`.)
+    manifest: Optional[object] = None
 
     # -- aggregates -----------------------------------------------------------
 

@@ -1,0 +1,58 @@
+"""Structured observability: metrics, spans, and run manifests.
+
+The paper's central evidence is a timing decomposition (Eq. 1) and a
+utilization metric (Eq. 4); this package makes the reproduction report
+them as first-class data rather than ad-hoc prints:
+
+* :mod:`repro.obs.metrics` — counters/gauges/histograms resolved through a
+  process-local default :class:`MetricsRegistry` (swap in a
+  :class:`NullRegistry` to turn the layer off),
+* :mod:`repro.obs.spans` — named virtual-time intervals recorded by the
+  EMMs around each cycle/phase,
+* :mod:`repro.obs.manifest` — the :class:`RunManifest` JSONL artifact
+  every ``RepEx.run()`` attaches to its result, rendered by
+  ``repro obs summary``.
+
+See ``docs/OBSERVABILITY.md`` for the metric-name and span taxonomy.
+"""
+
+from repro.obs.manifest import (
+    ManifestError,
+    RunManifest,
+    SCHEMA_VERSION,
+    config_hash,
+    phase_totals,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    NullRegistry,
+    get_registry,
+    null_registry,
+    set_registry,
+    using_registry,
+)
+from repro.obs.spans import Span, SpanRecord
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "ManifestError",
+    "MetricError",
+    "MetricsRegistry",
+    "NullRegistry",
+    "RunManifest",
+    "SCHEMA_VERSION",
+    "Span",
+    "SpanRecord",
+    "config_hash",
+    "get_registry",
+    "null_registry",
+    "phase_totals",
+    "set_registry",
+    "using_registry",
+]

@@ -1,0 +1,288 @@
+"""Run manifests: one queryable artifact per simulation run.
+
+A :class:`RunManifest` is written at the end of
+:meth:`RepEx.run() <repro.core.framework.RepEx.run>` and bundles
+
+* identity — title, config hash, pattern, mode, replica/core counts,
+* the per-phase time decomposition (md / exchange / staging / overhead)
+  derived from the unit tracer, in core-seconds,
+* a snapshot of every metric in the active registry,
+* every finished span, and
+* the event-ordered per-unit state timeline.
+
+The export format is JSONL (one self-describing record per line) so large
+timelines stream, and ``repro obs summary <manifest>`` renders the same
+phase table the paper's figures plot.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecord
+from repro.pilot.trace import Tracer
+from repro.pilot.unit import UnitState
+
+#: Bump when the JSONL schema changes shape.
+SCHEMA_VERSION = 1
+
+#: Unit metadata phases folded into the manifest's ``exchange`` bucket.
+_EXCHANGE_PHASES = frozenset({"exchange", "single_point"})
+
+
+class ManifestError(ValueError):
+    """Raised when a manifest cannot be parsed."""
+
+
+def config_hash(config) -> str:
+    """Stable sha256 over a config's canonical dict form (first 16 hex)."""
+    canonical = json.dumps(config.to_dict(), sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def phase_totals(tracer: Tracer) -> Dict[str, float]:
+    """Per-phase core-second totals derived from a tracer's unit records.
+
+    Buckets: ``md`` and ``exchange`` are EXECUTING dwell split by the
+    units' ``phase`` metadata tag (``single_point`` counts as exchange,
+    matching the EMM's accounting); ``staging`` is input+output staging
+    dwell of every unit; ``overhead`` is scheduling + launch-pending
+    dwell; ``other`` catches execution of untagged units.
+    """
+    totals = {
+        "md": 0.0,
+        "exchange": 0.0,
+        "staging": 0.0,
+        "overhead": 0.0,
+        "other": 0.0,
+    }
+    for rec in tracer.records.values():
+        cores = rec.cores
+        executing = rec.dwell(UnitState.EXECUTING) * cores
+        phase = rec.metadata.get("phase")
+        if phase == "md":
+            totals["md"] += executing
+        elif phase in _EXCHANGE_PHASES:
+            totals["exchange"] += executing
+        else:
+            totals["other"] += executing
+        totals["staging"] += (
+            rec.dwell(UnitState.STAGING_INPUT)
+            + rec.dwell(UnitState.STAGING_OUTPUT)
+        ) * cores
+        totals["overhead"] += (
+            rec.dwell(UnitState.SCHEDULING)
+            + rec.dwell(UnitState.AGENT_EXECUTING_PENDING)
+        ) * cores
+    return totals
+
+
+@dataclass
+class RunManifest:
+    """Everything observable about one finished simulation run."""
+
+    title: str
+    config_hash: str
+    pattern: str
+    execution_mode: str
+    n_replicas: int
+    pilot_cores: int
+    seed: int
+    t_start: float
+    t_end: float
+    #: core-seconds per phase; see :func:`phase_totals`
+    phase_totals: Dict[str, float] = field(default_factory=dict)
+    #: Eq. 4 utilization as the EMM accounted it
+    utilization: float = 0.0
+    #: registry snapshot at the end of the run
+    metrics: Dict[str, Dict] = field(default_factory=dict)
+    spans: List[SpanRecord] = field(default_factory=list)
+    #: event-ordered ``[time, unit_name, state]`` triples
+    timeline: List[List] = field(default_factory=list)
+    n_units: int = 0
+    schema_version: int = SCHEMA_VERSION
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_run(
+        cls,
+        config,
+        result,
+        tracer: Optional[Tracer],
+        registry: MetricsRegistry,
+    ) -> "RunManifest":
+        """Assemble the manifest for a finished run.
+
+        ``config``/``result`` are duck-typed (SimulationConfig /
+        SimulationResult) so this module stays import-light; ``tracer``
+        may be None under a null registry, which yields an identity-only
+        manifest.
+        """
+        manifest = cls(
+            title=result.title,
+            config_hash=config_hash(config),
+            pattern=result.pattern,
+            execution_mode=result.execution_mode,
+            n_replicas=result.n_replicas,
+            pilot_cores=result.pilot_cores,
+            seed=getattr(config, "seed", 0),
+            t_start=result.t_start,
+            t_end=result.t_end,
+            utilization=result.utilization(),
+            metrics=registry.snapshot() if registry.enabled else {},
+            spans=list(registry.spans),
+        )
+        if tracer is not None:
+            manifest.phase_totals = phase_totals(tracer)
+            manifest.timeline = tracer.timeline()
+            manifest.n_units = len(tracer.records)
+        return manifest
+
+    # -- derived -------------------------------------------------------------
+
+    @property
+    def wallclock(self) -> float:
+        """Virtual seconds the run spanned."""
+        return max(0.0, self.t_end - self.t_start)
+
+    def busy_core_seconds(self) -> float:
+        """MD + exchange execution core-seconds from the phase totals."""
+        return self.phase_totals.get("md", 0.0) + self.phase_totals.get(
+            "exchange", 0.0
+        )
+
+    def spans_named(self, name: str) -> List[SpanRecord]:
+        """All spans with ``name``, in recording order."""
+        return [s for s in self.spans if s.name == name]
+
+    # -- JSONL round-trip ----------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """Serialize as one self-describing JSON record per line."""
+        header = {
+            "kind": "run",
+            "schema_version": self.schema_version,
+            "title": self.title,
+            "config_hash": self.config_hash,
+            "pattern": self.pattern,
+            "execution_mode": self.execution_mode,
+            "n_replicas": self.n_replicas,
+            "pilot_cores": self.pilot_cores,
+            "seed": self.seed,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "utilization": self.utilization,
+            "phase_totals": self.phase_totals,
+            "n_units": self.n_units,
+        }
+        lines = [json.dumps(header, sort_keys=True)]
+        lines.append(
+            json.dumps({"kind": "metrics", "data": self.metrics}, sort_keys=True)
+        )
+        for span in self.spans:
+            record = {"kind": "span"}
+            record.update(span.to_dict())
+            lines.append(json.dumps(record, sort_keys=True))
+        for t, unit, state in self.timeline:
+            lines.append(
+                json.dumps(
+                    {"kind": "event", "t": t, "unit": unit, "state": state},
+                    sort_keys=True,
+                )
+            )
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "RunManifest":
+        """Parse :meth:`to_jsonl` output back into a manifest."""
+        header: Optional[Dict] = None
+        metrics: Dict[str, Dict] = {}
+        spans: List[SpanRecord] = []
+        timeline: List[List] = []
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ManifestError(f"line {lineno}: invalid JSON: {exc}") from None
+            kind = record.get("kind")
+            if kind == "run":
+                header = record
+            elif kind == "metrics":
+                metrics = record.get("data", {})
+            elif kind == "span":
+                spans.append(SpanRecord.from_dict(record))
+            elif kind == "event":
+                timeline.append([record["t"], record["unit"], record["state"]])
+            else:
+                raise ManifestError(
+                    f"line {lineno}: unknown record kind {kind!r}"
+                )
+        if header is None:
+            raise ManifestError("no 'run' header record found")
+        return cls(
+            title=header["title"],
+            config_hash=header["config_hash"],
+            pattern=header["pattern"],
+            execution_mode=header["execution_mode"],
+            n_replicas=header["n_replicas"],
+            pilot_cores=header["pilot_cores"],
+            seed=header.get("seed", 0),
+            t_start=header["t_start"],
+            t_end=header["t_end"],
+            phase_totals=header.get("phase_totals", {}),
+            utilization=header.get("utilization", 0.0),
+            metrics=metrics,
+            spans=spans,
+            timeline=timeline,
+            n_units=header.get("n_units", 0),
+            schema_version=header.get("schema_version", SCHEMA_VERSION),
+        )
+
+    def dump(self, path) -> Path:
+        """Write the JSONL form to ``path``; returns the Path written."""
+        path = Path(path)
+        path.write_text(self.to_jsonl())
+        return path
+
+    @classmethod
+    def load(cls, path) -> "RunManifest":
+        """Read a manifest previously written with :meth:`dump`."""
+        return cls.from_jsonl(Path(path).read_text())
+
+    # -- rendering -----------------------------------------------------------
+
+    def summary_lines(self) -> List[str]:
+        """Human-readable summary (used by ``repro obs summary``)."""
+        lines = [
+            f"{self.title}: {self.n_replicas} replicas, "
+            f"pattern={self.pattern}, mode={self.execution_mode}, "
+            f"{self.pilot_cores} cores, config={self.config_hash}",
+            f"wallclock (virtual)  : {self.wallclock:12.1f} s",
+            f"utilization (Eq. 4)  : {100 * self.utilization:12.1f} %",
+        ]
+        if self.phase_totals:
+            lines.append("phase totals (core-seconds):")
+            for phase in ("md", "exchange", "staging", "overhead", "other"):
+                value = self.phase_totals.get(phase, 0.0)
+                if phase == "other" and value == 0.0:
+                    continue
+                lines.append(f"  {phase:<10} {value:14.1f}")
+        counters = self.metrics.get("counters", {})
+        if counters:
+            lines.append("counters:")
+            for name, value in counters.items():
+                lines.append(f"  {name:<28} {value:14.1f}")
+        lines.append(
+            f"spans: {len(self.spans)}, timeline events: "
+            f"{len(self.timeline)}, units: {self.n_units}"
+        )
+        return lines

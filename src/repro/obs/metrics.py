@@ -1,0 +1,361 @@
+"""Process-local metrics: counters, gauges, virtual-time histograms.
+
+The paper's evidence is a timing decomposition (Eq. 1) plus utilization
+(Eq. 4); this module gives every layer of the stack a shared place to
+record the numbers those figures need — ``emm.cycles``,
+``exchange.accepted``, ``scheduler.queue_depth``, ``staging.bytes_mb`` —
+without threading handles through every constructor.  Components resolve
+the process-local default registry once (at construction for hot paths),
+so swapping in a :class:`NullRegistry` disables the whole layer with no
+per-event branching.
+
+Metric names are dotted strings; the taxonomy is documented in
+``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Dict, Iterator, List, Optional, Union
+
+from repro.obs.spans import Span, SpanRecord
+
+
+class MetricError(ValueError):
+    """Raised on invalid metric operations (type clash, bad quantile)."""
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise MetricError(
+                f"counter {self.name!r} cannot decrease (amount={amount})"
+            )
+        self.value += amount
+
+    def reset(self) -> None:
+        """Zero the counter in place (references stay valid)."""
+        self.value = 0.0
+
+
+class Gauge:
+    """A value that can move both ways (queue depths, cores in use)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` to the gauge."""
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` from the gauge."""
+        self.value -= amount
+
+    def reset(self) -> None:
+        """Zero the gauge in place."""
+        self.value = 0.0
+
+
+class Histogram:
+    """A distribution of samples (virtual-time durations, sizes).
+
+    Samples are kept exactly — runs here are bounded by the discrete-event
+    simulation, not by production cardinality — so quantiles are exact
+    order statistics with linear interpolation.
+    """
+
+    __slots__ = ("name", "_samples")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        self._samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        """Sum of all samples."""
+        return sum(self._samples)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 when empty)."""
+        return self.total / len(self._samples) if self._samples else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Quantile ``q`` in [0, 1] with linear interpolation.
+
+        Returns 0.0 when no samples have been observed.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricError(f"quantile must be in [0, 1], got {q}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        pos = q * (len(ordered) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = pos - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def reset(self) -> None:
+        """Drop all samples in place."""
+        self._samples.clear()
+
+    def to_dict(self) -> Dict[str, float]:
+        """Summary statistics (count/total/mean/min/max/p50/p90/p99)."""
+        if not self._samples:
+            return {"count": 0, "total": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": min(self._samples),
+            "max": max(self._samples),
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+
+#: Anything with a ``now`` attribute (EventQueue, Session) or a callable.
+ClockLike = Union[Callable[[], float], object]
+
+
+class MetricsRegistry:
+    """Named instruments plus finished spans, with a bound virtual clock.
+
+    Instruments are created on first use and *zeroed in place* by
+    :meth:`reset`, so components may cache instrument references at
+    construction (the scheduler does, for its per-event hot path) and
+    keep them across session boundaries.
+    """
+
+    enabled: bool = True
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self.spans: List[SpanRecord] = []
+        self._now: Callable[[], float] = lambda: 0.0
+        self._clock_bound = False
+
+    # -- clock ---------------------------------------------------------------
+
+    def bind_clock(self, clock: ClockLike) -> None:
+        """Use ``clock`` (callable or object with ``.now``) for span times."""
+        if callable(clock):
+            self._now = clock
+        else:
+            self._now = lambda: clock.now
+        self._clock_bound = True
+
+    @property
+    def clock_bound(self) -> bool:
+        """True once a virtual clock has been bound."""
+        return self._clock_bound
+
+    def now(self) -> float:
+        """Current virtual time (0.0 until a clock is bound)."""
+        return self._now()
+
+    # -- instruments ---------------------------------------------------------
+
+    def _get(self, store: Dict, cls, name: str):
+        inst = store.get(name)
+        if inst is None:
+            for other in (self._counters, self._gauges, self._histograms):
+                if other is not store and name in other:
+                    raise MetricError(
+                        f"metric {name!r} already registered as "
+                        f"{type(other[name]).__name__}"
+                    )
+            inst = store[name] = cls(name)
+        return inst
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        return self._get(self._counters, Counter, name)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        return self._get(self._gauges, Gauge, name)
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create the histogram ``name``."""
+        return self._get(self._histograms, Histogram, name)
+
+    # -- spans ---------------------------------------------------------------
+
+    def begin_span(self, name: str, **tags) -> Span:
+        """Open a span at the current virtual time; close with ``.end()``."""
+        return Span(name, self._now, self.spans, tags)
+
+    @contextlib.contextmanager
+    def span(self, name: str, **tags) -> Iterator[Span]:
+        """Context-manager form of :meth:`begin_span`."""
+        sp = self.begin_span(name, **tags)
+        try:
+            yield sp
+        finally:
+            sp.end()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Zero every instrument in place and drop recorded spans.
+
+        Cached instrument references held by live components remain valid
+        — this is what lets ``RepEx.run()`` start each run from a clean
+        slate without re-wiring the scheduler or staging area.
+        """
+        for store in (self._counters, self._gauges, self._histograms):
+            for inst in store.values():
+                inst.reset()
+        self.spans.clear()
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """JSON-serializable dump of every instrument's current value."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.to_dict() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+
+class _NullInstrument:
+    """Accepts every instrument method and does nothing."""
+
+    __slots__ = ("name",)
+    count = 0
+    total = 0.0
+    mean = 0.0
+    value = 0.0
+
+    def __init__(self, name: str = "null"):
+        self.name = name
+
+    def inc(self, amount: float = 1.0) -> None:  # noqa: D102 - no-op
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:  # noqa: D102 - no-op
+        pass
+
+    def set(self, value: float) -> None:  # noqa: D102 - no-op
+        pass
+
+    def observe(self, value: float) -> None:  # noqa: D102 - no-op
+        pass
+
+    def quantile(self, q: float) -> float:  # noqa: D102 - no-op
+        return 0.0
+
+    def reset(self) -> None:  # noqa: D102 - no-op
+        pass
+
+    def to_dict(self) -> Dict[str, float]:  # noqa: D102 - no-op
+        return {"count": 0, "total": 0.0, "mean": 0.0}
+
+
+class NullRegistry(MetricsRegistry):
+    """A registry that records nothing (the observability off-switch).
+
+    Spans are never materialized (the :class:`~repro.obs.spans.Span` takes
+    a ``None`` sink and skips even the clock read), instruments are shared
+    no-ops, and :class:`~repro.core.framework.RepEx` skips attaching the
+    tracer when it sees ``enabled`` false — bounding the cost of the whole
+    layer to a handful of attribute lookups per event.
+    """
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__()
+        self._null = _NullInstrument()
+
+    def counter(self, name: str) -> Counter:
+        """A shared no-op instrument."""
+        return self._null  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        """A shared no-op instrument."""
+        return self._null  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:
+        """A shared no-op instrument."""
+        return self._null  # type: ignore[return-value]
+
+    def begin_span(self, name: str, **tags) -> Span:
+        """A span with no sink: start/end never touch the clock."""
+        return Span(name, self._now, None, tags)
+
+
+# -- process-local default ----------------------------------------------------
+
+_default_registry: MetricsRegistry = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-local default registry components resolve against."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install ``registry`` as the process default; returns the previous one.
+
+    Components that cached instruments from the previous registry keep
+    writing to it — install the registry you want *before* building the
+    simulation stack.
+    """
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous
+
+
+def null_registry() -> NullRegistry:
+    """Install (and return) a :class:`NullRegistry` as the process default.
+
+    This is the documented way to turn observability off for
+    benchmarking; pair with :func:`set_registry` to restore the old one.
+    """
+    registry = NullRegistry()
+    set_registry(registry)
+    return registry
+
+
+@contextlib.contextmanager
+def using_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Temporarily install ``registry`` as the process default."""
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)

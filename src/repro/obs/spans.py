@@ -1,0 +1,101 @@
+"""Span-based tracing on the virtual clock.
+
+A span is one named interval of virtual time with free-form tags —
+``exchange`` sweeps, ``md`` phases, whole ``cycle``s.  Spans complement the
+unit-level state transitions recorded by :class:`~repro.pilot.trace.Tracer`:
+the tracer sees what each *task* did, spans see what each *phase of the
+algorithm* did, and the :class:`~repro.obs.manifest.RunManifest` exports
+both so the paper's Figs. 5-13 timing decompositions can be re-derived
+from a single artifact.
+
+Spans are recorded into whatever sink (usually
+``MetricsRegistry.spans``) the creating registry provides; a null sink
+makes the whole span a no-op, which is how the off-path cost is bounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass
+class SpanRecord:
+    """One finished span: a named virtual-time interval with tags."""
+
+    name: str
+    t_start: float
+    t_end: float
+    tags: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Virtual seconds between start and end (never negative)."""
+        return max(0.0, self.t_end - self.t_start)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable form."""
+        return {
+            "name": self.name,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "tags": dict(self.tags),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SpanRecord":
+        """Rebuild a record from :meth:`to_dict` output."""
+        return cls(
+            name=str(data["name"]),
+            t_start=float(data["t_start"]),
+            t_end=float(data["t_end"]),
+            tags=dict(data.get("tags", {})),
+        )
+
+
+class Span:
+    """An open span; call :meth:`end` (or use as a context manager).
+
+    Created through :meth:`MetricsRegistry.begin_span
+    <repro.obs.metrics.MetricsRegistry.begin_span>` rather than directly.
+    The EMMs use the manual begin/end form where a phase ends inside an
+    event callback (the async exchange sweep); everything else uses the
+    ``with`` form.
+    """
+
+    __slots__ = ("name", "tags", "t_start", "_now", "_sink", "_closed")
+
+    def __init__(
+        self,
+        name: str,
+        now: Callable[[], float],
+        sink: Optional[List[SpanRecord]],
+        tags: Dict[str, object],
+    ):
+        self.name = name
+        self.tags = tags
+        self._now = now
+        self._sink = sink
+        self._closed = False
+        self.t_start = now() if sink is not None else 0.0
+
+    def end(self) -> Optional[SpanRecord]:
+        """Close the span at the current virtual time (idempotent)."""
+        if self._closed or self._sink is None:
+            self._closed = True
+            return None
+        self._closed = True
+        record = SpanRecord(
+            name=self.name,
+            t_start=self.t_start,
+            t_end=self._now(),
+            tags=self.tags,
+        )
+        self._sink.append(record)
+        return record
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.end()

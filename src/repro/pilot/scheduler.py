@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Optional, Set
 
+from repro.obs.metrics import get_registry
 from repro.pilot.cluster import ClusterSpec
 from repro.pilot.events import EventQueue
 from repro.pilot.failures import FailureModel, NO_FAILURES, UnitFailure
@@ -60,6 +61,22 @@ class AgentScheduler:
         #: units currently waiting on the launcher, for launch contention
         self._launch_pending = 0
         self._drained = False
+        # Instruments are resolved once: the per-event cost under a
+        # NullRegistry is a no-op method call, keeping the off-path
+        # observability overhead bounded.
+        registry = get_registry()
+        self._m_submitted = registry.counter("scheduler.submitted")
+        self._m_started = registry.counter("scheduler.started")
+        self._m_completed = registry.counter("scheduler.completed")
+        self._m_failed = registry.counter("scheduler.failed")
+        self._m_canceled = registry.counter("scheduler.canceled")
+        self._g_queue_depth = registry.gauge("scheduler.queue_depth")
+        self._g_used_cores = registry.gauge("scheduler.used_cores")
+        self._h_wait = registry.histogram("scheduler.wait_seconds")
+
+    def _update_occupancy(self) -> None:
+        self._g_queue_depth.set(len(self._queue))
+        self._g_used_cores.set(self.used_cores)
 
     # -- public API ---------------------------------------------------------
 
@@ -96,6 +113,7 @@ class AgentScheduler:
             )
         unit.advance(UnitState.SCHEDULING, self._clock.now)
         self._queue.append(unit)
+        self._m_submitted.inc()
         self._try_schedule()
 
     def cancel_all(self) -> None:
@@ -103,7 +121,9 @@ class AgentScheduler:
         while self._queue:
             unit = self._queue.popleft()
             unit.advance(UnitState.CANCELED, self._clock.now)
+            self._m_canceled.inc()
         self._drained = True
+        self._update_occupancy()
 
     # -- pipeline -----------------------------------------------------------
 
@@ -125,6 +145,7 @@ class AgentScheduler:
             else:
                 still_waiting.append(unit)
         self._queue = still_waiting
+        self._update_occupancy()
 
     def _staging_time(self, directives) -> float:
         total = 0.0
@@ -138,6 +159,9 @@ class AgentScheduler:
         return total
 
     def _begin_staging_in(self, unit: ComputeUnit) -> None:
+        self._h_wait.observe(
+            self._clock.now - unit.timestamps[UnitState.SCHEDULING]
+        )
         unit.advance(UnitState.STAGING_INPUT, self._clock.now)
         directives = unit.description.input_staging
         delay = self._staging_time(directives)
@@ -169,6 +193,7 @@ class AgentScheduler:
 
     def _begin_execution(self, unit: ComputeUnit) -> None:
         unit.advance(UnitState.EXECUTING, self._clock.now)
+        self._m_started.inc()
 
         fails, fraction = self.failure_model.draw(unit.description.metadata)
         duration = unit.description.duration
@@ -196,6 +221,7 @@ class AgentScheduler:
     def _fail(self, unit: ComputeUnit, exc: BaseException) -> None:
         unit.exception = exc
         unit.advance(UnitState.FAILED, self._clock.now)
+        self._m_failed.inc()
         self._release(unit)
 
     def _begin_staging_out(self, unit: ComputeUnit) -> None:
@@ -209,6 +235,7 @@ class AgentScheduler:
             for d in directives:
                 self.staging_area.put(d.target, d.size_mb)
             unit.advance(UnitState.DONE, self._clock.now)
+            self._m_completed.inc()
             self._release(unit)
 
         self._clock.schedule(delay, _done)
@@ -220,3 +247,4 @@ class AgentScheduler:
         if self.free_cores > self.capacity or self.free_gpus > self.gpu_capacity:
             raise SchedulerError("resource accounting corrupted (double release)")
         self._try_schedule()
+        self._update_occupancy()

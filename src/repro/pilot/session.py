@@ -18,6 +18,7 @@ from repro.pilot.events import EventQueue, SimulationError
 from repro.pilot.failures import FailureModel
 from repro.pilot.pilot import Pilot, PilotDescription, PilotState
 from repro.pilot.staging import StagingArea
+from repro.pilot.trace import Tracer
 from repro.pilot.unit import ComputeUnit, UnitDescription
 
 
@@ -33,6 +34,10 @@ class Session:
         self.staging_area = StagingArea()
         self.failure_model = failure_model
         self.pilots: List[Pilot] = []
+        #: optional tracer auto-watching every unit submitted through this
+        #: session (set by :class:`~repro.core.framework.RepEx` when
+        #: observability is enabled)
+        self.tracer: Optional[Tracer] = None
         self._closed = False
 
     @property
@@ -69,7 +74,10 @@ class Session:
     ) -> List[ComputeUnit]:
         """Submit unit descriptions to one pilot."""
         self._check_open()
-        return pilot.submit_units(list(descriptions))
+        units = pilot.submit_units(list(descriptions))
+        if self.tracer is not None:
+            self.tracer.watch_all(units)
+        return units
 
     def submit_units_round_robin(
         self,
@@ -83,6 +91,8 @@ class Session:
         units: List[ComputeUnit] = []
         for i, desc in enumerate(descriptions):
             units.extend(pilots[i % len(pilots)].submit_units([desc]))
+        if self.tracer is not None:
+            self.tracer.watch_all(units)
         return units
 
     def wait_units(self, units: Iterable[ComputeUnit]) -> None:

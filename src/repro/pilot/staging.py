@@ -14,6 +14,8 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, Iterable, List
 
+from repro.obs.metrics import get_registry
+
 
 class StagingAction(enum.Enum):
     """How a file moves between task sandbox and staging area."""
@@ -55,6 +57,9 @@ class StagingArea:
         self.bytes_in_mb: float = 0.0
         self.bytes_out_mb: float = 0.0
         self.n_transfers: int = 0
+        registry = get_registry()
+        self._m_bytes = registry.counter("staging.bytes_mb")
+        self._m_transfers = registry.counter("staging.transfers")
 
     def __contains__(self, path: str) -> bool:
         return path in self._files
@@ -79,12 +84,16 @@ class StagingArea:
         self._files[path] = size_mb
         self.bytes_in_mb += size_mb
         self.n_transfers += 1
+        self._m_bytes.inc(size_mb)
+        self._m_transfers.inc()
 
     def get(self, path: str) -> float:
         """Record a read of a staged file; returns its size in MB."""
         size = self._files[path]
         self.bytes_out_mb += size
         self.n_transfers += 1
+        self._m_bytes.inc(size)
+        self._m_transfers.inc()
         return size
 
     def remove(self, path: str) -> None:

@@ -179,6 +179,49 @@ class Tracer:
             lines.append(f"... {len(recs) - max_rows} more units")
         return "\n".join(lines)
 
+    def timeline(self) -> List[List]:
+        """Event-ordered ``[time, unit_name, state]`` triples.
+
+        Times are rounded to microseconds and ties are broken by unit
+        name then state, so the result is byte-stable across runs of the
+        same seeded workload regardless of uid allocation order — this is
+        what the golden-trace regression fixtures are diffed against.
+        """
+        events: List[Tuple[float, str, str]] = []
+        for rec in self.records.values():
+            for state, t in rec.transitions:
+                events.append((round(t, 6), rec.name, state))
+        events.sort()
+        return [[t, name, state] for t, name, state in events]
+
+    def span_records(self):
+        """Unit state intervals as :class:`~repro.obs.spans.SpanRecord`.
+
+        Unifies tracer output with the span taxonomy: each non-final
+        state a unit passed through becomes one ``unit.<STATE>`` span
+        tagged with the unit's name and metadata phase.
+        """
+        from repro.obs.spans import SpanRecord
+
+        spans = []
+        for rec in self.records.values():
+            for i, (state, t0) in enumerate(rec.transitions):
+                if i + 1 >= len(rec.transitions):
+                    continue
+                spans.append(
+                    SpanRecord(
+                        name=f"unit.{state}",
+                        t_start=t0,
+                        t_end=rec.transitions[i + 1][1],
+                        tags={
+                            "unit": rec.name,
+                            "phase": rec.metadata.get("phase"),
+                        },
+                    )
+                )
+        spans.sort(key=lambda s: (s.t_start, s.tags["unit"], s.name))
+        return spans
+
     # -- export ---------------------------------------------------------------
 
     def to_json(self) -> str:

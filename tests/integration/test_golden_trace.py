@@ -1,0 +1,71 @@
+"""Golden-trace regression tests.
+
+Fixed-seed runs must reproduce the checked-in unit timelines *byte for
+byte*: the manifest timeline is ``[round(t, 6), unit_name, state]``
+triples in event order, serialized with compact JSON.  Any change to the
+scheduler pipeline, the performance model, the staging model or the EMM
+phase structure shows up here as a diff against ``tests/fixtures/``.
+
+Regenerate after an intentional timing-semantics change with::
+
+    PYTHONPATH=src:. python tests/integration/test_golden_trace.py --regen
+"""
+
+import json
+from pathlib import Path
+
+from repro.core import RepEx
+from repro.core.config import PatternSpec
+from tests.conftest import small_tremd_config
+
+FIXTURES = Path(__file__).resolve().parent.parent / "fixtures"
+
+GOLDEN = {
+    "golden_sync_timeline.json": lambda: small_tremd_config(),
+    "golden_async_timeline.json": lambda: small_tremd_config(
+        pattern=PatternSpec(kind="asynchronous", window_seconds=60.0),
+        n_cycles=3,
+    ),
+}
+
+
+def timeline_json(config) -> str:
+    """The golden serialization: compact JSON of the manifest timeline."""
+    result = RepEx(config).run()
+    return json.dumps(result.manifest.timeline, separators=(",", ":"))
+
+
+def test_sync_timeline_matches_golden():
+    expected = (FIXTURES / "golden_sync_timeline.json").read_text()
+    assert timeline_json(GOLDEN["golden_sync_timeline.json"]()) == expected
+
+
+def test_async_timeline_matches_golden():
+    expected = (FIXTURES / "golden_async_timeline.json").read_text()
+    assert timeline_json(GOLDEN["golden_async_timeline.json"]()) == expected
+
+
+def test_timeline_reproducible_within_session():
+    """Two identical runs produce byte-identical timelines."""
+    config = GOLDEN["golden_sync_timeline.json"]
+    assert timeline_json(config()) == timeline_json(config())
+
+
+def test_golden_timelines_are_nontrivial():
+    """Guard against a silently empty fixture masking a broken tracer."""
+    for name in GOLDEN:
+        timeline = json.loads((FIXTURES / name).read_text())
+        assert len(timeline) > 50
+        states = {state for _, _, state in timeline}
+        assert {"SCHEDULING", "EXECUTING", "DONE"} <= states
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" not in sys.argv:
+        sys.exit("pass --regen to overwrite the golden fixtures")
+    FIXTURES.mkdir(exist_ok=True)
+    for name, config in GOLDEN.items():
+        (FIXTURES / name).write_text(timeline_json(config()))
+        print(f"wrote {FIXTURES / name}")

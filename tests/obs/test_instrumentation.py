@@ -1,0 +1,97 @@
+"""End-to-end checks that the instrumented layers agree with the results.
+
+Every test runs a small simulation under a private registry so counters
+reflect exactly one run and nothing the rest of the suite did.
+"""
+
+import pytest
+
+from repro.core import RepEx
+from repro.core.config import PatternSpec
+from repro.obs.metrics import MetricsRegistry, using_registry
+from tests.conftest import small_tremd_config
+
+
+def run_with_registry(config):
+    registry = MetricsRegistry()
+    with using_registry(registry):
+        result = RepEx(config).run()
+    return registry, result
+
+
+class TestSchedulerInstrumentation:
+    def test_unit_counters_balance(self):
+        registry, result = run_with_registry(small_tremd_config())
+        counters = registry.snapshot()["counters"]
+        assert counters["scheduler.submitted"] == (
+            counters["scheduler.completed"]
+            + counters["scheduler.failed"]
+            + counters["scheduler.canceled"]
+        )
+        assert counters["scheduler.failed"] == 0
+        assert counters["scheduler.started"] == counters["scheduler.submitted"]
+
+    def test_gauges_drain_to_zero_after_run(self):
+        registry, _ = run_with_registry(small_tremd_config())
+        gauges = registry.snapshot()["gauges"]
+        assert gauges["scheduler.queue_depth"] == 0
+        assert gauges["scheduler.used_cores"] == 0
+
+    def test_wait_histogram_covers_every_start(self):
+        registry, _ = run_with_registry(small_tremd_config())
+        snap = registry.snapshot()
+        wait = snap["histograms"]["scheduler.wait_seconds"]
+        assert wait["count"] == snap["counters"]["scheduler.started"]
+        assert wait["min"] >= 0.0
+
+
+class TestExchangeInstrumentation:
+    def test_counters_match_result_stats(self):
+        registry, result = run_with_registry(small_tremd_config())
+        counters = registry.snapshot()["counters"]
+        attempted = sum(s.attempted for s in result.exchange_stats.values())
+        accepted = sum(s.accepted for s in result.exchange_stats.values())
+        assert counters["exchange.attempted"] == attempted
+        assert counters.get("exchange.accepted", 0) == accepted
+
+
+class TestEmmInstrumentation:
+    def test_sync_cycle_counters_and_spans(self):
+        registry, result = run_with_registry(small_tremd_config())
+        counters = registry.snapshot()["counters"]
+        assert counters["emm.cycles"] == len(result.cycle_timings)
+        assert counters["emm.exchange_sweeps"] == len(result.cycle_timings)
+        cycles = [s for s in registry.spans if s.name == "cycle"]
+        assert len(cycles) == len(result.cycle_timings)
+        # each cycle span contains its md span
+        mds = [s for s in registry.spans if s.name == "md"]
+        assert len(mds) == len(cycles)
+        for md, cyc in zip(mds, cycles):
+            assert cyc.t_start <= md.t_start <= md.t_end <= cyc.t_end
+
+    def test_cycle_histogram_tracks_spans(self):
+        registry, result = run_with_registry(small_tremd_config())
+        hist = registry.snapshot()["histograms"]["emm.cycle_seconds"]
+        assert hist["count"] == len(result.cycle_timings)
+        spans = [c.span for c in result.cycle_timings]
+        assert hist["max"] == pytest.approx(max(spans), rel=1e-6)
+
+    def test_async_sweep_spans(self):
+        config = small_tremd_config(
+            pattern=PatternSpec(kind="asynchronous", window_seconds=60.0),
+            n_cycles=3,
+        )
+        registry, result = run_with_registry(config)
+        counters = registry.snapshot()["counters"]
+        sweeps = [s for s in registry.spans if s.name == "exchange"]
+        assert counters["emm.exchange_sweeps"] == len(sweeps) > 0
+        assert all(s.tags["pattern"] == "asynchronous" for s in sweeps)
+        assert counters["emm.cycles"] == len(result.cycle_timings)
+
+
+class TestStagingInstrumentation:
+    def test_transfer_counters_accumulate(self):
+        registry, _ = run_with_registry(small_tremd_config())
+        counters = registry.snapshot()["counters"]
+        assert counters["staging.transfers"] > 0
+        assert counters["staging.bytes_mb"] > 0.0

@@ -1,0 +1,145 @@
+"""Tests for run manifests: construction, JSONL round-trip, phase totals."""
+
+import json
+
+import pytest
+
+from repro.core import RepEx
+from repro.obs.manifest import (
+    ManifestError,
+    RunManifest,
+    config_hash,
+    phase_totals,
+)
+from repro.obs.metrics import NullRegistry, using_registry
+from tests.conftest import small_tremd_config
+
+
+@pytest.fixture(scope="module")
+def run():
+    """One small synchronous T-REMD run with its RepEx facade."""
+    repex = RepEx(small_tremd_config())
+    return repex, repex.run()
+
+
+class TestFromRun:
+    def test_identity_fields(self, run):
+        repex, result = run
+        manifest = result.manifest
+        assert manifest is not None
+        assert manifest.title == result.title
+        assert manifest.pattern == "synchronous"
+        assert manifest.n_replicas == 4
+        assert manifest.pilot_cores == 4
+        assert manifest.seed == 7
+        assert manifest.config_hash == config_hash(repex.config)
+        assert manifest.n_units == len(repex.tracer.records)
+        assert manifest.wallclock == pytest.approx(result.wallclock)
+
+    def test_phase_totals_match_emm_accounting(self, run):
+        """Acceptance criterion: manifest totals agree with the EMM's
+        core-second accounting to within 1%."""
+        _, result = run
+        manifest = result.manifest
+        accounted = result.md_core_seconds + result.exchange_core_seconds
+        assert manifest.busy_core_seconds() == pytest.approx(
+            accounted, rel=0.01
+        )
+        assert manifest.phase_totals["md"] == pytest.approx(
+            result.md_core_seconds, rel=0.01
+        )
+        assert manifest.phase_totals["exchange"] == pytest.approx(
+            result.exchange_core_seconds, rel=0.01
+        )
+
+    def test_phase_totals_buckets(self, run):
+        repex, _ = run
+        totals = phase_totals(repex.tracer)
+        assert set(totals) == {"md", "exchange", "staging", "overhead", "other"}
+        assert totals["md"] > 0
+        assert totals["staging"] > 0
+        assert totals["overhead"] > 0
+        assert totals["other"] == 0.0  # every unit is phase-tagged
+
+    def test_metrics_and_spans_captured(self, run):
+        _, result = run
+        manifest = result.manifest
+        counters = manifest.metrics["counters"]
+        assert counters["emm.cycles"] == len(result.cycle_timings)
+        assert counters["scheduler.submitted"] == manifest.n_units
+        assert manifest.spans_named("cycle")
+        assert manifest.spans_named("md")
+        assert all(s.duration >= 0 for s in manifest.spans)
+
+    def test_timeline_sorted_and_complete(self, run):
+        _, result = run
+        timeline = result.manifest.timeline
+        assert timeline == sorted(timeline, key=lambda e: (e[0], e[1], e[2]))
+        states = {state for _, _, state in timeline}
+        assert "EXECUTING" in states and "DONE" in states
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_preserves_everything(self, run, tmp_path):
+        _, result = run
+        manifest = result.manifest
+        path = manifest.dump(tmp_path / "run.jsonl")
+        loaded = RunManifest.load(path)
+        assert loaded == manifest
+
+    def test_jsonl_lines_are_self_describing(self, run):
+        _, result = run
+        kinds = [
+            json.loads(line)["kind"]
+            for line in result.manifest.to_jsonl().splitlines()
+        ]
+        assert kinds[0] == "run"
+        assert kinds[1] == "metrics"
+        assert set(kinds) == {"run", "metrics", "span", "event"}
+
+    def test_invalid_json_line_rejected(self):
+        with pytest.raises(ManifestError, match="invalid JSON"):
+            RunManifest.from_jsonl("{not json}\n")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ManifestError, match="unknown record kind"):
+            RunManifest.from_jsonl('{"kind": "mystery"}\n')
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(ManifestError, match="no 'run' header"):
+            RunManifest.from_jsonl('{"kind": "metrics", "data": {}}\n')
+
+
+class TestConfigHash:
+    def test_stable_across_equal_configs(self):
+        assert config_hash(small_tremd_config()) == config_hash(
+            small_tremd_config()
+        )
+
+    def test_sensitive_to_changes(self):
+        assert config_hash(small_tremd_config()) != config_hash(
+            small_tremd_config(seed=8)
+        )
+
+
+class TestNullRegistryRun:
+    def test_manifest_is_identity_only(self):
+        with using_registry(NullRegistry()):
+            result = RepEx(small_tremd_config()).run()
+        manifest = result.manifest
+        assert manifest is not None
+        assert manifest.metrics == {}
+        assert manifest.spans == []
+        assert manifest.timeline == []
+        assert manifest.phase_totals == {}
+        assert manifest.title == result.title
+
+
+class TestSummary:
+    def test_summary_lines_render_phases_and_counters(self, run):
+        _, result = run
+        text = "\n".join(result.manifest.summary_lines())
+        assert "phase totals" in text
+        assert "md" in text and "exchange" in text
+        assert "emm.cycles" in text
+        assert "utilization" in text

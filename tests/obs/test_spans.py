@@ -1,0 +1,66 @@
+"""Tests for span tracing on the virtual clock."""
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecord
+from repro.pilot import EventQueue
+
+
+def make_registry(clock):
+    registry = MetricsRegistry()
+    registry.bind_clock(clock)
+    return registry
+
+
+class TestSpan:
+    def test_span_measures_virtual_time(self, clock):
+        registry = make_registry(clock)
+        clock.schedule(5.0, lambda: None)
+        span = registry.begin_span("md", cycle=1)
+        clock.run()
+        record = span.end()
+        assert record.t_start == 0.0
+        assert record.t_end == 5.0
+        assert record.duration == 5.0
+        assert record.tags == {"cycle": 1}
+        assert registry.spans == [record]
+
+    def test_context_manager_records_on_exit(self, clock):
+        registry = make_registry(clock)
+        with registry.span("exchange", sweep=3):
+            clock.schedule(2.0, lambda: None)
+            clock.run()
+        (record,) = registry.spans
+        assert record.name == "exchange"
+        assert record.duration == 2.0
+        assert record.tags["sweep"] == 3
+
+    def test_end_is_idempotent(self, clock):
+        registry = make_registry(clock)
+        span = registry.begin_span("cycle")
+        first = span.end()
+        assert first is not None
+        assert span.end() is None
+        assert len(registry.spans) == 1
+
+    def test_spans_cleared_by_reset(self, clock):
+        registry = make_registry(clock)
+        registry.begin_span("a").end()
+        registry.reset()
+        assert registry.spans == []
+
+
+class TestSpanRecord:
+    def test_round_trip(self):
+        record = SpanRecord("md", 1.0, 3.5, {"cycle": 2, "pattern": "sync"})
+        rebuilt = SpanRecord.from_dict(record.to_dict())
+        assert rebuilt == record
+
+    def test_duration_never_negative(self):
+        assert SpanRecord("x", 5.0, 3.0, {}).duration == 0.0
+
+    def test_from_dict_defaults_tags(self):
+        record = SpanRecord.from_dict(
+            {"name": "md", "t_start": 0, "t_end": 1}
+        )
+        assert record.tags == {}
+        assert record.duration == 1.0
