@@ -27,6 +27,7 @@ from typing import List, Optional
 
 from repro.core import RepEx
 from repro.core.capabilities import TABLE1_HEADERS, table1_rows
+from repro.core.checkpoint import CheckpointError
 from repro.core.config import ConfigError, SimulationConfig
 from repro.md.engine import available_engines
 from repro.obs.manifest import ManifestError, RunManifest
@@ -53,7 +54,32 @@ def cmd_run(args: argparse.Namespace) -> int:
         f"engine={config.engine.name}, resource={config.resource.name}/"
         f"{config.resource.cores} cores"
     )
-    result = RepEx(config).run()
+    repex_kwargs = {}
+    if args.checkpoint_every:
+        repex_kwargs["checkpoint_every"] = args.checkpoint_every
+        repex_kwargs["checkpoint_dir"] = args.checkpoint_dir or "checkpoints"
+    if args.resume:
+        repex_kwargs["resume_from"] = args.resume
+    if args.stop_after_cycle is not None:
+        repex_kwargs["stop_after_cycle"] = args.stop_after_cycle
+    if args.stream and args.manifest:
+        repex_kwargs["manifest_path"] = args.manifest
+    try:
+        repex = RepEx(config, **repex_kwargs)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = repex.run()
+    if result.interrupted:
+        print(
+            f"stopped after cycle {args.stop_after_cycle} "
+            f"(--stop-after-cycle); resume with --resume"
+        )
+    if repex.checkpoints and repex.checkpoint_dir is not None:
+        print(
+            f"{len(repex.checkpoints)} checkpoint(s) written to "
+            f"{repex.checkpoint_dir}"
+        )
 
     rows = [
         [c.cycle, c.dimension or "-", c.t_md, c.t_ex, c.t_data, c.t_repex,
@@ -115,7 +141,10 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"\nsummary written to {args.output}")
 
     if args.manifest:
-        if result.manifest is None:
+        if args.stream:
+            # already written incrementally by the ManifestStream
+            print(f"manifest streamed to {args.manifest}")
+        elif result.manifest is None:
             print(
                 "warning: no manifest recorded (observability disabled)",
                 file=sys.stderr,
@@ -180,6 +209,20 @@ def cmd_obs_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the fault-injection scenario matrix and report survival."""
+    from repro.core.chaos import render_report, run_matrix
+
+    outcomes = run_matrix(fast=args.fast)
+    print(render_report(outcomes))
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps([o.to_dict() for o in outcomes], indent=2)
+        )
+        print(f"\nreport written to {args.output}")
+    return 0 if all(o.ok for o in outcomes) else 1
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     """Print the paper's Table 1 (package comparison)."""
     print(
@@ -216,7 +259,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "-m", "--manifest", help="write the run manifest (JSONL) to this path"
     )
+    p_run.add_argument(
+        "--stream", action="store_true",
+        help="flush the manifest incrementally while the run is in "
+             "flight (crash-tolerant; requires --manifest)",
+    )
+    p_run.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="snapshot the run every N cycles (synchronous pattern only)",
+    )
+    p_run.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="directory for cycle_NNNN.json + latest.json "
+             "(default: ./checkpoints when --checkpoint-every is set)",
+    )
+    p_run.add_argument(
+        "--resume", metavar="CKPT",
+        help="continue from a checkpoint file written by a previous run",
+    )
+    p_run.add_argument(
+        "--stop-after-cycle", type=int, default=None, metavar="N",
+        help="stop cleanly after N completed cycles (for later --resume)",
+    )
     p_run.set_defaults(func=cmd_run)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="run the fault-injection scenario matrix"
+    )
+    p_chaos.add_argument(
+        "--fast", action="store_true",
+        help="run the trimmed CI-smoke matrix",
+    )
+    p_chaos.add_argument(
+        "-o", "--output", help="write the JSON report to this path"
+    )
+    p_chaos.set_defaults(func=cmd_chaos)
 
     p_obs = sub.add_parser(
         "obs", help="inspect run manifests (metrics, spans, timelines)"

@@ -33,6 +33,7 @@ from repro.core.config import (
     ResourceSpec,
     SimulationConfig,
 )
+from repro.core.checkpoint import Checkpoint, CheckpointError
 from repro.core.emm import AsynchronousEMM, SynchronousEMM
 from repro.core.exchange import (
     DimensionSchedule,
@@ -64,6 +65,7 @@ from repro.core.fault import (
     FaultAction,
     FaultPolicy,
     RelaunchPolicy,
+    RetirePolicy,
     policy_from_spec,
 )
 from repro.core.framework import RepEx, run_simulation
@@ -86,6 +88,8 @@ __all__ = [
     "TerminationCriterion",
     "build_adaptive",
     "AsynchronousEMM",
+    "Checkpoint",
+    "CheckpointError",
     "ConfigError",
     "ContinuePolicy",
     "CycleRecord",
@@ -112,6 +116,7 @@ __all__ = [
     "RandomPairing",
     "RelaunchPolicy",
     "RepEx",
+    "RetirePolicy",
     "Replica",
     "ReplicaStatus",
     "ResourceSpec",

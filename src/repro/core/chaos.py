@@ -1,0 +1,313 @@
+"""Chaos harness: a scenario matrix of fault-injection runs.
+
+The robustness claim of the stack — "in the presence of failures, the
+entire simulation need not be stopped or restarted" — is only credible
+if it is exercised systematically.  This module runs a small matrix of
+failure pattern x fault policy x exchange pattern scenarios through the
+full :class:`~repro.core.framework.RepEx` facade and reports, per
+scenario, whether the run survived, how much work was lost, and what the
+``fault.*`` counters recorded.
+
+Exposed on the command line as ``repro chaos [--fast]``; the fast matrix
+doubles as a CI smoke test.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import (
+    DimensionSpec,
+    FailureSpec,
+    PatternSpec,
+    ResourceSpec,
+    SimulationConfig,
+)
+from repro.core.framework import RepEx
+from repro.obs.metrics import MetricsRegistry, using_registry
+from repro.utils.tables import render_table
+
+#: counters copied into each outcome (plus every ``fault.*`` counter)
+_EXTRA_COUNTERS = ("staging.retries",)
+
+
+@dataclass
+class ChaosScenario:
+    """One cell of the chaos matrix."""
+
+    name: str
+    config: SimulationConfig
+    #: scenarios that are *supposed* to kill the run (e.g. preemption
+    #: without requeue) count as OK when they do
+    expect_failure: bool = False
+
+
+@dataclass
+class ChaosOutcome:
+    """What happened when one scenario ran."""
+
+    name: str
+    survived: bool
+    expect_failure: bool = False
+    error: Optional[str] = None
+    n_failures: int = 0
+    n_relaunches: int = 0
+    n_retired: int = 0
+    cycles_completed: int = 0
+    utilization: float = 0.0
+    fault_counters: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """True when the scenario behaved as designed."""
+        return self.survived is not self.expect_failure
+
+    def to_dict(self) -> Dict:
+        """JSON-friendly form (for ``repro chaos -o``)."""
+        return {
+            "name": self.name,
+            "survived": self.survived,
+            "expect_failure": self.expect_failure,
+            "ok": self.ok,
+            "error": self.error,
+            "n_failures": self.n_failures,
+            "n_relaunches": self.n_relaunches,
+            "n_retired": self.n_retired,
+            "cycles_completed": self.cycles_completed,
+            "utilization": self.utilization,
+            "fault_counters": self.fault_counters,
+        }
+
+
+def _config(
+    title: str,
+    *,
+    failure: FailureSpec,
+    pattern_kind: str = "synchronous",
+    cores: int = 8,
+    n_windows: int = 8,
+    cores_per_replica: int = 1,
+    n_cycles: int = 3,
+    seed: int = 2016,
+) -> SimulationConfig:
+    return SimulationConfig(
+        title=title,
+        dimensions=[DimensionSpec("temperature", n_windows, 273.0, 373.0)],
+        resource=ResourceSpec("supermic", cores=cores),
+        pattern=PatternSpec(kind=pattern_kind),
+        n_cycles=n_cycles,
+        steps_per_cycle=6000,
+        numeric_steps=10,
+        sample_stride=0,
+        cores_per_replica=cores_per_replica,
+        failure=failure,
+        seed=seed,
+    )
+
+
+def builtin_scenarios(fast: bool = False) -> List[ChaosScenario]:
+    """The scenario matrix (failure pattern x policy x exchange pattern).
+
+    The node-crash scenarios use a two-node pilot (40 cores on supermic's
+    20-core nodes) with 5-core replicas, so one crash takes out several
+    co-resident units at once and the survivors must fit on the healthy
+    node.
+    """
+    scenarios = [
+        ChaosScenario(
+            "node-crash/continue/sync",
+            _config(
+                "chaos-crash-continue",
+                failure=FailureSpec(
+                    policy="continue", node_crashes=[[40.0, 0]]
+                ),
+                cores=40,
+                cores_per_replica=5,
+            ),
+        ),
+        ChaosScenario(
+            "node-crash/relaunch/sync",
+            _config(
+                "chaos-crash-relaunch",
+                failure=FailureSpec(
+                    policy="relaunch", node_crashes=[[40.0, 0]]
+                ),
+                cores=40,
+                cores_per_replica=5,
+            ),
+        ),
+        ChaosScenario(
+            "node-crash/continue/async",
+            _config(
+                "chaos-crash-async",
+                failure=FailureSpec(
+                    policy="continue", node_crashes=[[40.0, 0]]
+                ),
+                pattern_kind="asynchronous",
+                cores=40,
+                cores_per_replica=5,
+            ),
+        ),
+        ChaosScenario(
+            "preempt-requeue/relaunch/sync",
+            _config(
+                "chaos-preempt-requeue",
+                failure=FailureSpec(
+                    policy="relaunch",
+                    preempt_after_s=60.0,
+                    requeue_on_preempt=True,
+                ),
+            ),
+        ),
+        ChaosScenario(
+            "staging-flaky/continue/sync",
+            _config(
+                "chaos-staging",
+                failure=FailureSpec(
+                    policy="continue",
+                    staging_fault_probability=0.2,
+                    staging_max_retries=5,
+                    staging_backoff_s=0.2,
+                ),
+            ),
+        ),
+        ChaosScenario(
+            "unit-failures/retire/sync",
+            _config(
+                "chaos-retire",
+                failure=FailureSpec(
+                    policy="retire", probability=0.3, retire_after=1
+                ),
+            ),
+        ),
+    ]
+    if not fast:
+        scenarios += [
+            ChaosScenario(
+                # rate chosen so the seeded schedule lands ~2 crashes
+                # inside the run while one node survives to the end
+                "poisson-crashes/relaunch/sync",
+                _config(
+                    "chaos-poisson",
+                    failure=FailureSpec(
+                        policy="relaunch", node_crash_rate=20.0
+                    ),
+                    cores=40,
+                    cores_per_replica=5,
+                    n_cycles=4,
+                ),
+            ),
+            ChaosScenario(
+                "preempt-fail/continue/sync",
+                _config(
+                    "chaos-preempt-fail",
+                    failure=FailureSpec(
+                        policy="continue",
+                        preempt_after_s=60.0,
+                        requeue_on_preempt=False,
+                    ),
+                ),
+                expect_failure=True,
+            ),
+            ChaosScenario(
+                "kitchen-sink/relaunch/sync",
+                _config(
+                    "chaos-kitchen-sink",
+                    failure=FailureSpec(
+                        policy="relaunch",
+                        probability=0.1,
+                        node_crashes=[[40.0, 1]],
+                        staging_fault_probability=0.1,
+                        staging_max_retries=6,
+                        staging_backoff_s=0.2,
+                    ),
+                    cores=40,
+                    cores_per_replica=5,
+                    n_cycles=4,
+                ),
+            ),
+        ]
+    return scenarios
+
+
+def run_scenario(scenario: ChaosScenario) -> ChaosOutcome:
+    """Run one scenario in an isolated metrics registry."""
+    with using_registry(MetricsRegistry()) as registry:
+        try:
+            result = RepEx(scenario.config).run()
+        except Exception as exc:  # a dead run is data, not a crash
+            return ChaosOutcome(
+                name=scenario.name,
+                survived=False,
+                expect_failure=scenario.expect_failure,
+                error=f"{type(exc).__name__}: {exc}",
+                fault_counters=_fault_counters(registry),
+            )
+        return ChaosOutcome(
+            name=scenario.name,
+            survived=True,
+            expect_failure=scenario.expect_failure,
+            n_failures=result.n_failures,
+            n_relaunches=result.n_relaunches,
+            n_retired=result.n_retired,
+            cycles_completed=len(result.cycle_timings),
+            utilization=result.utilization(),
+            fault_counters=_fault_counters(registry),
+        )
+
+
+def _fault_counters(registry: MetricsRegistry) -> Dict[str, float]:
+    counters = registry.snapshot()["counters"]
+    return {
+        name: value
+        for name, value in counters.items()
+        if (name.startswith("fault.") or name in _EXTRA_COUNTERS) and value
+    }
+
+
+def run_matrix(fast: bool = False) -> List[ChaosOutcome]:
+    """Run every built-in scenario; never raises on scenario death."""
+    return [run_scenario(s) for s in builtin_scenarios(fast)]
+
+
+def render_report(outcomes: List[ChaosOutcome]) -> str:
+    """The survival/utilization table ``repro chaos`` prints."""
+    rows = []
+    for o in outcomes:
+        faults = ", ".join(
+            f"{name.split('.', 1)[-1]}={value:g}"
+            for name, value in sorted(o.fault_counters.items())
+        )
+        rows.append(
+            [
+                o.name,
+                "ok" if o.ok else "FAIL",
+                "yes" if o.survived else ("expected" if o.ok else "NO"),
+                o.cycles_completed,
+                o.n_failures,
+                o.n_relaunches,
+                o.n_retired,
+                f"{100 * o.utilization:.1f}",
+                faults or (o.error or "-"),
+            ]
+        )
+    table = render_table(
+        [
+            "scenario",
+            "verdict",
+            "survived",
+            "cycles",
+            "failed",
+            "relaunched",
+            "retired",
+            "util%",
+            "faults",
+        ],
+        rows,
+        title="Chaos matrix",
+        align_right=False,
+    )
+    n_ok = sum(o.ok for o in outcomes)
+    return f"{table}\n\n{n_ok}/{len(outcomes)} scenarios behaved as designed"

@@ -1,0 +1,304 @@
+"""Cycle-boundary checkpoint/restart for synchronous REMD runs.
+
+A checkpoint is a versioned JSON snapshot of everything the synchronous
+EMM needs to continue a simulation exactly where it stopped:
+
+* full replica state — coordinates, window indices, per-cycle history
+  (including sampled trajectories), failure counts;
+* exchange statistics, accumulated cycle timings and swap proposals;
+* core-second accounting (MD + exchange) and failure/relaunch totals;
+* the state of every named RNG stream (AMM registry, failure injector,
+  transient staging faults), so the continued run draws the exact random
+  sequences the uninterrupted run would have.
+
+Restart rebuilds the stack from the same configuration (enforced via the
+config hash), drives the fresh pilot through activation, replays the
+virtual clock to the checkpoint time, and overwrites the EMM's state —
+after which the resumed run is bit-identical to the uninterrupted one
+(asserted by ``tests/integration/test_resume.py``).  The event-clock
+replay works because a synchronous cycle boundary is a quiet point: no
+units are in flight, so the only pending events (walltime expiry, the
+deterministic fault schedule) regenerate identically from the seed.
+
+Checkpoints are cycle-granular and synchronous-only: the async pattern
+has no global quiet point, which is exactly why the paper recommends it
+for fault *tolerance* (keep going) rather than fault *recovery* (stop
+and restart).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.replica import CycleRecord, Replica, ReplicaStatus
+from repro.core.results import CycleTiming
+from repro.core.exchange.base import SwapProposal
+from repro.obs.manifest import config_hash
+
+#: Bump on any incompatible change to the checkpoint layout.
+SCHEMA_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """Raised for unreadable, incompatible or mismatched checkpoints."""
+
+
+def _json_default(obj):
+    """Coerce numpy scalars/arrays left in runtime state to JSON types."""
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    raise TypeError(f"not JSON-serializable: {type(obj).__name__}")
+
+
+def _replica_to_dict(rep: Replica) -> Dict:
+    return {
+        "rid": rep.rid,
+        "coords": [float(c) for c in rep.coords],
+        "param_indices": dict(rep.param_indices),
+        "status": rep.status.value,
+        "cycle": rep.cycle,
+        "last_energies": {k: float(v) for k, v in rep.last_energies.items()},
+        "n_failures": rep.n_failures,
+        "cores": rep.cores,
+        "history": [
+            {
+                "cycle": rec.cycle,
+                "dimension": rec.dimension,
+                "param_indices": dict(rec.param_indices),
+                "potential_energy": rec.potential_energy,
+                "restraint_energy": rec.restraint_energy,
+                "torsional_energy": rec.torsional_energy,
+                "partner": rec.partner,
+                "accepted": rec.accepted,
+                "failed": rec.failed,
+                "trajectory": (
+                    rec.trajectory.tolist()
+                    if rec.trajectory is not None
+                    else None
+                ),
+            }
+            for rec in rep.history
+        ],
+    }
+
+
+def _replica_from_dict(data: Dict) -> Replica:
+    rep = Replica(
+        rid=int(data["rid"]),
+        coords=np.array(data["coords"], dtype=float),
+        param_indices={str(k): int(v) for k, v in data["param_indices"].items()},
+        status=ReplicaStatus(data["status"]),
+        cycle=int(data["cycle"]),
+        last_energies={
+            str(k): float(v) for k, v in data["last_energies"].items()
+        },
+        n_failures=int(data["n_failures"]),
+        cores=int(data["cores"]),
+    )
+    for raw in data["history"]:
+        rep.history.append(
+            CycleRecord(
+                cycle=int(raw["cycle"]),
+                dimension=raw["dimension"],
+                param_indices={
+                    str(k): int(v) for k, v in raw["param_indices"].items()
+                },
+                potential_energy=float(raw["potential_energy"]),
+                restraint_energy=float(raw["restraint_energy"]),
+                torsional_energy=float(raw["torsional_energy"]),
+                partner=raw["partner"],
+                accepted=bool(raw["accepted"]),
+                failed=bool(raw["failed"]),
+                trajectory=(
+                    np.array(raw["trajectory"], dtype=float)
+                    if raw["trajectory"] is not None
+                    else None
+                ),
+            )
+        )
+    return rep
+
+
+@dataclass
+class Checkpoint:
+    """One cycle-boundary snapshot of a synchronous run."""
+
+    config_hash: str
+    title: str
+    #: first cycle the resumed run executes
+    next_cycle: int
+    t_start: float
+    #: virtual time of the snapshot (the cycle boundary)
+    t_now: float
+    replicas: List[Dict] = field(default_factory=list)
+    exchange_stats: Dict[str, Dict] = field(default_factory=dict)
+    timings: List[Dict] = field(default_factory=list)
+    proposals: List[Dict] = field(default_factory=list)
+    accounting: Dict[str, float] = field(default_factory=dict)
+    rng: Dict[str, object] = field(default_factory=dict)
+    staging: Dict[str, object] = field(default_factory=dict)
+    schema_version: int = SCHEMA_VERSION
+
+    # -- capture -------------------------------------------------------------
+
+    @classmethod
+    def capture(
+        cls,
+        emm,
+        next_cycle: int,
+        t_start: float,
+        timings: List[CycleTiming],
+        proposals: List[SwapProposal],
+    ) -> "Checkpoint":
+        """Snapshot ``emm`` at a cycle boundary (``next_cycle`` not yet run)."""
+        rng_blob: Dict[str, object] = {"amm": emm.amm.rng.state_dict()}
+        failure_model = emm.session.failure_model
+        if failure_model is not None and getattr(failure_model, "rng", None) is not None:
+            rng_blob["failures"] = failure_model.rng.bit_generator.state
+        fault_domain = getattr(emm.session, "fault_domain", None)
+        if fault_domain is not None and fault_domain.staging is not None:
+            rng_blob["staging"] = fault_domain.staging.rng.bit_generator.state
+        return cls(
+            config_hash=config_hash(emm.config),
+            title=emm.config.title,
+            next_cycle=next_cycle,
+            t_start=t_start,
+            t_now=emm.session.now,
+            replicas=[_replica_to_dict(r) for r in emm.replicas],
+            exchange_stats={
+                name: {"attempted": s.attempted, "accepted": s.accepted}
+                for name, s in emm.amm.exchange_stats.items()
+            },
+            timings=[asdict(t) for t in timings],
+            proposals=[asdict(p) for p in proposals],
+            accounting={
+                "md_core_seconds": emm.md_core_seconds,
+                "exchange_core_seconds": emm.exchange_core_seconds,
+                "n_failures": emm.n_failures,
+                "n_relaunches": emm.n_relaunches,
+                "n_retired": emm.n_retired,
+                "n_spawned": emm.n_spawned,
+            },
+            rng=rng_blob,
+            staging=emm.session.staging_area.snapshot(),
+        )
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_json(self) -> str:
+        """JSON text form (floats at full ``repr`` precision, so times and
+        coordinates round-trip bit-exactly)."""
+        return json.dumps(asdict(self), default=_json_default, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Checkpoint":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(f"invalid checkpoint JSON: {exc}") from None
+        if not isinstance(data, dict):
+            raise CheckpointError("checkpoint must be a JSON object")
+        version = data.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise CheckpointError(
+                f"checkpoint schema version {version!r} is not supported "
+                f"(this build reads version {SCHEMA_VERSION})"
+            )
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise CheckpointError(f"malformed checkpoint: {exc}") from None
+
+    def save(self, path) -> None:
+        """Write the checkpoint to ``path``."""
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def load(cls, path) -> "Checkpoint":
+        """Read a checkpoint from ``path``."""
+        try:
+            text = Path(path).read_text()
+        except OSError as exc:
+            raise CheckpointError(f"cannot read checkpoint: {exc}") from None
+        return cls.from_json(text)
+
+
+def restore(
+    emm, ckpt: Checkpoint
+) -> Tuple[int, float, List[CycleTiming], List[SwapProposal]]:
+    """Overwrite ``emm``'s state from ``ckpt``; returns the loop state.
+
+    Must be called after the pilot is ACTIVE and before any cycle runs.
+    Returns ``(start_cycle, t_start, timings, proposals)`` for the EMM's
+    cycle loop.  The virtual clock is replayed to the checkpoint time:
+    events strictly before it fire (re-arming deterministic fault
+    schedules, re-quarantining crashed nodes), events at or after it stay
+    pending, exactly as at the original boundary.
+    """
+    if ckpt.config_hash != config_hash(emm.config):
+        raise CheckpointError(
+            f"checkpoint was taken from a different configuration "
+            f"(hash {ckpt.config_hash} != {config_hash(emm.config)})"
+        )
+    if ckpt.next_cycle >= emm.config.n_cycles:
+        raise CheckpointError(
+            f"checkpoint is already complete ({ckpt.next_cycle} of "
+            f"{emm.config.n_cycles} cycles)"
+        )
+
+    emm.replicas = [_replica_from_dict(d) for d in ckpt.replicas]
+    for name, counts in ckpt.exchange_stats.items():
+        if name not in emm.amm.exchange_stats:
+            raise CheckpointError(
+                f"checkpoint has exchange stats for unknown dimension "
+                f"{name!r}"
+            )
+        stats = emm.amm.exchange_stats[name]
+        stats.attempted = int(counts["attempted"])
+        stats.accepted = int(counts["accepted"])
+
+    acct = ckpt.accounting
+    emm.md_core_seconds = float(acct["md_core_seconds"])
+    emm.exchange_core_seconds = float(acct["exchange_core_seconds"])
+    emm.n_failures = int(acct["n_failures"])
+    emm.n_relaunches = int(acct["n_relaunches"])
+    emm.n_retired = int(acct["n_retired"])
+    emm.n_spawned = int(acct["n_spawned"])
+
+    emm.amm.rng.load_state(ckpt.rng["amm"])
+    failure_model = emm.session.failure_model
+    if "failures" in ckpt.rng and failure_model is not None:
+        failure_model.rng.bit_generator.state = ckpt.rng["failures"]
+    fault_domain = getattr(emm.session, "fault_domain", None)
+    if (
+        "staging" in ckpt.rng
+        and fault_domain is not None
+        and fault_domain.staging is not None
+    ):
+        fault_domain.staging.rng.bit_generator.state = ckpt.rng["staging"]
+
+    emm.session.staging_area.restore(ckpt.staging)
+
+    # Replay the clock to the boundary.  Deterministic periodic events
+    # (fault schedule) refire harmlessly against the still-empty scheduler;
+    # anything at exactly t_now stays pending, as at the original boundary.
+    clock = emm.session.clock
+    while True:
+        upcoming = [e.time for e in clock._heap if not e.cancelled]
+        if not upcoming or min(upcoming) >= ckpt.t_now:
+            break
+        clock.step()
+    clock.advance_to(ckpt.t_now)
+
+    timings = [CycleTiming(**d) for d in ckpt.timings]
+    proposals = [SwapProposal(**d) for d in ckpt.proposals]
+    return ckpt.next_cycle, ckpt.t_start, timings, proposals

@@ -161,26 +161,95 @@ class PatternSpec:
 
 @dataclass
 class FailureSpec:
-    """Failure injection and the RepEx recovery policy."""
+    """Failure injection and the RepEx recovery policy.
+
+    ``probability``/``policy``/``max_relaunches`` configure the original
+    per-unit Bernoulli injector; the remaining fields configure the
+    correlated fault domains of docs/FAULTS.md (node crashes, pilot
+    preemption, transient staging faults).
+    """
 
     probability: float = 0.0
-    policy: str = "continue"  # or "relaunch"
+    policy: str = "continue"  # "continue" | "relaunch" | "retire"
     max_relaunches: int = 3
+    #: retire policy: relaunches granted before the replica is retired
+    retire_after: int = 3
+    #: expected node crashes per node-hour (Poisson arrivals); 0 = off
+    node_crash_rate: float = 0.0
+    #: explicit crashes as [seconds_after_pilot_activation, node_index]
+    node_crashes: List[List[float]] = field(default_factory=list)
+    #: preempt the pilot this long after activation (None = never)
+    preempt_after_s: Optional[float] = None
+    #: preempted pilots re-enter the batch queue instead of failing
+    requeue_on_preempt: bool = True
+    #: chance each staging operation fails transiently; 0 = off
+    staging_fault_probability: float = 0.0
+    #: staging retries after the first attempt before the unit fails
+    staging_max_retries: int = 4
+    #: base of the exponential staging backoff (seconds)
+    staging_backoff_s: float = 0.5
 
     def __post_init__(self):
         if not (0.0 <= self.probability <= 1.0):
             raise ConfigError(
                 f"failure probability must be in [0,1], got {self.probability}"
             )
-        if self.policy not in ("continue", "relaunch"):
+        if self.policy not in ("continue", "relaunch", "retire"):
             raise ConfigError(
-                f"failure policy must be 'continue' or 'relaunch', "
-                f"got {self.policy!r}"
+                f"failure policy must be 'continue', 'relaunch' or "
+                f"'retire', got {self.policy!r}"
             )
         if self.max_relaunches < 0:
             raise ConfigError(
                 f"max_relaunches must be >= 0, got {self.max_relaunches}"
             )
+        if self.retire_after < 0:
+            raise ConfigError(
+                f"retire_after must be >= 0, got {self.retire_after}"
+            )
+        if self.node_crash_rate < 0:
+            raise ConfigError(
+                f"node_crash_rate must be >= 0, got {self.node_crash_rate}"
+            )
+        for entry in self.node_crashes:
+            if (
+                not isinstance(entry, (list, tuple))
+                or len(entry) != 2
+                or entry[0] < 0
+                or entry[1] < 0
+            ):
+                raise ConfigError(
+                    "node_crashes entries must be [t >= 0, node >= 0], "
+                    f"got {entry!r}"
+                )
+        if self.preempt_after_s is not None and self.preempt_after_s <= 0:
+            raise ConfigError(
+                f"preempt_after_s must be > 0, got {self.preempt_after_s}"
+            )
+        if not (0.0 <= self.staging_fault_probability <= 1.0):
+            raise ConfigError(
+                "staging_fault_probability must be in [0,1], got "
+                f"{self.staging_fault_probability}"
+            )
+        if self.staging_max_retries < 0:
+            raise ConfigError(
+                f"staging_max_retries must be >= 0, "
+                f"got {self.staging_max_retries}"
+            )
+        if self.staging_backoff_s <= 0:
+            raise ConfigError(
+                f"staging_backoff_s must be > 0, got {self.staging_backoff_s}"
+            )
+
+    @property
+    def wants_fault_domain(self) -> bool:
+        """True when any correlated fault domain is enabled."""
+        return (
+            self.node_crash_rate > 0
+            or bool(self.node_crashes)
+            or self.preempt_after_s is not None
+            or self.staging_fault_probability > 0
+        )
 
 
 @dataclass

@@ -53,6 +53,13 @@ class ExecutionManagerBase:
         self.mode = mode or make_mode(config.effective_mode)
         self.policy: FaultPolicy = policy_from_spec(config.failure)
         self.replicas: List[Replica] = []
+        #: checkpoint every N completed cycles (0 = never); snapshots go to
+        #: ``checkpoint_sink`` (set by the framework facade)
+        self.checkpoint_every = 0
+        self.checkpoint_sink = None
+        #: stop (with ``result.interrupted``) once this many cycles are
+        #: done — the hook the kill+resume integration test uses
+        self.stop_after_cycle: Optional[int] = None
         self.n_failures = 0
         self.n_relaunches = 0
         self.n_retired = 0
@@ -122,11 +129,26 @@ class ExecutionManagerBase:
                     to_relaunch.append(by_rid[rid])
                 elif action is FaultAction.RETIRE:
                     by_rid[rid].status = ReplicaStatus.RETIRED
+                    self.n_retired += 1
+            if not to_relaunch:
+                break
+            redo = [self.amm.md_task(r, cycle) for r in to_relaunch]
+            scheduler = self.pilot.scheduler
+            if scheduler is not None:
+                # Node quarantine may have shrunk the pilot below what a
+                # relaunch needs; those replicas degrade to CONTINUE
+                # (stale coordinates) instead of killing the run.
+                kept = [
+                    (r, d)
+                    for r, d in zip(to_relaunch, redo)
+                    if d.cores <= scheduler.capacity
+                ]
+                to_relaunch = [r for r, _ in kept]
+                redo = [d for _, d in kept]
             if not to_relaunch:
                 break
             self.n_relaunches += len(to_relaunch)
             self._c_relaunches.inc(len(to_relaunch))
-            redo = [self.amm.md_task(r, cycle) for r in to_relaunch]
             redo_units = self.mode.run_phase(self.session, self.pilot, redo)
             self._account_md(redo_units)
             for u in redo_units:
@@ -202,15 +224,30 @@ class ExecutionManagerBase:
 class SynchronousEMM(ExecutionManagerBase):
     """Barrier-synchronized RE (Fig. 1a): MD all, exchange, repeat."""
 
-    def run(self) -> SimulationResult:
-        """Execute the configured number of cycles; returns the result."""
-        self._ensure_pilot_active()
-        self.replicas = self.amm.create_replicas()
-        t_start = self.session.now
-        timings: List[CycleTiming] = []
-        all_proposals: List[SwapProposal] = []
+    def run(self, resume=None) -> SimulationResult:
+        """Execute the configured number of cycles; returns the result.
 
-        for cycle in range(self.config.n_cycles):
+        With ``resume`` (a :class:`~repro.core.checkpoint.Checkpoint`),
+        replica creation is skipped, state is restored from the snapshot
+        and execution continues at its ``next_cycle`` — bit-identical to
+        an uninterrupted run at the same seed.
+        """
+        from repro.core import checkpoint as ckpt_mod
+
+        self._ensure_pilot_active()
+        if resume is not None:
+            start_cycle, t_start, timings, all_proposals = ckpt_mod.restore(
+                self, resume
+            )
+        else:
+            self.replicas = self.amm.create_replicas()
+            start_cycle = 0
+            t_start = self.session.now
+            timings = []
+            all_proposals = []
+        interrupted = False
+
+        for cycle in range(start_cycle, self.config.n_cycles):
             dimension = (
                 self.amm.schedule.active(cycle)
                 if self.config.exchange_enabled
@@ -300,8 +337,29 @@ class SynchronousEMM(ExecutionManagerBase):
             self._c_cycles.inc()
             self._h_cycle_span.observe(self.session.now - cycle_start)
 
+            completed = cycle + 1
+            if (
+                self.checkpoint_every
+                and self.checkpoint_sink is not None
+                and completed % self.checkpoint_every == 0
+                and completed < self.config.n_cycles
+            ):
+                self.checkpoint_sink(
+                    ckpt_mod.Checkpoint.capture(
+                        self, completed, t_start, timings, all_proposals
+                    )
+                )
+            if (
+                self.stop_after_cycle is not None
+                and completed >= self.stop_after_cycle
+                and completed < self.config.n_cycles
+            ):
+                interrupted = True
+                break
+
         result = self._build_result(timings, t_start)
         result.proposals = all_proposals
+        result.interrupted = interrupted
         return result
 
 
@@ -329,6 +387,9 @@ class AsynchronousEMM(ExecutionManagerBase):
         rid_counter = {"next": max(by_rid) + 1 if by_rid else 0}
 
         cycles_done: Dict[int, int] = {r.rid: 0 for r in self.replicas}
+        #: consecutive failed attempts of each replica's current cycle,
+        #: so relaunch budgets actually exhaust (reset on success/continue)
+        md_attempts: Dict[int, int] = {}
         pool: List[int] = []  # rids awaiting exchange
         inflight: Dict[int, ComputeUnit] = {}
         all_proposals: List[SwapProposal] = []
@@ -351,6 +412,15 @@ class AsynchronousEMM(ExecutionManagerBase):
         def submit_md(rep: Replica) -> None:
             cycle = cycles_done[rep.rid]
             desc = self.amm.md_task(rep, cycle)
+            scheduler = self.pilot.scheduler
+            if scheduler is not None and desc.cores > scheduler.capacity:
+                # Node quarantine shrank the pilot below this task; the
+                # replica can never run again, so retire it instead of
+                # letting the submission kill the event loop.
+                rep.status = ReplicaStatus.RETIRED
+                cycles_done[rep.rid] = n_cycles
+                self.n_retired += 1
+                return
             units = self.session.submit_units(self.pilot, [desc])
             unit = units[0]
             inflight[rep.rid] = unit
@@ -385,15 +455,19 @@ class AsynchronousEMM(ExecutionManagerBase):
             if not unit.succeeded:
                 self.n_failures += 1
                 self._c_failures.inc()
-                action = self.policy.on_failure(rep, rep.n_failures + 1)
+                attempt = md_attempts.get(rep.rid, 0) + 1
+                md_attempts[rep.rid] = attempt
+                action = self.policy.on_failure(rep, attempt)
                 if action is FaultAction.RELAUNCH:
                     self.n_relaunches += 1
                     self._c_relaunches.inc()
                     submit_md(rep)
                     return
+                md_attempts.pop(rep.rid, None)
                 if action is FaultAction.RETIRE:
                     rep.status = ReplicaStatus.RETIRED
                     cycles_done[rep.rid] = n_cycles
+                    self.n_retired += 1
                     return
                 # CONTINUE: count the cycle, resubmit if more remain
                 self.amm.process_md_output(rep, unit, cycle, None)
@@ -402,6 +476,7 @@ class AsynchronousEMM(ExecutionManagerBase):
                     submit_md(rep)
                 return
 
+            md_attempts.pop(rep.rid, None)
             self.amm.process_md_output(rep, unit, cycle, None)
             cycles_done[rep.rid] = cycle + 1
             if cycles_done[rep.rid] >= n_cycles:

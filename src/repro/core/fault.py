@@ -73,10 +73,37 @@ class RelaunchPolicy(FaultPolicy):
         return FaultAction.CONTINUE
 
 
+class RetirePolicy(FaultPolicy):
+    """Relaunch up to ``retire_after`` times, then drop the replica.
+
+    The hard-failure complement of :class:`RelaunchPolicy`: a replica
+    whose task keeps failing (a poisoned input, a broken window) is
+    removed from the ensemble so the remaining replicas keep exchanging —
+    the EMMs shrink the active set and the pairing adapts.
+    """
+
+    name = "retire"
+
+    def __init__(self, retire_after: int = 3):
+        if retire_after < 0:
+            raise ValueError(
+                f"retire_after must be >= 0, got {retire_after}"
+            )
+        self.retire_after = retire_after
+
+    def on_failure(self, replica: Replica, attempt: int) -> FaultAction:
+        """Relaunch while attempts remain; otherwise retire the replica."""
+        if attempt <= self.retire_after:
+            return FaultAction.RELAUNCH
+        return FaultAction.RETIRE
+
+
 def policy_from_spec(spec: FailureSpec) -> FaultPolicy:
     """Build the policy requested by a :class:`FailureSpec`."""
     if spec.policy == "continue":
         return ContinuePolicy()
     if spec.policy == "relaunch":
         return RelaunchPolicy(spec.max_relaunches)
+    if spec.policy == "retire":
+        return RetirePolicy(spec.retire_after)
     raise ValueError(f"unknown fault policy {spec.policy!r}")

@@ -19,9 +19,11 @@ single :class:`~repro.core.config.SimulationConfig`:
 
 from __future__ import annotations
 
-from typing import Optional
+from pathlib import Path
+from typing import List, Optional, Union
 
 from repro.core.amm import ApplicationManager
+from repro.core.checkpoint import Checkpoint, CheckpointError
 from repro.core.config import SimulationConfig
 from repro.core.emm import AsynchronousEMM, SynchronousEMM
 from repro.core.execution_modes import ExecutionMode, make_mode
@@ -29,10 +31,11 @@ from repro.core.results import SimulationResult
 from repro.md.engine import EngineAdapter
 from repro.md.perfmodel import PerformanceModel
 from repro.md.sandbox import Sandbox
-from repro.obs.manifest import RunManifest
+from repro.obs.manifest import ManifestStream, RunManifest
 from repro.obs.metrics import get_registry
 from repro.pilot.cluster import get_cluster
 from repro.pilot.failures import FailureModel
+from repro.pilot.faultdomain import FaultDomainModel
 from repro.pilot.pilot import PilotDescription
 from repro.pilot.session import Session
 from repro.pilot.trace import Tracer
@@ -49,6 +52,22 @@ class RepEx:
     adapter / perf / sandbox / session / mode:
         Dependency-injection points for tests and benchmarks; all default
         to what the config implies.
+    checkpoint_every:
+        Snapshot the run every N completed cycles (synchronous pattern
+        only; 0 disables).  Checkpoints are collected in
+        :attr:`checkpoints` and, when ``checkpoint_dir`` is set, written
+        as ``cycle_NNNN.json`` plus an always-current ``latest.json``.
+    resume_from:
+        A :class:`~repro.core.checkpoint.Checkpoint` (or a path to one)
+        to continue from; the resumed run is bit-identical to the
+        uninterrupted one.
+    stop_after_cycle:
+        Stop cleanly after this many completed cycles (the tested way to
+        "kill" a run at a checkpoint boundary).
+    manifest_path:
+        Stream an incrementally flushed JSONL manifest to this path
+        while the run is in flight (see
+        :class:`~repro.obs.manifest.ManifestStream`).
     """
 
     def __init__(
@@ -60,20 +79,32 @@ class RepEx:
         sandbox: Optional[Sandbox] = None,
         session: Optional[Session] = None,
         mode: Optional[ExecutionMode] = None,
+        checkpoint_every: int = 0,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        resume_from: Optional[Union[str, Path, Checkpoint]] = None,
+        stop_after_cycle: Optional[int] = None,
+        manifest_path: Optional[Union[str, Path]] = None,
     ):
         self.config = config
         self.cluster = get_cluster(config.resource.name)
 
+        rng = RNGRegistry(config.seed)
         failure_model = None
         if config.failure.probability > 0:
             failure_model = FailureModel(
                 probability=config.failure.probability,
-                rng=RNGRegistry(config.seed).stream("failures"),
+                rng=rng.stream("failures"),
                 only_phase="md",
             )
-        self.session = session or Session(failure_model=failure_model)
-        if session is not None and failure_model is not None:
-            self.session.failure_model = failure_model
+        self.fault_domain = FaultDomainModel.from_spec(config.failure, rng)
+        self.session = session or Session(
+            failure_model=failure_model, fault_domain=self.fault_domain
+        )
+        if session is not None:
+            if failure_model is not None:
+                self.session.failure_model = failure_model
+            if self.fault_domain is not None:
+                self.session.fault_domain = self.fault_domain
 
         # Observability: bind the registry to this run's virtual clock and
         # auto-trace every unit the session submits.  Under a NullRegistry
@@ -100,11 +131,8 @@ class RepEx:
                 walltime_minutes=config.resource.walltime_minutes,
             )
         )
-        emm_cls = (
-            SynchronousEMM
-            if config.pattern.kind == "synchronous"
-            else AsynchronousEMM
-        )
+        self._is_sync = config.pattern.kind == "synchronous"
+        emm_cls = SynchronousEMM if self._is_sync else AsynchronousEMM
         self.emm = emm_cls(
             config,
             self.amm,
@@ -113,6 +141,45 @@ class RepEx:
             mode=mode or make_mode(config.effective_mode),
         )
 
+        # -- checkpoint/restart (synchronous pattern only) -------------------
+        if checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {checkpoint_every}"
+            )
+        if resume_from is not None and not isinstance(resume_from, Checkpoint):
+            resume_from = Checkpoint.load(resume_from)
+        wants_checkpointing = (
+            checkpoint_every > 0
+            or resume_from is not None
+            or stop_after_cycle is not None
+        )
+        if wants_checkpointing and not self._is_sync:
+            raise CheckpointError(
+                "checkpoint/restart is cycle-granular and only supported "
+                "by the synchronous pattern (the async pattern has no "
+                "global quiet point)"
+            )
+        self.checkpoint_every = int(checkpoint_every)
+        self.checkpoint_dir = (
+            Path(checkpoint_dir) if checkpoint_dir is not None else None
+        )
+        #: every checkpoint taken by the most recent :meth:`run`
+        self.checkpoints: List[Checkpoint] = []
+        self._resume = resume_from
+        if self._is_sync:
+            self.emm.checkpoint_every = self.checkpoint_every
+            self.emm.checkpoint_sink = self._on_checkpoint
+            self.emm.stop_after_cycle = stop_after_cycle
+
+        self.manifest_path = manifest_path
+
+    def _on_checkpoint(self, ckpt: Checkpoint) -> None:
+        self.checkpoints.append(ckpt)
+        if self.checkpoint_dir is not None:
+            self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+            ckpt.save(self.checkpoint_dir / f"cycle_{ckpt.next_cycle:04d}.json")
+            ckpt.save(self.checkpoint_dir / "latest.json")
+
     def run(self) -> SimulationResult:
         """Execute the simulation and tear the pilot down.
 
@@ -120,13 +187,40 @@ class RepEx:
         manifest attached to the result reflects this run alone.
         """
         self.registry.reset()
+        self.checkpoints.clear()
+        stream = None
+        if self.manifest_path is not None:
+            stream = ManifestStream(self.manifest_path, self.config)
+            if self.tracer is not None:
+                self.tracer.add_sink(stream.on_transition)
+            if self.fault_domain is not None:
+                self.fault_domain.add_sink(stream.on_fault)
         try:
-            result = self.emm.run()
+            # Dispatch on the live EMM instance (tests swap it in place).
+            if isinstance(self.emm, SynchronousEMM):
+                result = self.emm.run(resume=self._resume)
+            else:
+                result = self.emm.run()
+        except BaseException:
+            # Leave the partial manifest on disk — it is the post-mortem.
+            if stream is not None:
+                stream.close()
+            raise
         finally:
             self.pilot.cancel()
         result.manifest = RunManifest.from_run(
-            self.config, result, self.tracer, self.registry
+            self.config,
+            result,
+            self.tracer,
+            self.registry,
+            fault_events=(
+                [e.to_dict() for e in self.fault_domain.events]
+                if self.fault_domain is not None
+                else None
+            ),
         )
+        if stream is not None:
+            stream.finalize(result.manifest)
         return result
 
 

@@ -93,7 +93,7 @@ def compute_exchange(
             states=states,
             energy_matrix=energy_matrix,
         )
-        accepted = metropolis_accept(delta, rng)
+        accepted = metropolis_accept(delta, rng, dimension=dimension.name)
         if accepted:
             window_of[rep_i.rid], window_of[rep_j.rid] = (
                 window_of[rep_j.rid],

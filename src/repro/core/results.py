@@ -93,6 +93,9 @@ class SimulationResult:
     #: adaptive sampling: replicas retired early / spawned as replacements
     n_retired: int = 0
     n_spawned: int = 0
+    #: True when the run stopped early at a checkpoint boundary
+    #: (``stop_after_cycle``) rather than completing every cycle
+    interrupted: bool = False
     #: observability artifact attached by :meth:`RepEx.run()
     #: <repro.core.framework.RepEx.run>`; None when the run bypassed the
     #: framework facade or observability was disabled mid-flight.

@@ -18,6 +18,7 @@ See ``docs/OBSERVABILITY.md`` for the metric-name and span taxonomy.
 
 from repro.obs.manifest import (
     ManifestError,
+    ManifestStream,
     RunManifest,
     SCHEMA_VERSION,
     config_hash,
@@ -42,6 +43,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "ManifestError",
+    "ManifestStream",
     "MetricError",
     "MetricsRegistry",
     "NullRegistry",

@@ -105,6 +105,13 @@ class RunManifest:
     #: event-ordered ``[time, unit_name, state]`` triples
     timeline: List[List] = field(default_factory=list)
     n_units: int = 0
+    #: fault-injection events (node crashes, preemptions, staging
+    #: transients) recorded by the pilot's fault domain; empty when
+    #: faults are disabled
+    fault_events: List[Dict] = field(default_factory=list)
+    #: True when this manifest was loaded from an unfinalised stream
+    #: (the run died before :meth:`ManifestStream.finalize`)
+    partial: bool = False
     schema_version: int = SCHEMA_VERSION
 
     # -- construction --------------------------------------------------------
@@ -116,13 +123,15 @@ class RunManifest:
         result,
         tracer: Optional[Tracer],
         registry: MetricsRegistry,
+        fault_events: Optional[List[Dict]] = None,
     ) -> "RunManifest":
         """Assemble the manifest for a finished run.
 
         ``config``/``result`` are duck-typed (SimulationConfig /
         SimulationResult) so this module stays import-light; ``tracer``
         may be None under a null registry, which yields an identity-only
-        manifest.
+        manifest.  ``fault_events`` is the fault domain's event list in
+        dict form, when fault injection was active.
         """
         manifest = cls(
             title=result.title,
@@ -142,6 +151,8 @@ class RunManifest:
             manifest.phase_totals = phase_totals(tracer)
             manifest.timeline = tracer.timeline()
             manifest.n_units = len(tracer.records)
+        if fault_events:
+            manifest.fault_events = list(fault_events)
         return manifest
 
     # -- derived -------------------------------------------------------------
@@ -180,6 +191,7 @@ class RunManifest:
             "utilization": self.utilization,
             "phase_totals": self.phase_totals,
             "n_units": self.n_units,
+            "partial": self.partial,
         }
         lines = [json.dumps(header, sort_keys=True)]
         lines.append(
@@ -188,6 +200,10 @@ class RunManifest:
         for span in self.spans:
             record = {"kind": "span"}
             record.update(span.to_dict())
+            lines.append(json.dumps(record, sort_keys=True))
+        for event in self.fault_events:
+            record = {"kind": "fault"}
+            record.update(event)
             lines.append(json.dumps(record, sort_keys=True))
         for t, unit, state in self.timeline:
             lines.append(
@@ -205,6 +221,7 @@ class RunManifest:
         metrics: Dict[str, Dict] = {}
         spans: List[SpanRecord] = []
         timeline: List[List] = []
+        fault_events: List[Dict] = []
         for lineno, line in enumerate(text.splitlines(), start=1):
             line = line.strip()
             if not line:
@@ -215,6 +232,8 @@ class RunManifest:
                 raise ManifestError(f"line {lineno}: invalid JSON: {exc}") from None
             kind = record.get("kind")
             if kind == "run":
+                # Last header wins: a finalized ManifestStream appends a
+                # non-partial header after the provisional one.
                 header = record
             elif kind == "metrics":
                 metrics = record.get("data", {})
@@ -222,6 +241,10 @@ class RunManifest:
                 spans.append(SpanRecord.from_dict(record))
             elif kind == "event":
                 timeline.append([record["t"], record["unit"], record["state"]])
+            elif kind == "fault":
+                fault_events.append(
+                    {k: v for k, v in record.items() if k != "kind"}
+                )
             else:
                 raise ManifestError(
                     f"line {lineno}: unknown record kind {kind!r}"
@@ -244,6 +267,8 @@ class RunManifest:
             spans=spans,
             timeline=timeline,
             n_units=header.get("n_units", 0),
+            fault_events=fault_events,
+            partial=header.get("partial", False),
             schema_version=header.get("schema_version", SCHEMA_VERSION),
         )
 
@@ -285,4 +310,120 @@ class RunManifest:
             f"spans: {len(self.spans)}, timeline events: "
             f"{len(self.timeline)}, units: {self.n_units}"
         )
+        if self.fault_events:
+            lines.append(f"fault events: {len(self.fault_events)}")
+        if self.partial:
+            lines.append("PARTIAL: the run did not finalize this manifest")
         return lines
+
+
+class ManifestStream:
+    """Incrementally flushed JSONL manifest (crash-tolerant observability).
+
+    :class:`RunManifest` is assembled only after a run finishes, which
+    makes it useless for diagnosing a run that *dies* — exactly the case
+    the fault-injection work cares about.  A ``ManifestStream`` opens its
+    file up front with a provisional run header marked ``partial`` and
+    appends one flushed line per unit state transition
+    (:meth:`on_transition`, wired as a
+    :meth:`~repro.pilot.trace.Tracer.add_sink` callback) and per fault
+    event (:meth:`on_fault`), so a killed process still leaves a loadable
+    prefix on disk.  :meth:`finalize` appends the metrics snapshot, the
+    spans, and a final non-partial header; :meth:`RunManifest.from_jsonl`
+    takes the *last* run header, so a finalized stream loads exactly like
+    :meth:`RunManifest.dump` output.
+    """
+
+    def __init__(self, path, config):
+        self.path = Path(path)
+        self._fh = self.path.open("w")
+        self._closed = False
+        self._write(
+            {
+                "kind": "run",
+                "schema_version": SCHEMA_VERSION,
+                "partial": True,
+                "title": config.title,
+                "config_hash": config_hash(config),
+                "pattern": config.pattern.kind,
+                "execution_mode": config.effective_mode,
+                "n_replicas": config.n_replicas,
+                "pilot_cores": config.resource.cores,
+                "seed": getattr(config, "seed", 0),
+                "t_start": 0.0,
+                "t_end": 0.0,
+            }
+        )
+
+    def _write(self, record: Dict) -> None:
+        if self._closed:
+            return
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    # -- sinks ---------------------------------------------------------------
+
+    def on_transition(self, unit_name: str, state: str, t: float) -> None:
+        """Tracer sink: flush one unit state-transition line."""
+        self._write(
+            {"kind": "event", "t": round(t, 6), "unit": unit_name, "state": state}
+        )
+
+    def on_fault(self, event) -> None:
+        """Fault-domain sink: flush one fault event line.
+
+        ``event`` is a :class:`~repro.pilot.faultdomain.FaultEvent` (or
+        anything with a ``to_dict``).
+        """
+        record = {"kind": "fault"}
+        record.update(event.to_dict())
+        self._write(record)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def finalize(self, manifest: RunManifest) -> None:
+        """Append metrics, spans and the final header, then close.
+
+        The streamed event lines already carry the timeline, so only the
+        end-of-run records are appended here.
+        """
+        if self._closed:
+            return
+        self._write({"kind": "metrics", "data": manifest.metrics})
+        for span in manifest.spans:
+            record = {"kind": "span"}
+            record.update(span.to_dict())
+            self._write(record)
+        self._write(
+            {
+                "kind": "run",
+                "schema_version": manifest.schema_version,
+                "partial": False,
+                "title": manifest.title,
+                "config_hash": manifest.config_hash,
+                "pattern": manifest.pattern,
+                "execution_mode": manifest.execution_mode,
+                "n_replicas": manifest.n_replicas,
+                "pilot_cores": manifest.pilot_cores,
+                "seed": manifest.seed,
+                "t_start": manifest.t_start,
+                "t_end": manifest.t_end,
+                "utilization": manifest.utilization,
+                "phase_totals": manifest.phase_totals,
+                "n_units": manifest.n_units,
+            }
+        )
+        self.close()
+
+    def close(self) -> None:
+        """Close the file; idempotent, later writes are dropped."""
+        if self._closed:
+            return
+        self._closed = True
+        self._fh.close()
+
+    def __enter__(self) -> "ManifestStream":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

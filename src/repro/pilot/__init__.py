@@ -18,6 +18,11 @@ from repro.pilot.cluster import (
 )
 from repro.pilot.events import Event, EventQueue, SimulationError
 from repro.pilot.failures import FailureModel, NO_FAILURES, UnitFailure
+from repro.pilot.faultdomain import (
+    FaultDomainModel,
+    FaultEvent,
+    TransientFaultModel,
+)
 from repro.pilot.pilot import Pilot, PilotDescription, PilotState
 from repro.pilot.scheduler import AgentScheduler, SchedulerError
 from repro.pilot.session import PilotManager, Session, UnitManager
@@ -43,6 +48,8 @@ __all__ = [
     "Event",
     "EventQueue",
     "FailureModel",
+    "FaultDomainModel",
+    "FaultEvent",
     "FilesystemModel",
     "FINAL_STATES",
     "LaunchOverheadModel",
@@ -60,6 +67,7 @@ __all__ = [
     "StagingDirective",
     "TraceRecord",
     "Tracer",
+    "TransientFaultModel",
     "UnitDescription",
     "UnitFailure",
     "UnitManager",

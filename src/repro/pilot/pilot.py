@@ -85,6 +85,7 @@ class Pilot:
         clock: EventQueue,
         staging_area: Optional[StagingArea] = None,
         failure_model: Optional[FailureModel] = None,
+        fault_domain=None,
     ):
         cluster = description.cluster()
         if description.cores > cluster.total_cores:
@@ -106,6 +107,9 @@ class Pilot:
         self.scheduler: Optional[AgentScheduler] = None
         self._staging_area = staging_area if staging_area is not None else StagingArea()
         self._failure_model = failure_model
+        #: correlated-fault injector (node crashes, preemption, staging
+        #: transients); None when faults are disabled
+        self.fault_domain = fault_domain
         self._pre_active_queue: List[ComputeUnit] = []
         self._callbacks: List[Callable[["Pilot", PilotState], None]] = []
         self._walltime_event = None
@@ -121,6 +125,8 @@ class Pilot:
         self._clock.schedule(wait, self._activate)
 
     def _activate(self) -> None:
+        if self.state is not PilotState.PENDING:
+            return  # cancelled (or failed) while queued
         self._advance(PilotState.ACTIVE)
         self.scheduler = AgentScheduler(
             clock=self._clock,
@@ -129,10 +135,15 @@ class Pilot:
             staging_area=self._staging_area,
             failure_model=self._failure_model,
             gpu_capacity=self.description.gpus,
+            fault_domain=self.fault_domain,
         )
         self._walltime_event = self._clock.schedule(
             self.description.walltime_minutes * 60.0, self._expire
         )
+        if self.fault_domain is not None:
+            # Arms the crash/preemption schedule on the first activation
+            # only; a requeued pilot keeps its remaining schedule.
+            self.fault_domain.on_pilot_active(self, self._clock)
         queued, self._pre_active_queue = self._pre_active_queue, []
         for unit in queued:
             self.scheduler.submit(unit)
@@ -142,6 +153,36 @@ class Pilot:
             if self.scheduler is not None:
                 self.scheduler.cancel_all()
             self._advance(PilotState.DONE)
+
+    def preempt(self, requeue: bool = True) -> int:
+        """Batch system reclaims the allocation mid-run (fault injection).
+
+        The entire workload fails in this event.  With ``requeue`` the
+        pilot re-enters the batch queue and reactivates (with a fresh
+        agent and a fresh walltime) after the usual queue wait — units
+        submitted meanwhile are held and scheduled at reactivation.
+        Without it the pilot fails for good.  Returns units killed.
+        """
+        if self.state is not PilotState.ACTIVE:
+            return 0
+        # Detach the agent and leave ACTIVE *before* killing the workload:
+        # failure callbacks may resubmit (relaunch policies), and those
+        # submissions must land in the pre-active hold queue (requeue) or
+        # fail against the final pilot — never in the dying scheduler.
+        scheduler, self.scheduler = self.scheduler, None
+        if self._walltime_event is not None:
+            self._walltime_event.cancel()
+            self._walltime_event = None
+        if requeue:
+            self._advance(PilotState.PENDING)
+            wait = self.cluster.queue.wait_time(self.description.cores)
+            self._clock.schedule(wait, self._activate)
+        else:
+            self._advance(PilotState.FAILED)
+        killed = 0
+        if scheduler is not None:
+            killed = scheduler.kill_all(f"{self.uid}: pilot preempted")
+        return killed
 
     def cancel(self) -> None:
         """Tear the pilot down; queued units are cancelled."""

@@ -11,12 +11,27 @@ large ones).  The temporal pipeline of each unit is::
 Each stage charges the corresponding cluster model (filesystem, launcher,
 performance-model duration), producing the ``T_data`` / ``T_RP_over`` /
 ``T_MD``/``T_EX`` decomposition of the paper's Eq. 1.
+
+The scheduler also carries the pilot's *fault surface* (docs/FAULTS.md):
+
+* Cores are tracked per node (first-fit placement over the pilot's node
+  map), so a :meth:`crash_node` event fails every unit resident on the
+  node in one stroke and quarantines the node — its cores leave both
+  ``capacity`` and the free pool, and nothing is placed there again.
+* Staging operations consult the fault domain's transient model and are
+  retried with exponential backoff + jitter before the unit is failed.
+* :meth:`kill_all` implements pilot-level faults (preemption): the queue
+  and all running units fail in one event.
+
+Because faults can finish a unit while its pipeline events are still on
+the clock, every deferred callback checks ``unit.done`` first; a fault
+therefore never races a stale completion into an illegal transition.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Set
+from typing import Deque, Dict, List, Optional, Set
 
 from repro.obs.metrics import get_registry
 from repro.pilot.cluster import ClusterSpec
@@ -41,6 +56,7 @@ class AgentScheduler:
         staging_area: Optional[StagingArea] = None,
         failure_model: Optional[FailureModel] = None,
         gpu_capacity: int = 0,
+        fault_domain=None,
     ):
         if capacity <= 0:
             raise ValueError(f"capacity must be > 0, got {capacity}")
@@ -54,8 +70,26 @@ class AgentScheduler:
         self.free_gpus = gpu_capacity
         self.staging_area = staging_area if staging_area is not None else StagingArea()
         self.failure_model = failure_model or NO_FAILURES
+        #: fault-domain model (node crashes / staging transients); None when
+        #: correlated faults are disabled
+        self.fault_domain = fault_domain
         self._queue: Deque[ComputeUnit] = deque()
         self._running: Set[ComputeUnit] = set()
+        # Node map: the pilot's cores are carved into nodes of
+        # ``cluster.cores_per_node`` (the last node takes the remainder).
+        # GPUs stay a global pool — the paper's GPU runs are one GPU task
+        # per node, so node-level GPU accounting adds nothing yet.
+        per_node = cluster.cores_per_node
+        self._node_total: List[int] = []
+        remaining = capacity
+        while remaining > 0:
+            take = min(per_node, remaining)
+            self._node_total.append(take)
+            remaining -= take
+        self._node_free: List[int] = list(self._node_total)
+        self._quarantined: Set[int] = set()
+        #: unit -> {node_index: cores taken}, for crash targeting/release
+        self._placement: Dict[ComputeUnit, Dict[int, int]] = {}
         #: transfers currently in flight, for filesystem contention
         self._staging_in_flight = 0
         #: units currently waiting on the launcher, for launch contention
@@ -70,6 +104,8 @@ class AgentScheduler:
         self._m_completed = registry.counter("scheduler.completed")
         self._m_failed = registry.counter("scheduler.failed")
         self._m_canceled = registry.counter("scheduler.canceled")
+        self._m_retries = registry.counter("staging.retries")
+        self._m_staging_faults = registry.counter("fault.staging_transients")
         self._g_queue_depth = registry.gauge("scheduler.queue_depth")
         self._g_used_cores = registry.gauge("scheduler.used_cores")
         self._h_wait = registry.histogram("scheduler.wait_seconds")
@@ -94,6 +130,22 @@ class AgentScheduler:
     def used_cores(self) -> int:
         """Cores currently allocated."""
         return self.capacity - self.free_cores
+
+    @property
+    def n_nodes(self) -> int:
+        """Nodes in the pilot's allocation (including quarantined ones)."""
+        return len(self._node_total)
+
+    @property
+    def quarantined_nodes(self) -> Set[int]:
+        """Indices of nodes removed from service by crashes."""
+        return set(self._quarantined)
+
+    def quarantined_cores(self, node: int) -> int:
+        """Cores lost to quarantine on ``node`` (0 if the node is healthy)."""
+        if node in self._quarantined:
+            return self._node_total[node]
+        return 0
 
     def submit(self, unit: ComputeUnit) -> None:
         """Queue a unit; it is scheduled as soon as cores are available."""
@@ -125,6 +177,68 @@ class AgentScheduler:
         self._drained = True
         self._update_occupancy()
 
+    # -- fault surface -------------------------------------------------------
+
+    def crash_node(self, node: int) -> int:
+        """Crash ``node``: fail its resident units, quarantine its cores.
+
+        Every unit with cores placed on the node fails in this one event
+        (correlated failure), the node's cores leave both ``capacity`` and
+        the free pool, and queued units that can no longer ever fit fail
+        too.  Returns the number of units failed.  Idempotent per node.
+        """
+        if node < 0 or node >= self.n_nodes or node in self._quarantined:
+            return 0
+        victims = [u for u in self._running if node in self._placement.get(u, {})]
+        # Quarantine BEFORE failing: _release -> _try_schedule must not
+        # place queued units onto the crashing node.
+        self._quarantined.add(node)
+        self.capacity -= self._node_total[node]
+        self.free_cores -= self._node_free[node]
+        self._node_free[node] = 0
+        failed = 0
+        for unit in victims:
+            self._fail(unit, UnitFailure(f"node {node} crashed"))
+            failed += 1
+        # Queued units larger than the surviving capacity can never start.
+        still_waiting: Deque[ComputeUnit] = deque()
+        while self._queue:
+            unit = self._queue.popleft()
+            if unit.description.cores > self.capacity:
+                unit.exception = UnitFailure(
+                    f"node {node} crashed; {unit.description.cores} cores "
+                    f"can no longer be satisfied"
+                )
+                unit.advance(UnitState.FAILED, self._clock.now)
+                self._m_failed.inc()
+                failed += 1
+            else:
+                still_waiting.append(unit)
+        self._queue = still_waiting
+        self._update_occupancy()
+        return failed
+
+    def kill_all(self, reason: str) -> int:
+        """Fail the entire workload (pilot preemption / walltime kill).
+
+        Queued units are failed first so releases from the running set
+        cannot backfill them mid-kill.  The scheduler is drained afterwards
+        and accepts no further submissions.  Returns units failed.
+        """
+        failed = 0
+        while self._queue:
+            unit = self._queue.popleft()
+            unit.exception = UnitFailure(reason)
+            unit.advance(UnitState.FAILED, self._clock.now)
+            self._m_failed.inc()
+            failed += 1
+        for unit in list(self._running):
+            self._fail(unit, UnitFailure(reason))
+            failed += 1
+        self._drained = True
+        self._update_occupancy()
+        return failed
+
     # -- pipeline -----------------------------------------------------------
 
     def _try_schedule(self) -> None:
@@ -138,14 +252,31 @@ class AgentScheduler:
                 unit.description.cores <= self.free_cores
                 and unit.description.gpus <= self.free_gpus
             ):
-                self.free_cores -= unit.description.cores
-                self.free_gpus -= unit.description.gpus
+                self._place(unit)
                 self._running.add(unit)
                 self._begin_staging_in(unit)
             else:
                 still_waiting.append(unit)
         self._queue = still_waiting
         self._update_occupancy()
+
+    def _place(self, unit: ComputeUnit) -> None:
+        """First-fit the unit's cores over healthy nodes (may span nodes)."""
+        need = unit.description.cores
+        placement: Dict[int, int] = {}
+        for node in range(self.n_nodes):
+            if need == 0:
+                break
+            if node in self._quarantined or self._node_free[node] == 0:
+                continue
+            take = min(need, self._node_free[node])
+            self._node_free[node] -= take
+            placement[node] = take
+            need -= take
+        assert need == 0, "free_cores disagreed with the node map"
+        self._placement[unit] = placement
+        self.free_cores -= unit.description.cores
+        self.free_gpus -= unit.description.gpus
 
     def _staging_time(self, directives) -> float:
         total = 0.0
@@ -158,17 +289,63 @@ class AgentScheduler:
                 )
         return total
 
+    def _staging_model(self):
+        if self.fault_domain is None:
+            return None
+        return self.fault_domain.staging
+
+    def _run_staging(self, unit: ComputeUnit, directives, on_done, attempt: int = 1) -> None:
+        """Charge staging time for ``directives``, then ``on_done()``.
+
+        When the fault domain carries a transient staging model, each
+        attempt may fail; failed attempts are retried after an
+        exponential-backoff delay (re-charging the transfer time), up to
+        ``max_retries`` retries, after which the unit fails for good.
+        """
+        delay = self._staging_time(directives)
+        self._staging_in_flight += len(directives)
+
+        def _done():
+            self._staging_in_flight -= len(directives)
+            if unit.done:  # failed by a node crash / preemption mid-transfer
+                return
+            model = self._staging_model()
+            if model is not None and directives and model.draw_fault():
+                self._m_staging_faults.inc()
+                self.fault_domain.record(
+                    self._clock.now,
+                    "staging_fault",
+                    unit=unit.description.name,
+                    attempt=attempt,
+                )
+                if attempt > model.max_retries:
+                    self._fail(
+                        unit,
+                        UnitFailure(
+                            f"staging failed after {attempt} attempts"
+                        ),
+                    )
+                    return
+                self._m_retries.inc()
+                self._clock.schedule(
+                    model.backoff(attempt),
+                    lambda: None
+                    if unit.done
+                    else self._run_staging(unit, directives, on_done, attempt + 1),
+                )
+                return
+            on_done()
+
+        self._clock.schedule(delay, _done)
+
     def _begin_staging_in(self, unit: ComputeUnit) -> None:
         self._h_wait.observe(
             self._clock.now - unit.timestamps[UnitState.SCHEDULING]
         )
         unit.advance(UnitState.STAGING_INPUT, self._clock.now)
         directives = unit.description.input_staging
-        delay = self._staging_time(directives)
-        self._staging_in_flight += len(directives)
 
-        def _done():
-            self._staging_in_flight -= len(directives)
+        def _staged():
             for d in directives:
                 if d.target not in self.staging_area:
                     self.staging_area.put(d.target, d.size_mb)
@@ -176,7 +353,7 @@ class AgentScheduler:
                     self.staging_area.get(d.target)
             self._begin_launch(unit)
 
-        self._clock.schedule(delay, _done)
+        self._run_staging(unit, directives, _staged)
 
     def _begin_launch(self, unit: ComputeUnit) -> None:
         unit.advance(UnitState.AGENT_EXECUTING_PENDING, self._clock.now)
@@ -187,6 +364,8 @@ class AgentScheduler:
 
         def _launched():
             self._launch_pending -= 1
+            if unit.done:
+                return
             self._begin_execution(unit)
 
         self._clock.schedule(delay, _launched)
@@ -216,9 +395,14 @@ class AgentScheduler:
                 )
                 return
 
-        self._clock.schedule(duration, lambda: self._begin_staging_out(unit))
+        self._clock.schedule(
+            duration,
+            lambda: None if unit.done else self._begin_staging_out(unit),
+        )
 
     def _fail(self, unit: ComputeUnit, exc: BaseException) -> None:
+        if unit.done:  # already finished (e.g. crash raced a failure event)
+            return
         unit.exception = exc
         unit.advance(UnitState.FAILED, self._clock.now)
         self._m_failed.inc()
@@ -227,22 +411,28 @@ class AgentScheduler:
     def _begin_staging_out(self, unit: ComputeUnit) -> None:
         unit.advance(UnitState.STAGING_OUTPUT, self._clock.now)
         directives = unit.description.output_staging
-        delay = self._staging_time(directives)
-        self._staging_in_flight += len(directives)
 
-        def _done():
-            self._staging_in_flight -= len(directives)
+        def _staged():
             for d in directives:
                 self.staging_area.put(d.target, d.size_mb)
             unit.advance(UnitState.DONE, self._clock.now)
             self._m_completed.inc()
             self._release(unit)
 
-        self._clock.schedule(delay, _done)
+        self._run_staging(unit, directives, _staged)
 
     def _release(self, unit: ComputeUnit) -> None:
         self._running.discard(unit)
-        self.free_cores += unit.description.cores
+        placement = self._placement.pop(unit, None)
+        if placement is None:
+            self.free_cores += unit.description.cores
+        else:
+            # Cores on quarantined nodes are gone — they left capacity when
+            # the node crashed and must not rejoin the free pool.
+            for node, taken in placement.items():
+                if node not in self._quarantined:
+                    self._node_free[node] += taken
+                    self.free_cores += taken
         self.free_gpus += unit.description.gpus
         if self.free_cores > self.capacity or self.free_gpus > self.gpu_capacity:
             raise SchedulerError("resource accounting corrupted (double release)")

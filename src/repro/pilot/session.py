@@ -29,10 +29,13 @@ class Session:
         self,
         seed: int = 0,
         failure_model: Optional[FailureModel] = None,
+        fault_domain=None,
     ):
         self.clock = EventQueue()
         self.staging_area = StagingArea()
         self.failure_model = failure_model
+        #: correlated-fault injector handed to every pilot (None = off)
+        self.fault_domain = fault_domain
         self.pilots: List[Pilot] = []
         #: optional tracer auto-watching every unit submitted through this
         #: session (set by :class:`~repro.core.framework.RepEx` when
@@ -55,6 +58,7 @@ class Session:
             clock=self.clock,
             staging_area=self.staging_area,
             failure_model=self.failure_model,
+            fault_domain=self.fault_domain,
         )
         self.pilots.append(pilot)
         pilot.launch()

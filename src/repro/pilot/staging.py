@@ -104,6 +104,29 @@ class StagingArea:
         """All staged logical paths, sorted."""
         return sorted(self._files)
 
+    # -- checkpointing -------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe snapshot of the area (files + transfer totals)."""
+        return {
+            "files": dict(self._files),
+            "bytes_in_mb": self.bytes_in_mb,
+            "bytes_out_mb": self.bytes_out_mb,
+            "n_transfers": self.n_transfers,
+        }
+
+    def restore(self, snapshot: Dict[str, object]) -> None:
+        """Restore a :meth:`snapshot`, bypassing the transfer counters.
+
+        Restoration re-materializes bookkeeping, it does not move data, so
+        neither the ``staging.*`` metrics nor the byte totals are charged;
+        the totals are set to the snapshotted values instead.
+        """
+        self._files = {str(k): float(v) for k, v in snapshot["files"].items()}
+        self.bytes_in_mb = float(snapshot["bytes_in_mb"])
+        self.bytes_out_mb = float(snapshot["bytes_out_mb"])
+        self.n_transfers = int(snapshot["n_transfers"])
+
 
 def total_staging_size(directives: Iterable[StagingDirective]) -> float:
     """Sum of sizes (MB) of COPY/MOVE directives (links are free)."""

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.pilot.unit import ComputeUnit, FINAL_STATES, UnitState
 
@@ -62,6 +62,24 @@ class Tracer:
 
     def __init__(self):
         self.records: Dict[str, TraceRecord] = {}
+        self._sinks: List[Callable[[str, str, float], None]] = []
+
+    def add_sink(self, sink: Callable[[str, str, float], None]) -> None:
+        """Stream transitions: ``sink(unit_name, state, t)`` per event.
+
+        Sinks fire as transitions happen (in causal order, not the
+        sorted order of :meth:`timeline`) — this is how
+        :class:`~repro.obs.manifest.ManifestStream` flushes a manifest
+        incrementally while the run is still in flight.
+        """
+        self._sinks.append(sink)
+
+    def _on_transition(self, unit: ComputeUnit, state) -> None:
+        t = unit.timestamps[state]
+        self.records[unit.uid].transitions.append((state.value, t))
+        name = unit.description.name
+        for sink in self._sinks:
+            sink(name, state.value, t)
 
     def watch(self, unit: ComputeUnit) -> None:
         """Start recording ``unit``'s transitions (idempotent)."""
@@ -76,12 +94,10 @@ class Tracer:
         # transitions that already happened
         for state, t in sorted(unit.timestamps.items(), key=lambda kv: kv[1]):
             record.transitions.append((state.value, t))
+            for sink in self._sinks:
+                sink(record.name, state.value, t)
         self.records[unit.uid] = record
-        unit.register_callback(
-            lambda u, s: self.records[u.uid].transitions.append(
-                (s.value, u.timestamps[s])
-            )
-        )
+        unit.register_callback(self._on_transition)
 
     def watch_all(self, units: Sequence[ComputeUnit]) -> None:
         """Watch every unit in ``units``."""

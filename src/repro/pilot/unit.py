@@ -51,7 +51,14 @@ FINAL_STATES = frozenset(
 #: Legal state transitions; anything else is a scheduler bug.
 _TRANSITIONS = {
     UnitState.NEW: {UnitState.SCHEDULING, UnitState.CANCELED},
-    UnitState.SCHEDULING: {UnitState.STAGING_INPUT, UnitState.CANCELED},
+    # SCHEDULING -> FAILED covers correlated faults (node crash shrinking
+    # capacity below the unit's core request, pilot preemption draining
+    # the queue); likewise AGENT_EXECUTING_PENDING -> FAILED.
+    UnitState.SCHEDULING: {
+        UnitState.STAGING_INPUT,
+        UnitState.FAILED,
+        UnitState.CANCELED,
+    },
     UnitState.STAGING_INPUT: {
         UnitState.AGENT_EXECUTING_PENDING,
         UnitState.FAILED,
@@ -59,6 +66,7 @@ _TRANSITIONS = {
     },
     UnitState.AGENT_EXECUTING_PENDING: {
         UnitState.EXECUTING,
+        UnitState.FAILED,
         UnitState.CANCELED,
     },
     UnitState.EXECUTING: {

@@ -72,5 +72,41 @@ class RNGRegistry:
             self._streams[key] = np.random.default_rng(seq)
         return self._streams[key]
 
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot of every stream created so far.
+
+        Keys are serialized as JSON lists (streams are keyed by tuples);
+        values are the ``bit_generator.state`` dicts, which contain only
+        Python ints/strings and round-trip exactly through JSON.
+        """
+        import json
+
+        return {
+            "seed": self._seed,
+            "streams": {
+                json.dumps(list(key)): gen.bit_generator.state
+                for key, gen in self._streams.items()
+            },
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore stream states captured by :meth:`state_dict`.
+
+        Streams are recreated lazily (creation is order-independent) and
+        their generator state overwritten, so a resumed run continues the
+        exact random sequences of the interrupted one.
+        """
+        import json
+
+        if int(state["seed"]) != self._seed:
+            raise ValueError(
+                f"checkpoint seed {state['seed']} != registry seed {self._seed}"
+            )
+        for raw_key, gen_state in state["streams"].items():
+            key = tuple(json.loads(raw_key))
+            self.stream(*key).bit_generator.state = gen_state
+
     def __len__(self) -> int:
         return len(self._streams)

@@ -1,0 +1,93 @@
+"""Tests for the chaos harness (scenario matrix + report)."""
+
+from repro.core.chaos import (
+    ChaosOutcome,
+    builtin_scenarios,
+    render_report,
+    run_matrix,
+    run_scenario,
+)
+
+
+class TestScenarios:
+    def test_fast_matrix_is_a_subset(self):
+        fast = {s.name for s in builtin_scenarios(fast=True)}
+        full = {s.name for s in builtin_scenarios(fast=False)}
+        assert fast < full
+        assert len(fast) == 6
+
+    def test_names_are_unique(self):
+        names = [s.name for s in builtin_scenarios(fast=False)]
+        assert len(names) == len(set(names))
+
+    def test_every_scenario_injects_faults(self):
+        for s in builtin_scenarios(fast=False):
+            assert s.config.failure.wants_fault_domain or (
+                s.config.failure.probability > 0
+            ), s.name
+
+
+class TestRunMatrix:
+    def test_fast_matrix_all_behave_as_designed(self):
+        outcomes = run_matrix(fast=True)
+        assert len(outcomes) == 6
+        assert all(o.ok for o in outcomes), [
+            (o.name, o.error) for o in outcomes if not o.ok
+        ]
+
+    def test_outcomes_carry_fault_evidence(self):
+        outcomes = run_matrix(fast=True)
+        by_name = {o.name: o for o in outcomes}
+        crash = by_name["node-crash/relaunch/sync"]
+        assert crash.fault_counters["fault.node_crashes"] == 1
+        assert crash.n_relaunches > 0
+        staging = by_name["staging-flaky/continue/sync"]
+        assert staging.fault_counters["staging.retries"] > 0
+        retire = by_name["unit-failures/retire/sync"]
+        assert retire.n_retired > 0
+
+    def test_scenario_death_is_data_not_crash(self):
+        # an expect_failure scenario returns an outcome with the error text
+        scenario = next(
+            s for s in builtin_scenarios(fast=False) if s.expect_failure
+        )
+        outcome = run_scenario(scenario)
+        assert outcome.ok
+        assert not outcome.survived
+        assert outcome.error
+
+
+class TestReport:
+    def test_render_report_lists_every_scenario(self):
+        outcomes = [
+            ChaosOutcome(name="a/b/c", survived=True),
+            ChaosOutcome(
+                name="d/e/f",
+                survived=False,
+                expect_failure=True,
+                error="SchedulerError: boom",
+            ),
+            ChaosOutcome(name="g/h/i", survived=False, error="dead"),
+        ]
+        text = render_report(outcomes)
+        assert "a/b/c" in text and "d/e/f" in text and "g/h/i" in text
+        assert "2/3 scenarios behaved as designed" in text
+        assert "FAIL" in text  # the unexpected death is flagged
+
+    def test_outcome_to_dict(self):
+        o = ChaosOutcome(
+            name="x",
+            survived=True,
+            n_failures=2,
+            fault_counters={"fault.node_crashes": 1.0},
+        )
+        d = o.to_dict()
+        assert d["name"] == "x"
+        assert d["ok"] is True
+        assert d["fault_counters"] == {"fault.node_crashes": 1.0}
+
+    def test_ok_semantics(self):
+        assert ChaosOutcome(name="x", survived=True).ok
+        assert not ChaosOutcome(name="x", survived=False).ok
+        assert ChaosOutcome(name="x", survived=False, expect_failure=True).ok
+        assert not ChaosOutcome(name="x", survived=True, expect_failure=True).ok

@@ -1,0 +1,130 @@
+"""Checkpoint capture, (de)serialization and validation."""
+
+import json
+
+import pytest
+
+from repro.core import RepEx
+from repro.core.checkpoint import SCHEMA_VERSION, Checkpoint, CheckpointError
+from repro.core.config import PatternSpec
+from tests.conftest import small_tremd_config
+
+
+def checkpointed_run(tmp_path, **over):
+    config = small_tremd_config(n_cycles=4, **over)
+    repex = RepEx(
+        config, checkpoint_every=2, checkpoint_dir=tmp_path / "ckpts"
+    )
+    result = repex.run()
+    return repex, result
+
+
+class TestCapture:
+    def test_checkpoints_taken_at_cycle_boundaries(self, tmp_path):
+        repex, result = checkpointed_run(tmp_path)
+        assert [c.next_cycle for c in repex.checkpoints] == [2]
+        ckpt = repex.checkpoints[0]
+        assert ckpt.title == "test-tremd"
+        assert ckpt.schema_version == SCHEMA_VERSION
+        assert len(ckpt.replicas) == 4
+        # two cycles of history captured per replica
+        assert all(len(r["history"]) == 2 for r in ckpt.replicas)
+        assert 0 < ckpt.t_now <= result.t_end
+
+    def test_files_written(self, tmp_path):
+        repex, _ = checkpointed_run(tmp_path)
+        ckpt_dir = tmp_path / "ckpts"
+        assert (ckpt_dir / "cycle_0002.json").exists()
+        assert (ckpt_dir / "latest.json").exists()
+        assert (
+            (ckpt_dir / "latest.json").read_text()
+            == (ckpt_dir / "cycle_0002.json").read_text()
+        )
+
+    def test_every_cycle_when_asked(self, tmp_path):
+        config = small_tremd_config(n_cycles=4)
+        repex = RepEx(config, checkpoint_every=1)
+        repex.run()
+        # no snapshot after the final cycle: nothing left to resume
+        assert [c.next_cycle for c in repex.checkpoints] == [1, 2, 3]
+
+    def test_disabled_by_default(self):
+        repex = RepEx(small_tremd_config())
+        repex.run()
+        assert repex.checkpoints == []
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_identical(self, tmp_path):
+        repex, _ = checkpointed_run(tmp_path)
+        ckpt = repex.checkpoints[0]
+        clone = Checkpoint.from_json(ckpt.to_json())
+        assert clone.to_json() == ckpt.to_json()
+        assert clone.t_now == ckpt.t_now
+        assert clone.rng == ckpt.rng
+
+    def test_load_save_round_trip(self, tmp_path):
+        repex, _ = checkpointed_run(tmp_path)
+        loaded = Checkpoint.load(tmp_path / "ckpts" / "latest.json")
+        assert loaded.to_json() == repex.checkpoints[0].to_json()
+
+
+class TestValidation:
+    def test_rejects_other_schema_version(self, tmp_path):
+        repex, _ = checkpointed_run(tmp_path)
+        data = json.loads(repex.checkpoints[0].to_json())
+        data["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(CheckpointError, match="schema version"):
+            Checkpoint.from_json(json.dumps(data))
+
+    def test_rejects_invalid_json(self):
+        with pytest.raises(CheckpointError, match="invalid checkpoint JSON"):
+            Checkpoint.from_json("{not json")
+        with pytest.raises(CheckpointError, match="JSON object"):
+            Checkpoint.from_json("[1, 2]")
+
+    def test_rejects_unknown_fields(self, tmp_path):
+        repex, _ = checkpointed_run(tmp_path)
+        data = json.loads(repex.checkpoints[0].to_json())
+        data["surprise"] = 1
+        with pytest.raises(CheckpointError, match="malformed"):
+            Checkpoint.from_json(json.dumps(data))
+
+    def test_rejects_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            Checkpoint.load(tmp_path / "nope.json")
+
+    def test_resume_rejects_config_mismatch(self, tmp_path):
+        repex, _ = checkpointed_run(tmp_path)
+        other = small_tremd_config(n_cycles=4, seed=999)
+        resumed = RepEx(
+            other, resume_from=tmp_path / "ckpts" / "latest.json"
+        )
+        with pytest.raises(CheckpointError, match="different configuration"):
+            resumed.run()
+
+    def test_resume_rejects_completed_checkpoint(self, tmp_path):
+        repex, _ = checkpointed_run(tmp_path)
+        ckpt = repex.checkpoints[0]  # next_cycle=2
+        same = small_tremd_config(n_cycles=4)
+        ckpt_done = Checkpoint.from_json(ckpt.to_json())
+        ckpt_done.next_cycle = 4
+        resumed = RepEx(same, resume_from=ckpt_done)
+        with pytest.raises(CheckpointError, match="already complete"):
+            resumed.run()
+
+    def test_negative_checkpoint_every_rejected(self):
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            RepEx(small_tremd_config(), checkpoint_every=-1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"checkpoint_every": 1},
+            {"stop_after_cycle": 1},
+        ],
+    )
+    def test_async_pattern_cannot_checkpoint(self, kwargs):
+        config = small_tremd_config(pattern=PatternSpec(kind="asynchronous"))
+        with pytest.raises(CheckpointError, match="synchronous"):
+            RepEx(config, **kwargs)

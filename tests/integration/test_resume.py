@@ -1,0 +1,147 @@
+"""Kill + resume equivalence: a resumed run is bit-identical.
+
+The acceptance bar for checkpoint/restart: stop a synchronous run at a
+cycle boundary, rebuild the whole stack from the checkpoint, and the
+combined trajectory — coordinates, energies, exchange decisions, RNG
+draws, virtual-clock times, core-second accounting — matches the
+uninterrupted run exactly (no tolerance).
+"""
+
+import json
+
+import pytest
+
+from repro.core import RepEx
+from repro.core.config import FailureSpec
+from tests.conftest import small_tremd_config
+
+
+def fingerprint(result):
+    """Every observable of a run, as an exact (full-precision) JSON blob."""
+    return json.dumps(
+        {
+            "t_end": result.t_end,
+            "replicas": [
+                {
+                    "rid": rep.rid,
+                    "coords": list(map(float, rep.coords)),
+                    "param_indices": rep.param_indices,
+                    "status": rep.status.value,
+                    "n_failures": rep.n_failures,
+                    "history": [
+                        {
+                            "cycle": rec.cycle,
+                            "param_indices": rec.param_indices,
+                            "potential_energy": rec.potential_energy,
+                            "partner": rec.partner,
+                            "accepted": rec.accepted,
+                            "failed": rec.failed,
+                            "trajectory": (
+                                rec.trajectory.tolist()
+                                if rec.trajectory is not None
+                                else None
+                            ),
+                        }
+                        for rec in rep.history
+                    ],
+                }
+                for rep in result.replicas
+            ],
+            "exchange": {
+                name: [stats.attempted, stats.accepted]
+                for name, stats in result.exchange_stats.items()
+            },
+            "timings": [
+                [c.cycle, c.t_md, c.t_ex, c.t_data, c.t_repex, c.t_rp, c.span]
+                for c in result.cycle_timings
+            ],
+            "accounting": [
+                result.md_core_seconds,
+                result.exchange_core_seconds,
+                result.n_failures,
+                result.n_relaunches,
+                result.n_retired,
+            ],
+        },
+        sort_keys=True,
+    )
+
+
+def make_config(**over):
+    return small_tremd_config(n_cycles=4, **over)
+
+
+@pytest.mark.parametrize(
+    "over",
+    [
+        {},
+        {"failure": FailureSpec(probability=0.4, policy="relaunch")},
+        {
+            "failure": FailureSpec(
+                policy="continue",
+                staging_fault_probability=0.3,
+                staging_max_retries=6,
+            )
+        },
+    ],
+    ids=["clean", "unit-failures", "staging-faults"],
+)
+def test_resume_is_bit_identical(tmp_path, over):
+    baseline = RepEx(make_config(**over)).run()
+
+    # "kill" the run at the cycle-2 boundary...
+    first = RepEx(
+        make_config(**over),
+        checkpoint_every=2,
+        checkpoint_dir=tmp_path,
+        stop_after_cycle=2,
+    )
+    partial = first.run()
+    assert partial.interrupted
+    assert len(partial.cycle_timings) == 2
+
+    # ...and continue from the file it left behind
+    resumed = RepEx(
+        make_config(**over), resume_from=tmp_path / "latest.json"
+    ).run()
+    assert not resumed.interrupted
+    assert fingerprint(resumed) == fingerprint(baseline)
+
+
+def test_resume_from_in_memory_checkpoint():
+    baseline = RepEx(make_config()).run()
+    first = RepEx(make_config(), checkpoint_every=2, stop_after_cycle=2)
+    first.run()
+    resumed = RepEx(make_config(), resume_from=first.checkpoints[-1]).run()
+    assert fingerprint(resumed) == fingerprint(baseline)
+
+
+def test_double_resume_chains(tmp_path):
+    """Stop at 1, resume to 3, stop again, resume to the end."""
+    baseline = RepEx(make_config()).run()
+    RepEx(
+        make_config(),
+        checkpoint_every=1,
+        checkpoint_dir=tmp_path,
+        stop_after_cycle=1,
+    ).run()
+    middle = RepEx(
+        make_config(),
+        resume_from=tmp_path / "latest.json",
+        checkpoint_every=1,
+        checkpoint_dir=tmp_path,
+        stop_after_cycle=3,
+    )
+    partial = middle.run()
+    assert partial.interrupted
+    assert len(partial.cycle_timings) == 3
+    final = RepEx(
+        make_config(), resume_from=tmp_path / "latest.json"
+    ).run()
+    assert fingerprint(final) == fingerprint(baseline)
+
+
+def test_stop_without_checkpointing_marks_interrupted():
+    result = RepEx(make_config(), stop_after_cycle=2).run()
+    assert result.interrupted
+    assert len(result.cycle_timings) == 2

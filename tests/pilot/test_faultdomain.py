@@ -1,0 +1,296 @@
+"""Tests for correlated fault injection (node crashes, preemption)."""
+
+import numpy as np
+import pytest
+
+from repro.pilot.cluster import ClusterSpec, FilesystemModel, LaunchOverheadModel
+from repro.pilot.events import EventQueue
+from repro.pilot.faultdomain import (
+    FaultDomainModel,
+    FaultEvent,
+    TransientFaultModel,
+)
+from repro.pilot.pilot import PilotDescription, PilotState
+from repro.pilot.scheduler import AgentScheduler, SchedulerError
+from repro.pilot.session import Session
+from repro.pilot.unit import ComputeUnit, UnitDescription, UnitState
+
+
+def make_cluster(**kwargs):
+    defaults = dict(
+        name="test",
+        nodes=8,
+        cores_per_node=4,
+        launcher=LaunchOverheadModel(base_s=0.1, per_concurrent_s=0.0),
+        filesystem=FilesystemModel(
+            latency_s=0.01, bandwidth_mb_s=100.0, contention=0.0,
+            metadata_op_s=0.0,
+        ),
+    )
+    defaults.update(kwargs)
+    return ClusterSpec(**defaults)
+
+
+def make_scheduler(capacity=8, fault_domain=None):
+    clock = EventQueue()
+    sched = AgentScheduler(
+        clock=clock,
+        cluster=make_cluster(),
+        capacity=capacity,
+        fault_domain=fault_domain,
+    )
+    return sched, clock
+
+
+def submit(sched, n, cores=1, duration=10.0):
+    units = []
+    for i in range(n):
+        u = ComputeUnit(
+            UnitDescription(name=f"u{i}", cores=cores, duration=duration)
+        )
+        sched.submit(u)
+        units.append(u)
+    return units
+
+
+class TestNodeMap:
+    def test_nodes_carved_from_capacity(self):
+        sched, _ = make_scheduler(capacity=8)  # 4 cores/node -> 2 nodes
+        assert sched.n_nodes == 2
+        assert sched.quarantined_nodes == set()
+        assert sched.quarantined_cores(0) == 0
+
+    def test_remainder_node(self):
+        sched, _ = make_scheduler(capacity=6)  # 4 + 2
+        assert sched.n_nodes == 2
+
+
+class TestCrashNode:
+    def test_crash_fails_all_coresident_units_in_one_event(self):
+        sched, clock = make_scheduler(capacity=8)
+        units = submit(sched, 8, duration=50.0)
+        clock.run_until(
+            lambda: all(u.state is UnitState.EXECUTING for u in units)
+        )
+        t_crash = clock.now
+        killed = sched.crash_node(0)
+        assert killed == 4  # first-fit put units 0-3 on node 0
+        failed = [u for u in units if u.state is UnitState.FAILED]
+        assert len(failed) == 4
+        # all failures share the crash instant (correlated, not serial)
+        assert {u.timestamps[UnitState.FAILED] for u in failed} == {t_crash}
+
+    def test_crash_quarantines_cores(self):
+        sched, clock = make_scheduler(capacity=8)
+        units = submit(sched, 8, duration=50.0)
+        clock.run_until(
+            lambda: all(u.state is UnitState.EXECUTING for u in units)
+        )
+        sched.crash_node(0)
+        assert sched.capacity == 4
+        assert sched.quarantined_nodes == {0}
+        assert sched.quarantined_cores(0) == 4
+        # survivors finish and their cores come back without corruption
+        clock.run()
+        assert sched.free_cores == 4
+        survivors = [u for u in units if u.succeeded]
+        assert len(survivors) == 4
+
+    def test_crashed_node_never_reused(self):
+        sched, clock = make_scheduler(capacity=8)
+        first = submit(sched, 8, duration=10.0)
+        clock.run_until(
+            lambda: all(u.state is UnitState.EXECUTING for u in first)
+        )
+        sched.crash_node(0)
+        second = submit(sched, 4, duration=5.0)
+        clock.run()
+        assert all(u.succeeded for u in second)
+        assert sched.capacity == 4
+        assert sched.free_cores == 4  # everything released, nothing doubled
+
+    def test_crash_out_of_range_or_repeat_is_noop(self):
+        sched, clock = make_scheduler(capacity=8)
+        assert sched.crash_node(99) == 0
+        assert sched.crash_node(0) == 0  # nothing running
+        assert sched.crash_node(0) == 0  # already quarantined
+        assert sched.capacity == 4
+
+    def test_queued_units_too_big_for_shrunken_pilot_fail(self):
+        sched, clock = make_scheduler(capacity=8)
+        running = submit(sched, 1, cores=8, duration=50.0)
+        queued = submit(sched, 1, cores=8, duration=50.0)
+        clock.run_until(lambda: running[0].state is UnitState.EXECUTING)
+        sched.crash_node(1)
+        # the queued 8-core unit can never fit in the remaining 4 cores
+        assert queued[0].state is UnitState.FAILED
+
+
+class TestSchedule:
+    def test_build_schedule_deterministic(self):
+        a = FaultDomainModel(
+            node_crash_rate=50.0,
+            schedule_rng=np.random.default_rng(42),
+        )
+        b = FaultDomainModel(
+            node_crash_rate=50.0,
+            schedule_rng=np.random.default_rng(42),
+        )
+        assert a.build_schedule(4, 7200.0) == b.build_schedule(4, 7200.0)
+
+    def test_explicit_crashes_merged_sorted(self):
+        fd = FaultDomainModel(node_crashes=[(30.0, 1), (10.0, 0)])
+        assert fd.build_schedule(2, 100.0) == [(10.0, 0), (30.0, 1)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultDomainModel(node_crash_rate=-1.0)
+        with pytest.raises(ValueError):
+            FaultDomainModel(preempt_after_s=0.0)
+        with pytest.raises(ValueError):
+            FaultDomainModel(node_crashes=[(-1.0, 0)])
+
+
+class TestPilotIntegration:
+    def _session(self, fault_domain, cores=8):
+        session = Session(fault_domain=fault_domain)
+        pilot = session.submit_pilot(
+            PilotDescription(resource=make_cluster(), cores=cores)
+        )
+        session.wait_pilot(pilot)
+        return session, pilot
+
+    def test_scheduled_crash_kills_and_records(self):
+        fd = FaultDomainModel(node_crashes=[(5.0, 0)])
+        session, pilot = self._session(fd)
+        units = session.submit_units(
+            pilot,
+            [
+                UnitDescription(name=f"u{i}", cores=1, duration=60.0)
+                for i in range(8)
+            ],
+        )
+        session.wait_units(units)
+        assert sum(1 for u in units if u.state is UnitState.FAILED) == 4
+        assert [e.kind for e in fd.events] == ["node_crash"]
+        event = fd.events[0].to_dict()
+        assert event["fault"] == "node_crash"
+        assert event["units_killed"] == 4
+        assert event["cores_lost"] == 4
+
+    def test_preemption_requeue_reactivates(self):
+        fd = FaultDomainModel(preempt_after_s=5.0, requeue=True)
+        session, pilot = self._session(fd)
+        units = session.submit_units(
+            pilot,
+            [UnitDescription(name="u0", cores=1, duration=60.0)],
+        )
+        session.clock.run_until(lambda: units[0].done)
+        assert units[0].state is UnitState.FAILED
+        # pilot went back through the queue and is (or will be) ACTIVE
+        session.wait_pilot(pilot, PilotState.ACTIVE)
+        relaunched = session.submit_units(
+            pilot,
+            [UnitDescription(name="u1", cores=1, duration=1.0)],
+        )
+        session.wait_units(relaunched)
+        assert relaunched[0].succeeded
+        assert [e.kind for e in fd.events] == ["preemption"]
+        assert fd.events[0].detail["requeued"] is True
+
+    def test_preemption_without_requeue_fails_pilot(self):
+        fd = FaultDomainModel(preempt_after_s=5.0, requeue=False)
+        session, pilot = self._session(fd)
+        units = session.submit_units(
+            pilot,
+            [UnitDescription(name="u0", cores=1, duration=60.0)],
+        )
+        session.clock.run_until(lambda: units[0].done)
+        assert pilot.state is PilotState.FAILED
+        with pytest.raises(SchedulerError):
+            pilot.submit_units([UnitDescription(name="u1", cores=1)])
+
+    def test_requeued_pilot_keeps_remaining_schedule(self):
+        # a crash scheduled after the preemption fires on the new agent
+        fd = FaultDomainModel(
+            node_crashes=[(40.0, 0)], preempt_after_s=5.0, requeue=True
+        )
+        session, pilot = self._session(fd)
+        first = session.submit_units(
+            pilot,
+            [UnitDescription(name=f"a{i}", cores=1, duration=200.0)
+             for i in range(8)],
+        )
+        session.wait_units(first)  # all killed by the preemption at +5s
+        assert all(u.state is UnitState.FAILED for u in first)
+        session.wait_pilot(pilot, PilotState.ACTIVE)
+        second = session.submit_units(
+            pilot,
+            [UnitDescription(name=f"b{i}", cores=1, duration=200.0)
+             for i in range(8)],
+        )
+        session.wait_units(second)  # crash at +40s hits the new agent
+        kinds = [e.kind for e in fd.events]
+        assert kinds.count("preemption") == 1
+        assert kinds.count("node_crash") == 1
+        assert sum(1 for u in second if u.state is UnitState.FAILED) == 4
+        assert sum(1 for u in second if u.succeeded) == 4
+
+
+class TestTransientFaultModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransientFaultModel(probability=1.5)
+        with pytest.raises(ValueError):
+            TransientFaultModel(max_retries=-1)
+        with pytest.raises(ValueError):
+            TransientFaultModel(backoff_base_s=0.0)
+        with pytest.raises(ValueError):
+            TransientFaultModel(backoff_base_s=5.0, backoff_cap_s=1.0)
+        with pytest.raises(ValueError):
+            TransientFaultModel(jitter=-0.1)
+
+    def test_disabled_model_consumes_no_rng(self):
+        rng = np.random.default_rng(3)
+        before = rng.bit_generator.state
+        model = TransientFaultModel(probability=0.0, rng=rng)
+        assert not any(model.draw_fault() for _ in range(50))
+        assert rng.bit_generator.state == before
+
+    def test_backoff_doubles_and_caps(self):
+        model = TransientFaultModel(
+            probability=0.5,
+            rng=np.random.default_rng(0),
+            backoff_base_s=1.0,
+            backoff_cap_s=5.0,
+            jitter=0.0,
+        )
+        assert model.backoff(1) == 1.0
+        assert model.backoff(2) == 2.0
+        assert model.backoff(3) == 4.0
+        assert model.backoff(4) == 5.0  # capped
+        with pytest.raises(ValueError):
+            model.backoff(0)
+
+    def test_backoff_jitter_deterministic_per_seed(self):
+        mk = lambda: TransientFaultModel(
+            probability=0.5, rng=np.random.default_rng(11), jitter=0.25
+        )
+        a, b = mk(), mk()
+        seq_a = [a.backoff(i) for i in range(1, 5)]
+        seq_b = [b.backoff(i) for i in range(1, 5)]
+        assert seq_a == seq_b
+        assert all(x >= y for x, y in zip(seq_a, [0.5, 1.0, 2.0, 4.0]))
+
+
+class TestFaultEvent:
+    def test_to_dict_flat(self):
+        e = FaultEvent(t=1.23456789, kind="node_crash", detail={"node": 2})
+        assert e.to_dict() == {"t": 1.234568, "fault": "node_crash", "node": 2}
+
+    def test_sink_invoked_on_record(self):
+        fd = FaultDomainModel(node_crashes=[(1.0, 0)])
+        seen = []
+        fd.add_sink(seen.append)
+        fd.record(2.0, "node_crash", node=0)
+        assert len(seen) == 1 and seen[0].kind == "node_crash"
