@@ -17,6 +17,7 @@ themselves rather than the simulated workload.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
@@ -69,11 +70,33 @@ OUTPUT_DIR = Path(__file__).parent / "output"
 _CACHE: Dict[Tuple, SimulationResult] = {}
 
 
-def report(name: str, text: str) -> None:
-    """Print a figure's table and persist it under benchmarks/output/."""
+def report(
+    name: str,
+    text: str,
+    headers: Optional[List[str]] = None,
+    rows: Optional[List[List]] = None,
+) -> None:
+    """Print a figure's table and persist it under benchmarks/output/.
+
+    Besides the human-readable ``<name>.txt``, every figure gets a
+    machine-readable ``<name>.json`` sidecar so downstream tooling
+    (``repro bench --compare`` style diffs, plotting) never has to parse
+    the ASCII tables.  Callers with tabular data pass ``headers``/``rows``;
+    text-only figures fall back to a ``{"text": ...}`` document.
+    """
     OUTPUT_DIR.mkdir(exist_ok=True)
     print(f"\n{text}\n")
     (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+    doc: Dict[str, object] = {"name": name}
+    if headers is not None:
+        doc["headers"] = list(headers)
+    if rows is not None:
+        doc["rows"] = [list(row) for row in rows]
+    if headers is None and rows is None:
+        doc["text"] = text
+    (OUTPUT_DIR / f"{name}.json").write_text(
+        json.dumps(doc, indent=2, default=float) + "\n"
+    )
 
 
 def _dimension_spec(kind: str, n_windows: int) -> DimensionSpec:

@@ -67,16 +67,19 @@ def collect():
 
 def test_ablation_heterogeneous_performance(benchmark):
     rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    headers = ["speed spread sigma", "sync util %", "async (FIFO) util %"]
     report(
         "ablation_heterogeneity",
         render_table(
-            ["speed spread sigma", "sync util %", "async (FIFO) util %"],
+            headers,
             [list(r) for r in rows],
             title=(
                 "Ablation: RE patterns vs heterogeneous replica "
                 "performance (16 replicas)"
             ),
         ),
+        headers=headers,
+        rows=[list(r) for r in rows],
     )
 
     by_sigma = {r[0]: r for r in rows}

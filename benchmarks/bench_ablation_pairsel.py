@@ -58,23 +58,26 @@ def test_ablation_pair_selection(benchmark):
                 res.mean_component("t_ex"),
             ]
         )
+    headers = [
+        "selector",
+        "attempts",
+        "accepted",
+        "acceptance %",
+        "ladder traversals",
+        "t_ex (s)",
+    ]
     report(
         "ablation_pairsel",
         render_table(
-            [
-                "selector",
-                "attempts",
-                "accepted",
-                "acceptance %",
-                "ladder traversals",
-                "t_ex (s)",
-            ],
+            headers,
             rows,
             title=(
                 "Ablation: pair selection (8 replicas, 60 cycles, "
                 "290-315 K)"
             ),
         ),
+        headers=headers,
+        rows=rows,
     )
 
     by_name = {r[0]: r for r in rows}

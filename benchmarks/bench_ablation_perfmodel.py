@@ -50,23 +50,26 @@ def test_ablation_perfmodel_time_domain_separation(benchmark):
                 100.0 * res.acceptance_ratio("temperature"),
             ]
         )
+    headers = [
+        "numeric steps",
+        "t_md (s)",
+        "t_ex (s)",
+        "t_rp (s)",
+        "avg Tc (s)",
+        "acceptance %",
+    ]
     report(
         "ablation_perfmodel",
         render_table(
-            [
-                "numeric steps",
-                "t_md (s)",
-                "t_ex (s)",
-                "t_rp (s)",
-                "avg Tc (s)",
-                "acceptance %",
-            ],
+            headers,
             rows,
             title=(
                 "Ablation: virtual-clock timings vs integration depth "
                 "(billed steps fixed at 6000)"
             ),
         ),
+        headers=headers,
+        rows=rows,
     )
 
     shallow, deep = results[10], results[200]

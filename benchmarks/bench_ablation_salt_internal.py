@@ -55,22 +55,25 @@ def test_ablation_salt_internal(benchmark):
                 100.0 * res.acceptance_ratio("salt"),
             ]
         )
+    headers = [
+        "replicas",
+        "single points",
+        "t_ex (s)",
+        "avg Tc (s)",
+        "acceptance %",
+    ]
     report(
         "ablation_salt_internal",
         render_table(
-            [
-                "replicas",
-                "single points",
-                "t_ex (s)",
-                "avg Tc (s)",
-                "acceptance %",
-            ],
+            headers,
             rows,
             title=(
                 "Ablation: S-REMD single-point energies - extra tasks "
                 "(paper) vs internal (future work)"
             ),
         ),
+        headers=headers,
+        rows=rows,
     )
 
     for n in COUNTS:

@@ -73,24 +73,27 @@ def collect():
 
 def test_chaos_resilience(benchmark):
     outcomes, cost_rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    headers = [
+        "policy",
+        "cycles",
+        "failed",
+        "relaunched",
+        "retired",
+        "t_end (s)",
+        "util%",
+    ]
     report(
         "chaos_resilience",
         render_report(outcomes)
         + "\n\n"
         + render_table(
-            [
-                "policy",
-                "cycles",
-                "failed",
-                "relaunched",
-                "retired",
-                "t_end (s)",
-                "util%",
-            ],
+            headers,
             cost_rows,
             title="Recovery-policy cost of one node crash (8x5-core "
             "replicas, 2-node pilot)",
         ),
+        headers=headers,
+        rows=cost_rows,
     )
 
     assert all(o.ok for o in outcomes), [

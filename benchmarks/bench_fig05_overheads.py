@@ -52,21 +52,24 @@ def collect():
 
 def test_fig05_overheads(benchmark):
     rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    headers = [
+        "replicas",
+        "T data",
+        "U data",
+        "S data",
+        "RepEx over (1D)",
+        "RepEx over (3D)",
+        "RP over",
+    ]
     report(
         "fig05_overheads",
         render_table(
-            [
-                "replicas",
-                "T data",
-                "U data",
-                "S data",
-                "RepEx over (1D)",
-                "RepEx over (3D)",
-                "RP over",
-            ],
+            headers,
             rows,
             title="Fig. 5: Data times, RepEx overhead and RP overhead (s)",
         ),
+        headers=headers,
+        rows=rows,
     )
     # shape assertions (who wins, growth directions)
     first, last = rows[0], rows[-1]

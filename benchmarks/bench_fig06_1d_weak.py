@@ -45,18 +45,19 @@ def test_fig06_1d_weak_scaling(benchmark):
                 data["temperature"][i][1],
             ]
         )
+    headers = [
+        "cores, replicas",
+        "U MD",
+        "S MD",
+        "T MD",
+        "U exch",
+        "S exch",
+        "T exch",
+    ]
     report(
         "fig06_1d_weak",
         render_table(
-            [
-                "cores, replicas",
-                "U MD",
-                "S MD",
-                "T MD",
-                "U exch",
-                "S exch",
-                "T exch",
-            ],
+            headers,
             rows,
             title=(
                 "Fig. 6: 1D-REMD weak scaling - MD and exchange time (s)"
@@ -72,6 +73,8 @@ def test_fig06_1d_weak_scaling(benchmark):
             if any(any(r[1:5]) for r in phases)
             else ""
         ),
+        headers=headers,
+        rows=rows,
     )
 
     # MD times nearly identical across exchange types and replica counts

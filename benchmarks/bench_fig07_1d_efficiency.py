@@ -42,10 +42,11 @@ def test_fig07_parallel_efficiency(benchmark):
         ]
         for i, n in enumerate(REPLICA_COUNTS)
     ]
+    headers = ["cores", "T-REMD", "S-REMD", "U-REMD", "No exchange"]
     report(
         "fig07_1d_efficiency",
         render_table(
-            ["cores", "T-REMD", "S-REMD", "U-REMD", "No exchange"],
+            headers,
             rows,
             title=(
                 "Fig. 7: 1D-REMD weak-scaling parallel efficiency "
@@ -63,6 +64,8 @@ def test_fig07_parallel_efficiency(benchmark):
             },
             title="efficiency % vs cores",
         ),
+        headers=headers,
+        rows=rows,
     )
 
     for kind in ("temperature", "salt", "umbrella", "no exchange"):

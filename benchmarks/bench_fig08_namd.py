@@ -30,13 +30,16 @@ def test_fig08_namd_weak_scaling(benchmark):
         [f"{n}, {n}", md, ex]
         for n, (md, ex) in zip(REPLICA_COUNTS, data)
     ]
+    headers = ["cores, replicas", "MD time", "Exchange time"]
     report(
         "fig08_namd",
         render_table(
-            ["cores, replicas", "MD time", "Exchange time"],
+            headers,
             rows,
             title="Fig. 8: T-REMD with NAMD engine - weak scaling (s)",
         ),
+        headers=headers,
+        rows=rows,
     )
 
     md_times = [md for md, _ in data]

@@ -44,19 +44,22 @@ def test_fig09_mremd_weak_scaling(benchmark):
         ]
         for n, d in data
     ]
+    headers = [
+        "cores, replicas",
+        "MD time",
+        "T exch (D1)",
+        "S exch (D2)",
+        "U exch (D3)",
+    ]
     report(
         "fig09_mremd_weak",
         render_table(
-            [
-                "cores, replicas",
-                "MD time",
-                "T exch (D1)",
-                "S exch (D2)",
-                "U exch (D3)",
-            ],
+            headers,
             rows,
             title="Fig. 9: TSU-REMD weak scaling on Stampede (s)",
         ),
+        headers=headers,
+        rows=rows,
     )
 
     md = [d["t_md"] for _, d in data]

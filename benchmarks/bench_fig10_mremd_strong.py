@@ -49,19 +49,22 @@ def test_fig10_mremd_strong_scaling(benchmark):
         ]
         for cores, d in data
     ]
+    headers = [
+        "cores, replicas",
+        "MD time",
+        "T exch (D1)",
+        "S exch (D2)",
+        "U exch (D3)",
+    ]
     report(
         "fig10_mremd_strong",
         render_table(
-            [
-                "cores, replicas",
-                "MD time",
-                "T exch (D1)",
-                "S exch (D2)",
-                "U exch (D3)",
-            ],
+            headers,
             rows,
             title="Fig. 10: TSU-REMD strong scaling on Stampede (s)",
         ),
+        headers=headers,
+        rows=rows,
     )
 
     md = [d["t_md_span"] for _, d in data]

@@ -43,16 +43,19 @@ def test_fig12_multicore_replicas(benchmark):
         [f"{N_REPLICAS * cpr}, {N_REPLICAS}", cpr, md]
         for cpr, md in data
     ]
+    headers = ["cores, replicas", "cores/replica", "MD time (s)"]
     report(
         "fig12_multicore",
         render_table(
-            ["cores, replicas", "cores/replica", "MD time (s)"],
+            headers,
             rows,
             title=(
                 "Fig. 12: TUU-REMD with multi-core replicas "
                 "(64366 atoms, 20000 steps)"
             ),
         ),
+        headers=headers,
+        rows=rows,
     )
 
     md = dict(data)

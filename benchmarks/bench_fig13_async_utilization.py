@@ -59,15 +59,16 @@ def test_fig13_async_utilization(benchmark):
     rows = [
         [f"{n}, {n}", s, a, f] for n, s, a, f in data
     ]
+    headers = [
+        "cores, replicas",
+        "Sync T-REMD",
+        "Async T-REMD (window)",
+        "Async T-REMD (FIFO)",
+    ]
     report(
         "fig13_async_utilization",
         render_table(
-            [
-                "cores, replicas",
-                "Sync T-REMD",
-                "Async T-REMD (window)",
-                "Async T-REMD (FIFO)",
-            ],
+            headers,
             rows,
             title="Fig. 13: Utilization (% of ideal ns/day per CPU hour)",
         )
@@ -81,6 +82,8 @@ def test_fig13_async_utilization(benchmark):
             },
             title="utilization % vs replicas",
         ),
+        headers=headers,
+        rows=rows,
     )
 
     for n, sync_u, async_u, fifo_u in data:

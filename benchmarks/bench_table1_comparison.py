@@ -28,6 +28,8 @@ def test_table1_package_comparison(benchmark):
             ),
             align_right=False,
         ),
+        headers=list(TABLE1_HEADERS),
+        rows=rows,
     )
 
     by_name = {r[0]: r for r in rows}

@@ -1,0 +1,62 @@
+"""CI smoke for the perf harness (`repro bench`).
+
+Runs every canonical scenario in its ``fast`` variant and checks the
+*deterministic* counters — events fired, heap high-water mark, virtual
+time, failure count — against the committed baseline
+``BENCH_baseline_fast.json``.  Those must match exactly on any machine:
+they are a fingerprint of the scheduling/exchange semantics, the same
+invariant the golden-trace fixtures protect.  Wallclock and events/s are
+machine-dependent, so they are *not* asserted here; the CI ``perf-smoke``
+job gates them separately with ``repro bench --compare`` and a 25%
+threshold.
+
+Refresh the baseline after an intentional semantic change with:
+
+    PYTHONPATH=src python -m repro bench --fast \
+        -o benchmarks/perf/BENCH_baseline_fast.json
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.perf.bench import load_results, run_scenario
+from repro.perf.scenarios import SCENARIOS, scenario_names
+
+BASELINE_PATH = Path(__file__).parent / "BENCH_baseline_fast.json"
+
+#: record fields that must be identical on every machine
+DETERMINISTIC_FIELDS = (
+    "events_fired",
+    "peak_heap",
+    "virtual_s",
+    "n_failures",
+    "n_replicas",
+    "n_cycles",
+)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return load_results(str(BASELINE_PATH))
+
+
+def test_baseline_covers_all_scenarios(baseline):
+    recorded = {k for k in baseline if not k.startswith("_")}
+    assert recorded == set(SCENARIOS)
+    assert baseline["_meta"]["fast"] is True
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_fast_scenario_matches_baseline(name, baseline):
+    record = run_scenario(name, fast=True)
+    expected = baseline[name]
+    for field in DETERMINISTIC_FIELDS:
+        assert record[field] == expected[field], (
+            f"{name}.{field}: {record[field]!r} != baseline "
+            f"{expected[field]!r} — scheduling/exchange semantics changed; "
+            "if intentional, refresh BENCH_baseline_fast.json and the "
+            "golden traces together"
+        )

@@ -223,6 +223,58 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if all(o.ok for o in outcomes) else 1
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the canonical perf scenarios, or compare two result files."""
+    from repro.perf.bench import (
+        DEFAULT_THRESHOLD,
+        compare_results,
+        load_results,
+        run_suite,
+        write_results,
+    )
+
+    if args.compare:
+        old_path, new_path = args.compare
+        try:
+            old = load_results(old_path)
+            new = load_results(new_path)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        threshold = (
+            args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+        )
+        lines, regressions = compare_results(old, new, threshold=threshold)
+        for line in lines:
+            print(line)
+        if regressions:
+            print(
+                f"{regressions} scenario(s) regressed more than "
+                f"{threshold:.0%} in events/s",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    try:
+        doc = run_suite(
+            args.scenario or None,
+            fast=args.fast,
+            profile=args.profile,
+            repeats=args.repeats,
+            echo=print,
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.profile:
+        print("profiled run: wallclock includes profiler overhead, not saved")
+        return 0
+    write_results(doc, args.output)
+    print(f"results written to {args.output}")
+    return 0
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     """Print the paper's Table 1 (package comparison)."""
     print(
@@ -313,6 +365,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="max events to print (0 = all)",
     )
     p_obs_timeline.set_defaults(func=cmd_obs_timeline)
+
+    p_bench = sub.add_parser(
+        "bench", help="run the perf scenarios or compare two result files"
+    )
+    p_bench.add_argument(
+        "-o", "--output", default="BENCH_scale.json",
+        help="result file to write (default: BENCH_scale.json)",
+    )
+    p_bench.add_argument(
+        "--fast", action="store_true",
+        help="run the trimmed CI-smoke variants (not comparable to full runs)",
+    )
+    p_bench.add_argument(
+        "--scenario", action="append", metavar="NAME",
+        help="run only this scenario (repeatable; default: all)",
+    )
+    p_bench.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and print hotspots (results not saved)",
+    )
+    p_bench.add_argument(
+        "--repeats", type=int, default=None, metavar="N",
+        help="best-of-N wallclock per scenario (default: 3 fast, 1 full)",
+    )
+    p_bench.add_argument(
+        "--compare", nargs=2, metavar=("OLD", "NEW"),
+        help="diff two result files on events/s instead of running",
+    )
+    p_bench.add_argument(
+        "--threshold", type=float, default=None, metavar="FRAC",
+        help="allowed events/s regression for --compare (default: 0.25)",
+    )
+    p_bench.set_defaults(func=cmd_bench)
 
     p_check = sub.add_parser("check", help="validate a JSON config")
     p_check.add_argument("config", help="path to the JSON configuration")

@@ -293,7 +293,7 @@ def restore(
     # anything at exactly t_now stays pending, as at the original boundary.
     clock = emm.session.clock
     while True:
-        upcoming = [e.time for e in clock._heap if not e.cancelled]
+        upcoming = [t for t, _, e in clock._heap if not e.cancelled]
         if not upcoming or min(upcoming) >= ckpt.t_now:
             break
         clock.step()

@@ -401,9 +401,25 @@ class AsynchronousEMM(ExecutionManagerBase):
         sweep_counter = {"n": 0}
         pool_gauge = self.metrics.gauge("emm.pool_depth")
 
+        # ``all_done`` runs after every event, so it must not rescan the
+        # per-replica cycle table (quadratic at 1000 replicas).  All
+        # ``cycles_done`` writes go through ``set_cycles``, which keeps an
+        # exact count of finished replicas.
+        done_count = {"n": 0}
+
+        def set_cycles(rid: int, value: int) -> None:
+            was = cycles_done.get(rid)
+            was_done = was is not None and was >= n_cycles
+            cycles_done[rid] = value
+            if value >= n_cycles:
+                if not was_done:
+                    done_count["n"] += 1
+            elif was_done:
+                done_count["n"] -= 1
+
         def all_done() -> bool:
             return (
-                all(c >= n_cycles for c in cycles_done.values())
+                done_count["n"] == len(cycles_done)
                 and not inflight
                 and not pool
                 and not exchange_busy["flag"]
@@ -418,7 +434,7 @@ class AsynchronousEMM(ExecutionManagerBase):
                 # replica can never run again, so retire it instead of
                 # letting the submission kill the event loop.
                 rep.status = ReplicaStatus.RETIRED
-                cycles_done[rep.rid] = n_cycles
+                set_cycles(rep.rid, n_cycles)
                 self.n_retired += 1
                 return
             units = self.session.submit_units(self.pilot, [desc])
@@ -466,19 +482,19 @@ class AsynchronousEMM(ExecutionManagerBase):
                 md_attempts.pop(rep.rid, None)
                 if action is FaultAction.RETIRE:
                     rep.status = ReplicaStatus.RETIRED
-                    cycles_done[rep.rid] = n_cycles
+                    set_cycles(rep.rid, n_cycles)
                     self.n_retired += 1
                     return
                 # CONTINUE: count the cycle, resubmit if more remain
                 self.amm.process_md_output(rep, unit, cycle, None)
-                cycles_done[rep.rid] = cycle + 1
+                set_cycles(rep.rid, cycle + 1)
                 if cycles_done[rep.rid] < n_cycles:
                     submit_md(rep)
                 return
 
             md_attempts.pop(rep.rid, None)
             self.amm.process_md_output(rep, unit, cycle, None)
-            cycles_done[rep.rid] = cycle + 1
+            set_cycles(rep.rid, cycle + 1)
             if cycles_done[rep.rid] >= n_cycles:
                 return
             # adaptive sampling: retire converged replicas, release their
@@ -490,7 +506,7 @@ class AsynchronousEMM(ExecutionManagerBase):
             ):
                 remaining = n_cycles - cycles_done[rep.rid]
                 rep.status = ReplicaStatus.RETIRED
-                cycles_done[rep.rid] = n_cycles
+                set_cycles(rep.rid, n_cycles)
                 self.n_retired += 1
                 if (
                     adaptive.spawn_replacements
@@ -505,7 +521,7 @@ class AsynchronousEMM(ExecutionManagerBase):
                         self.n_spawned += 1
                         self.replicas.append(fresh)
                         by_rid[fresh.rid] = fresh
-                        cycles_done[fresh.rid] = n_cycles - remaining
+                        set_cycles(fresh.rid, n_cycles - remaining)
                         submit_md(fresh)
                 return
             pool.append(rep.rid)

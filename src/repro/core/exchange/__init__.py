@@ -2,6 +2,7 @@
 
 from repro.core.exchange.base import (
     ExchangeDimension,
+    GroupEnergyCache,
     SwapProposal,
     metropolis_accept,
     metropolis_delta,
@@ -27,6 +28,7 @@ __all__ = [
     "DimensionSchedule",
     "ExchangeDimension",
     "GibbsPairing",
+    "GroupEnergyCache",
     "NeighborPairing",
     "PHDimension",
     "PairSelector",

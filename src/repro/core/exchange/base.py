@@ -24,7 +24,7 @@ from __future__ import annotations
 import abc
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -82,6 +82,60 @@ def metropolis_accept(
     return accepted
 
 
+def pair_state_betas(
+    pairs: Sequence[Tuple[Replica, Replica]],
+    states: Dict[int, "ThermodynamicState"],
+    cache: Optional["GroupEnergyCache"],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Stacked ``(beta_i, beta_j)`` arrays for a batch of pairs.
+
+    Each entry comes from the same scalar ``beta_from_temperature`` call
+    the per-pair path makes, so the arrays are bit-identical gathers.
+    """
+    n = len(pairs)
+    if cache is not None:
+        beta = cache.state_beta
+        b_i = np.fromiter((beta(a.rid) for a, _ in pairs), dtype=float, count=n)
+        b_j = np.fromiter((beta(b.rid) for _, b in pairs), dtype=float, count=n)
+    else:
+        b_i = np.fromiter(
+            (beta_from_temperature(states[a.rid].temperature) for a, _ in pairs),
+            dtype=float,
+            count=n,
+        )
+        b_j = np.fromiter(
+            (beta_from_temperature(states[b.rid].temperature) for _, b in pairs),
+            dtype=float,
+            count=n,
+        )
+    return b_i, b_j
+
+
+class GroupEnergyCache:
+    """Per-exchange-phase cache of reduced per-replica quantities.
+
+    One instance lives for the duration of one exchange task's work
+    callable and is shared across every group it sweeps (and every
+    dimension that consults it in multi-dimensional setups), so
+    state-derived reductions such as ``beta(state)`` are computed once per
+    replica per phase instead of once per pair per sweep.  Values are
+    produced by the exact scalar helpers the per-pair path uses, so cached
+    and uncached sweeps yield bit-identical exponents.
+    """
+
+    def __init__(self, states: Dict[int, "ThermodynamicState"]):
+        self.states = states
+        self._state_beta: Dict[int, float] = {}
+
+    def state_beta(self, rid: int) -> float:
+        """``1/(kB T)`` of replica ``rid``'s MD-phase state, memoized."""
+        beta = self._state_beta.get(rid)
+        if beta is None:
+            beta = beta_from_temperature(self.states[rid].temperature)
+            self._state_beta[rid] = beta
+        return beta
+
+
 @dataclass
 class SwapProposal:
     """A proposed (and possibly accepted) swap between two replicas."""
@@ -104,6 +158,11 @@ class ExchangeDimension(abc.ABC):
             raise ValueError(f"dimension {name!r} needs at least one window")
         self.name = name
         self.values = list(values)
+        #: reduced per-window ladders (betas, restraint centers, ...) —
+        #: computed once per dimension, reused across every cycle and
+        #: every group of a run (the window values are fixed at
+        #: construction).
+        self._ladder_cache: Dict[str, np.ndarray] = {}
 
     @property
     def n_windows(self) -> int:
@@ -159,6 +218,42 @@ class ExchangeDimension(abc.ABC):
         coords in every window of this dimension) is only provided when
         :attr:`requires_single_point` is True.
         """
+
+    def batch_exchange_deltas(
+        self,
+        pairs: Sequence[Tuple[Replica, Replica]],
+        *,
+        window_of: Dict[int, int],
+        states: Dict[int, ThermodynamicState],
+        energy_matrix: Optional[Dict[int, np.ndarray]] = None,
+        cache: Optional[GroupEnergyCache] = None,
+    ) -> Optional[np.ndarray]:
+        """Metropolis exponents for a *disjoint* set of pairs, stacked.
+
+        Returns one float64 exponent per pair — bit-identical to calling
+        :meth:`exchange_delta` pair by pair — or ``None`` when this
+        dimension has no vectorized path, in which case the caller falls
+        back to the scalar method.  Only valid for pair sets in which no
+        replica appears twice (``window_of`` must not evolve mid-batch);
+        sequential schemes such as Gibbs sweeps must use the scalar path.
+
+        The default implementation opts out; concrete dimensions override
+        it by gathering their reduced quantities (ladder betas, restraint
+        centers, MD energies, single-point ``energy_matrix`` rows) into
+        stacked arrays and evaluating the exponent as one elementwise
+        numpy expression whose operation order matches the scalar
+        formula.  ``cache`` (when provided by the exchange task) memoizes
+        state-level reductions across groups and dimensions of one phase.
+        """
+        return None
+
+    def _ladder(self, key: str, fn: Callable[[object], float]) -> np.ndarray:
+        """Memoized per-window reduction ``fn(value)`` over the ladder."""
+        arr = self._ladder_cache.get(key)
+        if arr is None:
+            arr = np.array([fn(v) for v in self.values], dtype=float)
+            self._ladder_cache[key] = arr
+        return arr
 
     def beta_of(self, state: ThermodynamicState) -> float:
         """Inverse temperature of a state (helper for subclasses)."""

@@ -22,6 +22,12 @@ class PairSelector(abc.ABC):
 
     name: str = "abstract"
 
+    #: True when no replica can appear in two pairs of one proposal set —
+    #: the window assignment then cannot evolve mid-sweep, which is what
+    #: lets the exchange engine evaluate all exponents as one stacked
+    #: numpy expression (see ``ExchangeDimension.batch_exchange_deltas``).
+    disjoint: bool = False
+
     @abc.abstractmethod
     def pairs(
         self,
@@ -42,6 +48,7 @@ class NeighborPairing(PairSelector):
     """
 
     name = "neighbor"
+    disjoint = True
 
     def pairs(self, group, cycle, rng):
         """Alternating neighbour pairs; offset follows the cycle parity."""
@@ -60,6 +67,7 @@ class RandomPairing(PairSelector):
     """
 
     name = "random"
+    disjoint = True
 
     def pairs(self, group, cycle, rng):
         """Shuffled disjoint pairs."""

@@ -21,11 +21,11 @@ the ideal exchange but we keep the general beta-weighted form).
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.exchange.base import ExchangeDimension
+from repro.core.exchange.base import ExchangeDimension, GroupEnergyCache
 from repro.core.replica import Replica
 from repro.md.toymd import ThermodynamicState
 
@@ -102,4 +102,34 @@ class PHDimension(ExchangeDimension):
         # Swap moves replica i's configuration (occupancy n_i) to pH_j and
         # vice versa: Delta = ln 10 * (n_i - n_j) * (pH_j - pH_i) ... with
         # the sign such that moving a protonated site to higher pH costs.
+        return LN10 * (n_i - n_j) * (ph_j - ph_i)
+
+    def batch_exchange_deltas(
+        self,
+        pairs: Sequence[Tuple[Replica, Replica]],
+        *,
+        window_of: Dict[int, int],
+        states: Dict[int, ThermodynamicState],
+        energy_matrix: Optional[Dict[int, np.ndarray]] = None,
+        cache: Optional[GroupEnergyCache] = None,
+    ) -> np.ndarray:
+        """Stacked constant-pH exponents, bit-identical to the scalar path."""
+        n = len(pairs)
+        phs = self._ladder("ph", float)
+        ph_i = phs[
+            np.fromiter((window_of[a.rid] for a, _ in pairs), np.intp, count=n)
+        ]
+        ph_j = phs[
+            np.fromiter((window_of[b.rid] for _, b in pairs), np.intp, count=n)
+        ]
+        n_i = np.fromiter(
+            (a.last_energies.get("protonation", 0.0) for a, _ in pairs),
+            dtype=float,
+            count=n,
+        )
+        n_j = np.fromiter(
+            (b.last_energies.get("protonation", 0.0) for _, b in pairs),
+            dtype=float,
+            count=n,
+        )
         return LN10 * (n_i - n_j) * (ph_j - ph_i)

@@ -15,11 +15,15 @@ dimension in Figs. 6, 9 and 10.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.exchange.base import ExchangeDimension
+from repro.core.exchange.base import (
+    ExchangeDimension,
+    GroupEnergyCache,
+    pair_state_betas,
+)
 from repro.core.replica import Replica
 from repro.md.toymd import ThermodynamicState
 from repro.utils.units import beta_from_temperature
@@ -129,4 +133,41 @@ class SaltDimension(ExchangeDimension):
                 "energy matrix (run the SP tasks first) or internal=True "
                 "with an evaluator"
             )
+        return beta_i * (e_i_xj - e_i_xi) + beta_j * (e_j_xi - e_j_xj)
+
+    def batch_exchange_deltas(
+        self,
+        pairs: Sequence[Tuple[Replica, Replica]],
+        *,
+        window_of: Dict[int, int],
+        states: Dict[int, ThermodynamicState],
+        energy_matrix: Optional[Dict[int, np.ndarray]] = None,
+        cache: Optional[GroupEnergyCache] = None,
+    ) -> Optional[np.ndarray]:
+        """Stacked exponents gathered from the single-point energy rows.
+
+        Only the ``energy_matrix`` path vectorizes; the internal-evaluator
+        variant calls an arbitrary user callable per energy and stays on
+        the scalar path (returns None).
+        """
+        if energy_matrix is None:
+            return None
+        n = len(pairs)
+
+        def gather(energy_of) -> np.ndarray:
+            return np.fromiter(
+                (energy_of(a, b) for a, b in pairs), dtype=float, count=n
+            )
+
+        try:
+            e_i_xi = gather(lambda a, b: energy_matrix[a.rid][window_of[a.rid]])
+            e_i_xj = gather(lambda a, b: energy_matrix[b.rid][window_of[a.rid]])
+            e_j_xi = gather(lambda a, b: energy_matrix[a.rid][window_of[b.rid]])
+            e_j_xj = gather(lambda a, b: energy_matrix[b.rid][window_of[b.rid]])
+        except KeyError:
+            # Incomplete matrix (failed SP task, non-neighbour partner):
+            # defer to the scalar path so its per-pair error semantics and
+            # metric counts are preserved exactly.
+            return None
+        beta_i, beta_j = pair_state_betas(pairs, states, cache)
         return beta_i * (e_i_xj - e_i_xi) + beta_j * (e_j_xi - e_j_xj)

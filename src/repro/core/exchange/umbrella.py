@@ -14,13 +14,17 @@ exchange times in Figs. 6 and 9.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.exchange.base import ExchangeDimension
+from repro.core.exchange.base import (
+    ExchangeDimension,
+    GroupEnergyCache,
+    pair_state_betas,
+)
 from repro.core.replica import Replica
-from repro.md.forcefield import UmbrellaRestraint
+from repro.md.forcefield import UmbrellaRestraint, _deg, wrap_angle
 from repro.md.toymd import ThermodynamicState
 from repro.utils.units import beta_from_temperature, uniform_ladder
 
@@ -108,4 +112,49 @@ class UmbrellaDimension(ExchangeDimension):
         e_i_xj = float(w_i.energy(phi_j, psi_j))
         e_j_xi = float(w_j.energy(phi_i, psi_i))
         e_j_xj = float(w_j.energy(phi_j, psi_j))
+        return beta_i * (e_i_xj - e_i_xi) + beta_j * (e_j_xi - e_j_xj)
+
+    def batch_exchange_deltas(
+        self,
+        pairs: Sequence[Tuple[Replica, Replica]],
+        *,
+        window_of: Dict[int, int],
+        states: Dict[int, ThermodynamicState],
+        energy_matrix: Optional[Dict[int, np.ndarray]] = None,
+        cache: Optional[GroupEnergyCache] = None,
+    ) -> np.ndarray:
+        """Stacked cross restraint energies over all pairs at once.
+
+        Evaluates ``k * degrees(wrap(theta - center))**2`` — the exact
+        elementwise operation sequence of
+        :meth:`UmbrellaRestraint.energy` — on arrays of the pairs'
+        torsions and window centers, so every exponent matches the scalar
+        path bit for bit.
+        """
+        n = len(pairs)
+        centers = self._ladder("center_rad", lambda c: _deg(float(c)))
+        k = self.force_constant
+        axis = 0 if self.angle == "phi" else 1
+        theta_i = np.fromiter(
+            (a.coords[axis] for a, _ in pairs), dtype=float, count=n
+        )
+        theta_j = np.fromiter(
+            (b.coords[axis] for _, b in pairs), dtype=float, count=n
+        )
+        c_i = centers[
+            np.fromiter((window_of[a.rid] for a, _ in pairs), np.intp, count=n)
+        ]
+        c_j = centers[
+            np.fromiter((window_of[b.rid] for _, b in pairs), np.intp, count=n)
+        ]
+        beta_i, beta_j = pair_state_betas(pairs, states, cache)
+
+        def energy(theta: np.ndarray, center: np.ndarray) -> np.ndarray:
+            d_deg = np.degrees(wrap_angle(theta - center))
+            return k * d_deg**2
+
+        e_i_xi = energy(theta_i, c_i)
+        e_i_xj = energy(theta_j, c_i)
+        e_j_xi = energy(theta_i, c_j)
+        e_j_xj = energy(theta_j, c_j)
         return beta_i * (e_i_xj - e_i_xi) + beta_j * (e_j_xi - e_j_xj)

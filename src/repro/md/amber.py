@@ -25,12 +25,31 @@ import numpy as np
 
 from repro.md.engine import EngineAdapter, EngineError, register_adapter
 from repro.md.forcefield import UmbrellaRestraint
+from repro.md.integrators import IntegratorParams
 from repro.md.sandbox import Sandbox
 from repro.md.toymd import MDParams, MDResult, ThermodynamicState
 
 #: Amber atom indices of the backbone torsions in alanine dipeptide.
 _TORSION_ATOMS = {"phi": (5, 7, 9, 15), "psi": (7, 9, 15, 17)}
 _ATOMS_TO_TORSION = {v: k for k, v in _TORSION_ATOMS.items()}
+
+# Hot-path patterns, compiled once.  ``sander`` namelist entries are always
+# ``word = numeric`` so one scan collects every key the parser can ask for;
+# first occurrence wins, matching the old per-key ``re.search``.
+_MDIN_KV = re.compile(r"\b(\w+)\s*=\s*(-?[\d.eE+]+)")
+_DISANG_RE = re.compile(r"DISANG=(\S+)")
+_MDINFO_FIELDS = tuple(
+    (out_key, key, re.compile(rf"{re.escape(key)}\s*=\s*(-?[\d.]+)"))
+    for out_key, key in (
+        ("potential_energy", "EPtot"),
+        ("restraint_energy", "RESTRAINT"),
+        ("torsional_energy", "TORSIONAL"),
+        ("bath_energy", "EBATH"),
+        ("temperature", "TEMP(K)"),
+    )
+)
+_GROUPFILE_RE = re.compile(r"-i (\S+)\s.*-c (\S+)")
+_SALTCON_RE = re.compile(r"saltcon\s*=\s*([\d.eE+-]+)")
 
 
 def _fmt_float(x: float) -> str:
@@ -145,14 +164,15 @@ class AmberAdapter(EngineAdapter):
 
     def _parse_mdin(self, sandbox: Sandbox, tag: str):
         text = sandbox.read_text(f"{tag}.mdin")
+        kv: Dict[str, str] = {}
+        for key, value in _MDIN_KV.findall(text):
+            kv.setdefault(key, value)
 
         def grab(key: str, default=None):
-            m = re.search(rf"\b{key}\s*=\s*(-?[\d.eE+]+)", text)
-            if m is None:
-                if default is None:
-                    raise EngineError(f"{tag}.mdin: missing {key}")
-                return default
-            return m.group(1)
+            value = kv.get(key, default)
+            if value is None:
+                raise EngineError(f"{tag}.mdin: missing {key}")
+            return value
 
         n_steps = int(grab("nstlim"))
         dt = float(grab("dt"))
@@ -163,11 +183,9 @@ class AmberAdapter(EngineAdapter):
         stride = int(grab("ntwx", "50"))
 
         restraints: List[UmbrellaRestraint] = []
-        m = re.search(r"DISANG=(\S+)", text)
+        m = _DISANG_RE.search(text)
         if m:
             restraints = self._parse_disang(sandbox.read_text(m.group(1)))
-
-        from repro.md.integrators import IntegratorParams
 
         params = MDParams(
             n_steps=n_steps,
@@ -218,20 +236,13 @@ class AmberAdapter(EngineAdapter):
     def read_info(self, sandbox: Sandbox, tag: str) -> Dict[str, float]:
         """Parse ``{tag}.mdinfo`` (the exchange phase's input)."""
         text = sandbox.read_text(self.info_file(tag))
-
-        def grab(key: str) -> float:
-            m = re.search(rf"{re.escape(key)}\s*=\s*(-?[\d.]+)", text)
+        out: Dict[str, float] = {}
+        for out_key, key, pattern in _MDINFO_FIELDS:
+            m = pattern.search(text)
             if m is None:
                 raise EngineError(f"{tag}.mdinfo: missing {key}")
-            return float(m.group(1))
-
-        return {
-            "potential_energy": grab("EPtot"),
-            "restraint_energy": grab("RESTRAINT"),
-            "torsional_energy": grab("TORSIONAL"),
-            "bath_energy": grab("EBATH"),
-            "temperature": grab("TEMP(K)"),
-        }
+            out[out_key] = float(m.group(1))
+        return out
 
     def read_restart(self, sandbox: Sandbox, tag: str) -> np.ndarray:
         """Final (phi, psi) of the MD phase."""
@@ -301,17 +312,15 @@ class AmberAdapter(EngineAdapter):
         group = sandbox.read_text(f"{tag}.groupfile").strip().splitlines()
         energies = []
         for line in group:
-            m = re.search(r"-i (\S+)\s.*-c (\S+)", line)
+            m = _GROUPFILE_RE.search(line)
             if m is None:
                 raise EngineError(f"malformed groupfile line: {line!r}")
             mdin_name, coord_name = m.group(1), m.group(2)
             sp_tag = mdin_name[: -len(".mdin")]
             text = sandbox.read_text(mdin_name)
-            salt = float(
-                re.search(r"saltcon\s*=\s*([\d.eE+-]+)", text).group(1)
-            )
+            salt = float(_SALTCON_RE.search(text).group(1))
             restraints: List[UmbrellaRestraint] = []
-            dm = re.search(r"DISANG=(\S+)", text)
+            dm = _DISANG_RE.search(text)
             if dm:
                 restraints = self._parse_disang(sandbox.read_text(dm.group(1)))
             coords = self._read_coords(sandbox, coord_name)

@@ -141,15 +141,41 @@ class ForceField:
 
     # -- Ramachandran part ---------------------------------------------------
 
+    def _well_arrays(self) -> Tuple[np.ndarray, ...]:
+        """Stacked per-well parameters (centers, depths, 1/width terms).
+
+        The scalar terms are computed with exactly the Python arithmetic
+        the per-well loop used (``2.0 * w.sigma**2`` etc.), so evaluating
+        all wells as one trailing array axis changes the number of ufunc
+        dispatches but not a single bit of any element.  Cached on the
+        (frozen) instance; the wells tuple is immutable.
+        """
+        cached = getattr(self, "_well_cache", None)
+        if cached is None:
+            cached = (
+                np.array([w.center[0] for w in self.wells], dtype=float),
+                np.array([w.center[1] for w in self.wells], dtype=float),
+                np.array([w.depth for w in self.wells], dtype=float),
+                np.array([2.0 * w.sigma**2 for w in self.wells], dtype=float),
+                np.array([w.sigma**2 for w in self.wells], dtype=float),
+            )
+            object.__setattr__(self, "_well_cache", cached)
+        return cached
+
     def rama_energy(self, phi: np.ndarray, psi: np.ndarray) -> np.ndarray:
         """Torsional surface energy in kcal/mol (vectorized)."""
         phi = np.asarray(phi, dtype=float)
         psi = np.asarray(psi, dtype=float)
+        c_phi, c_psi, depth, two_sig2, _ = self._well_arrays()
+        # One stacked evaluation over a trailing well axis; the well terms
+        # are then subtracted in declaration order, mirroring the original
+        # per-well accumulation exactly.
+        dphi = wrap_angle(phi[..., None] - c_phi)
+        dpsi = wrap_angle(psi[..., None] - c_psi)
+        terms = depth * np.exp(-(dphi**2 + dpsi**2) / two_sig2)
         v = np.full(np.broadcast(phi, psi).shape, self.offset, dtype=float)
-        for w in self.wells:
-            dphi = wrap_angle(phi - w.center[0])
-            dpsi = wrap_angle(psi - w.center[1])
-            v -= w.depth * np.exp(-(dphi**2 + dpsi**2) / (2.0 * w.sigma**2))
+        for k in range(len(self.wells)):
+            v = v - terms[..., k]
         return v
 
     def rama_gradient(
@@ -158,15 +184,18 @@ class ForceField:
         """(dV/dphi, dV/dpsi) of the Ramachandran part (vectorized)."""
         phi = np.asarray(phi, dtype=float)
         psi = np.asarray(psi, dtype=float)
+        c_phi, c_psi, depth, two_sig2, sig2 = self._well_arrays()
+        dphi = wrap_angle(phi[..., None] - c_phi)
+        dpsi = wrap_angle(psi[..., None] - c_psi)
+        e = depth * np.exp(-(dphi**2 + dpsi**2) / two_sig2)
+        t_phi = e * dphi / sig2
+        t_psi = e * dpsi / sig2
         shape = np.broadcast(phi, psi).shape
         gphi = np.zeros(shape, dtype=float)
         gpsi = np.zeros(shape, dtype=float)
-        for w in self.wells:
-            dphi = wrap_angle(phi - w.center[0])
-            dpsi = wrap_angle(psi - w.center[1])
-            e = w.depth * np.exp(-(dphi**2 + dpsi**2) / (2.0 * w.sigma**2))
-            gphi += e * dphi / w.sigma**2
-            gpsi += e * dpsi / w.sigma**2
+        for k in range(len(self.wells)):
+            gphi = gphi + t_phi[..., k]
+            gpsi = gpsi + t_psi[..., k]
         return gphi, gpsi
 
     # -- electrostatic part ----------------------------------------------------

@@ -1,0 +1,18 @@
+"""Performance harness: canonical scenarios and the ``repro bench`` engine.
+
+The importable half of the perf-regression tooling.  ``benchmarks/perf/``
+holds the committed baselines and the pytest smoke wrapper; this package
+holds the scenario registry (:mod:`repro.perf.scenarios`) and the
+run/compare/profile machinery (:mod:`repro.perf.bench`) so the CLI can
+reach them on ``PYTHONPATH=src`` alone.
+"""
+
+from repro.perf.bench import (  # noqa: F401
+    BENCH_FILENAME,
+    compare_results,
+    load_results,
+    run_scenario,
+    run_suite,
+    write_results,
+)
+from repro.perf.scenarios import SCENARIOS, scenario_names  # noqa: F401

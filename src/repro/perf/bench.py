@@ -1,0 +1,207 @@
+"""Run, record and compare the canonical perf scenarios.
+
+Results are machine-readable JSON — ``BENCH_scale.json`` at the repo root
+is the committed trajectory, ``repro bench --compare old new`` is the
+regression gate (exits nonzero when events/s drops more than the
+threshold).  Wallclock is measured with observability off (null registry)
+so the numbers track the simulator's own hot paths, not the metrics
+layer.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import pstats
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.framework import RepEx
+from repro.obs.metrics import NullRegistry, using_registry
+from repro.perf.scenarios import SCENARIOS, scenario_names
+
+#: canonical result file name, written at the repo root
+BENCH_FILENAME = "BENCH_scale.json"
+
+#: default allowed events/s regression before --compare fails
+DEFAULT_THRESHOLD = 0.25
+
+
+#: fields that must not vary across best-of-N repeats of one scenario
+_DETERMINISTIC_FIELDS = ("events_fired", "peak_heap", "virtual_s", "n_failures")
+
+
+def run_scenario(
+    name: str,
+    *,
+    fast: bool = False,
+    profile: bool = False,
+    profile_top: int = 25,
+    repeats: Optional[int] = None,
+) -> Dict[str, object]:
+    """Run one scenario and return its measurement record.
+
+    ``repeats`` reruns the scenario and keeps the fastest wallclock
+    (best-of-N).  The deterministic counters must agree across repeats —
+    a mismatch raises — so only timing noise is discarded.  Defaults to 3
+    for fast runs (they finish in ~0.1 s, where OS scheduling noise
+    dominates the measurement) and 1 for full runs; profiling always
+    runs once.
+
+    With ``profile=True`` the run happens under :mod:`cProfile` and the
+    top ``profile_top`` functions by internal time are printed to stdout
+    (the wallclock then includes profiler overhead — don't commit those
+    numbers).
+    """
+    if repeats is None:
+        repeats = 3 if fast else 1
+    if profile:
+        repeats = 1
+    records = [
+        _measure(name, fast=fast, profile=profile, profile_top=profile_top)
+        for _ in range(repeats)
+    ]
+    best = min(records, key=lambda r: r["wall_s"])
+    for record in records:
+        for field in _DETERMINISTIC_FIELDS:
+            if record[field] != best[field]:
+                raise RuntimeError(
+                    f"scenario {name!r} is non-deterministic: "
+                    f"{field} varied across repeats "
+                    f"({record[field]!r} vs {best[field]!r})"
+                )
+    best["repeats"] = repeats
+    return best
+
+
+def _measure(
+    name: str,
+    *,
+    fast: bool,
+    profile: bool,
+    profile_top: int,
+) -> Dict[str, object]:
+    scenario = SCENARIOS[name]
+    config = scenario.build(fast)
+    with using_registry(NullRegistry()):
+        repex = RepEx(config)
+        profiler = cProfile.Profile() if profile else None
+        start = time.perf_counter()
+        if profiler is not None:
+            profiler.enable()
+        result = repex.run()
+        if profiler is not None:
+            profiler.disable()
+        wall = time.perf_counter() - start
+    clock = repex.session.clock
+    if profiler is not None:
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.sort_stats("tottime").print_stats(profile_top)
+        print(f"--- cProfile top {profile_top} (tottime) for {name} ---")
+        print(stream.getvalue())
+    events = clock.n_fired
+    return {
+        "description": scenario.description,
+        "fast": fast,
+        "n_replicas": config.n_replicas,
+        "n_cycles": config.n_cycles,
+        "wall_s": round(wall, 4),
+        "virtual_s": round(clock.now, 3),
+        "events_fired": events,
+        "events_per_s": round(events / wall, 1) if wall > 0 else 0.0,
+        "peak_heap": clock.peak_heap,
+        "n_failures": result.n_failures,
+    }
+
+
+def run_suite(
+    names: Optional[Iterable[str]] = None,
+    *,
+    fast: bool = False,
+    profile: bool = False,
+    repeats: Optional[int] = None,
+    echo: Optional[object] = None,
+) -> Dict[str, object]:
+    """Run scenarios (all by default) and return the result document.
+
+    ``echo``, if given, is called with a one-line summary after each
+    scenario (the CLI passes ``print``).
+    """
+    selected = list(names) if names else scenario_names()
+    unknown = [n for n in selected if n not in SCENARIOS]
+    if unknown:
+        raise KeyError(
+            f"unknown scenario(s) {unknown}; known: {scenario_names()}"
+        )
+    doc: Dict[str, object] = {
+        "_meta": {
+            "schema": 1,
+            "fast": fast,
+            "note": (
+                "framework-throughput benchmarks: numeric_steps=1, "
+                "observability off; fast and full runs are not comparable"
+            ),
+        }
+    }
+    for name in selected:
+        record = run_scenario(name, fast=fast, profile=profile, repeats=repeats)
+        doc[name] = record
+        if echo is not None:
+            echo(
+                f"{name:<20} wall {record['wall_s']:>8.3f} s   "
+                f"{record['events_fired']:>7} events   "
+                f"{record['events_per_s']:>9.1f} ev/s   "
+                f"peak heap {record['peak_heap']}"
+            )
+    return doc
+
+
+def write_results(doc: Dict[str, object], path: str) -> None:
+    """Write a result document as indented JSON (trailing newline)."""
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def load_results(path: str) -> Dict[str, object]:
+    """Load a result document written by :func:`write_results`."""
+    return json.loads(Path(path).read_text())
+
+
+def compare_results(
+    old: Dict[str, object],
+    new: Dict[str, object],
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Tuple[List[str], int]:
+    """Diff two result documents on events/s.
+
+    Returns (report lines, number of regressions).  A scenario regresses
+    when its new events/s falls below ``(1 - threshold)`` times the old
+    one.  Scenarios present on only one side are reported but never fail
+    the gate.
+    """
+    lines: List[str] = []
+    regressions = 0
+    old_scenarios = {k: v for k, v in old.items() if not k.startswith("_")}
+    new_scenarios = {k: v for k, v in new.items() if not k.startswith("_")}
+    for name in old_scenarios:
+        if name not in new_scenarios:
+            lines.append(f"{name:<20} only in old results (skipped)")
+            continue
+        o = float(old_scenarios[name]["events_per_s"])
+        n = float(new_scenarios[name]["events_per_s"])
+        change = (n - o) / o if o > 0 else 0.0
+        verdict = "ok"
+        if o > 0 and n < o * (1.0 - threshold):
+            verdict = f"REGRESSION (> {threshold:.0%} slower)"
+            regressions += 1
+        lines.append(
+            f"{name:<20} {o:>9.1f} -> {n:>9.1f} ev/s  "
+            f"({change:+7.1%})  {verdict}"
+        )
+    for name in new_scenarios:
+        if name not in old_scenarios:
+            lines.append(f"{name:<20} only in new results (skipped)")
+    return lines, regressions

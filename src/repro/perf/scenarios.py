@@ -1,0 +1,152 @@
+"""Canonical benchmark scenarios for ``repro bench``.
+
+Each scenario pins one hot path of the simulator at a scale where the
+framework itself — scheduler, event queue, exchange sweep — dominates the
+run, not the toy MD numerics:
+
+- ``1d-sync-1024``: the paper's weak-scaling shape, 1024 T-REMD replicas
+  on 1024 cores, synchronous barrier.  Stresses the per-cycle fan-out
+  (placement + staging pipeline) and the barrier wait predicate.
+- ``mremd-3d-256``: 3-dimensional TUU (4x8x8) on Stampede.  Stresses the
+  multi-group exchange sweep and the round-robin dimension schedule.
+- ``async-fifo-512``: 512 replicas on half as many cores with the FIFO
+  asynchronous criterion.  Stresses the waiting-queue/backfill path and
+  the async EMM's completion bookkeeping.
+- ``chaos-preempt-256``: synchronous run through a pilot preemption with
+  requeue + relaunch.  Stresses event cancellation (dead-event heap
+  growth) and the fault/recovery paths.
+
+Every scenario sets ``numeric_steps=1`` so the virtual clock still bills
+the paper's 6000-step cycles while the wallclock measures framework
+throughput (DESIGN.md decision 1), and the runner installs a null metrics
+registry — the same convention the figure benchmarks use.  ``fast``
+variants shrink the replica counts ~8x for CI smoke runs; fast and full
+events/s are not comparable with each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.core.config import (
+    DimensionSpec,
+    FailureSpec,
+    PatternSpec,
+    ResourceSpec,
+    SimulationConfig,
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named benchmark configuration (full and fast variants)."""
+
+    name: str
+    description: str
+    build: Callable[[bool], SimulationConfig]
+
+
+def _temperature(n_windows: int) -> DimensionSpec:
+    return DimensionSpec(
+        kind="temperature", n_windows=n_windows,
+        min_value=300.0, max_value=400.0,
+    )
+
+
+def _sync_1d(fast: bool) -> SimulationConfig:
+    n = 128 if fast else 1024
+    return SimulationConfig(
+        title="bench-1d-sync",
+        dimensions=[_temperature(n)],
+        resource=ResourceSpec(name="supermic", cores=n),
+        n_cycles=2,
+        numeric_steps=1,
+        seed=2016,
+    )
+
+
+def _mremd_3d(fast: bool) -> SimulationConfig:
+    t, u = (2, 4) if fast else (4, 8)
+    dims = [
+        _temperature(t),
+        DimensionSpec(
+            kind="umbrella", n_windows=u, min_value=0.0, max_value=360.0,
+            angle="phi",
+        ),
+        DimensionSpec(
+            kind="umbrella", n_windows=u, min_value=0.0, max_value=360.0,
+            angle="psi",
+        ),
+    ]
+    n = t * u * u
+    return SimulationConfig(
+        title="bench-mremd-3d",
+        dimensions=dims,
+        resource=ResourceSpec(name="stampede", cores=n),
+        n_cycles=3,  # one full round-robin over the three dimensions
+        numeric_steps=1,
+        seed=2016,
+    )
+
+
+def _async_fifo(fast: bool) -> SimulationConfig:
+    n = 64 if fast else 512
+    return SimulationConfig(
+        title="bench-async-fifo",
+        dimensions=[_temperature(n)],
+        resource=ResourceSpec(name="supermic", cores=n // 2),
+        pattern=PatternSpec(kind="asynchronous", fifo_count=n // 8),
+        n_cycles=2,
+        numeric_steps=1,
+        seed=2016,
+    )
+
+
+def _chaos_preempt(fast: bool) -> SimulationConfig:
+    n = 32 if fast else 256
+    return SimulationConfig(
+        title="bench-chaos-preempt",
+        dimensions=[_temperature(n)],
+        resource=ResourceSpec(name="supermic", cores=n),
+        failure=FailureSpec(
+            policy="relaunch",
+            preempt_after_s=60.0,
+            requeue_on_preempt=True,
+        ),
+        n_cycles=2,
+        numeric_steps=1,
+        seed=2016,
+    )
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    s.name: s
+    for s in (
+        Scenario(
+            "1d-sync-1024",
+            "1024-replica synchronous T-REMD on 1024 cores (SuperMIC)",
+            _sync_1d,
+        ),
+        Scenario(
+            "mremd-3d-256",
+            "3D TUU 4x8x8 multi-dimensional REMD on Stampede",
+            _mremd_3d,
+        ),
+        Scenario(
+            "async-fifo-512",
+            "512-replica asynchronous FIFO-criterion REMD, 2x oversubscribed",
+            _async_fifo,
+        ),
+        Scenario(
+            "chaos-preempt-256",
+            "256-replica synchronous run through pilot preemption + requeue",
+            _chaos_preempt,
+        ),
+    )
+}
+
+
+def scenario_names() -> List[str]:
+    """Registry order, the order scenarios run and report in."""
+    return list(SCENARIOS)

@@ -5,32 +5,71 @@ data time, RepEx/RP overheads, utilization) is measured on this virtual
 clock, replacing the wallclock of the paper's XSEDE runs.  The queue is a
 binary heap keyed by ``(time, sequence)`` so that simultaneous events fire
 in scheduling order, which keeps runs fully deterministic.
+
+Cancellation is lazy (events are flagged, not removed), but the queue
+keeps an exact count of dead entries so ``len(queue)`` is O(1), and it
+compacts the heap once cancelled events dominate it — under heavy
+preemption/chaos the heap would otherwise grow without bound.  Compaction
+never changes pop order: keys ``(time, seq)`` are unique, so re-heapifying
+the surviving events yields exactly the order the lazy pops would have.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Sequence, Tuple
 
 
 class SimulationError(RuntimeError):
     """Raised when the event loop is driven into an invalid state."""
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.  Compare/sort by ``(time, seq)``."""
+    """A scheduled callback, ordered in the queue by ``(time, seq)``.
 
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    The heap itself stores ``(time, seq, event)`` tuples so that sift
+    comparisons stay in C; the keys are unique, so the event object is
+    never compared.
+    """
+
+    __slots__ = ("time", "seq", "callback", "cancelled", "_queue")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], None],
+        queue: Optional["EventQueue"] = None,
+    ):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+        #: queue whose dead-event accounting tracks this event (None once
+        #: the event left the heap, so late cancels don't corrupt the
+        #: count)
+        self._queue = queue
 
     def cancel(self) -> None:
-        """Mark the event so it is skipped when popped."""
+        """Mark the event so it is skipped when popped (idempotent)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queue is not None:
+            self._queue._note_cancelled()
+            self._queue = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Event(time={self.time!r}, seq={self.seq!r}, "
+            f"cancelled={self.cancelled!r})"
+        )
+
+
+#: compaction trigger: at least this many dead events *and* more dead than
+#: live ones (the floor keeps tiny queues from churning)
+_COMPACT_MIN_DEAD = 64
 
 
 class EventQueue:
@@ -43,9 +82,13 @@ class EventQueue:
 
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
-        self._heap: List[Event] = []
+        #: binary heap of (time, seq, event) — tuple keys keep every sift
+        #: comparison in C, and (time, seq) is unique per event
+        self._heap: List[Tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._n_fired = 0
+        self._n_cancelled = 0
+        self._peak_heap = 0
 
     @property
     def now(self) -> float:
@@ -57,8 +100,19 @@ class EventQueue:
         """Total number of events executed so far (diagnostics)."""
         return self._n_fired
 
+    @property
+    def n_cancelled(self) -> int:
+        """Dead events currently sitting in the heap awaiting purge."""
+        return self._n_cancelled
+
+    @property
+    def peak_heap(self) -> int:
+        """High-water mark of the pending-event heap (diagnostics)."""
+        return self._peak_heap
+
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Live (non-cancelled) events still pending — O(1)."""
+        return len(self._heap) - self._n_cancelled
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to fire ``delay`` seconds from now."""
@@ -72,19 +126,56 @@ class EventQueue:
             raise SimulationError(
                 f"cannot schedule into the past (t={time} < now={self._now})"
             )
-        event = Event(time=float(time), seq=next(self._seq), callback=callback)
-        heapq.heappush(self._heap, event)
+        t = float(time)
+        event = Event(t, next(self._seq), callback, queue=self)
+        heapq.heappush(self._heap, (t, event.seq, event))
+        if len(self._heap) > self._peak_heap:
+            self._peak_heap = len(self._heap)
         return event
+
+    def schedule_many(
+        self,
+        items: Sequence[Tuple[float, Callable[[], None]]],
+    ) -> List[Event]:
+        """Batched :meth:`schedule`: ``[(delay, callback), ...]``.
+
+        Sequence numbers are allocated in list order, so the relative fire
+        order among the batch (and against interleaved single schedules)
+        is identical to looping ``schedule`` — only the heap maintenance
+        is amortized: one ``heapify`` instead of k pushes when the batch
+        rivals the heap in size.
+        """
+        events: List[Event] = []
+        for delay, callback in items:
+            if delay < 0:
+                raise SimulationError(
+                    f"cannot schedule into the past (delay={delay})"
+                )
+            events.append(
+                Event(self._now + float(delay), next(self._seq), callback,
+                      queue=self)
+            )
+        if len(events) >= max(8, len(self._heap) // 2):
+            self._heap.extend((e.time, e.seq, e) for e in events)
+            heapq.heapify(self._heap)
+        else:
+            for event in events:
+                heapq.heappush(self._heap, (event.time, event.seq, event))
+        if len(self._heap) > self._peak_heap:
+            self._peak_heap = len(self._heap)
+        return events
 
     def step(self) -> bool:
         """Execute the next pending event.  Return False if queue is empty."""
         while self._heap:
-            event = heapq.heappop(self._heap)
+            time, _, event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._n_cancelled -= 1
                 continue
-            if event.time < self._now:
+            event._queue = None
+            if time < self._now:
                 raise SimulationError("event heap yielded a past event")
-            self._now = event.time
+            self._now = time
             self._n_fired += 1
             event.callback()
             return True
@@ -125,16 +216,42 @@ class EventQueue:
                     f"condition not met after {max_events} events"
                 )
 
+    def next_event_time(self) -> Optional[float]:
+        """Fire time of the next live event, or None when the queue is empty.
+
+        Dead events found at the top are purged on the way — the peek is
+        amortized O(1) and leaves the heap cleaner than it found it.
+        """
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+            self._n_cancelled -= 1
+        return heap[0][0] if heap else None
+
     def advance_to(self, time: float) -> None:
         """Move the clock forward with no events (idle time)."""
         if time < self._now:
             raise SimulationError(
                 f"cannot move clock backwards (t={time} < now={self._now})"
             )
-        if self._heap and not all(e.cancelled for e in self._heap):
-            next_t = min(e.time for e in self._heap if not e.cancelled)
-            if next_t < time:
-                raise SimulationError(
-                    "advance_to would skip pending events; run them first"
-                )
+        next_t = self.next_event_time()
+        if next_t is not None and next_t < time:
+            raise SimulationError(
+                "advance_to would skip pending events; run them first"
+            )
         self._now = float(time)
+
+    def _note_cancelled(self) -> None:
+        """Account one newly dead event; compact when the dead dominate."""
+        self._n_cancelled += 1
+        if (
+            self._n_cancelled >= _COMPACT_MIN_DEAD
+            and self._n_cancelled * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled events and re-heapify (pop order is unchanged)."""
+        self._heap = [entry for entry in self._heap if not entry[2].cancelled]
+        heapq.heapify(self._heap)
+        self._n_cancelled = 0

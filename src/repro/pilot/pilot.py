@@ -145,8 +145,8 @@ class Pilot:
             # only; a requeued pilot keeps its remaining schedule.
             self.fault_domain.on_pilot_active(self, self._clock)
         queued, self._pre_active_queue = self._pre_active_queue, []
-        for unit in queued:
-            self.scheduler.submit(unit)
+        if queued:
+            self.scheduler.submit_many(queued)
 
     def _expire(self) -> None:
         if self.state is PilotState.ACTIVE:
@@ -220,8 +220,9 @@ class Pilot:
         units = [ComputeUnit(d) for d in descriptions]
         if self.state is PilotState.ACTIVE:
             assert self.scheduler is not None
-            for unit in units:
-                self.scheduler.submit(unit)
+            # One batched placement scan instead of a rescan per unit —
+            # the sync EMM submits an entire cycle's fan-out here.
+            self.scheduler.submit_many(units)
         else:
             # Held in NEW until activation; AgentScheduler.submit advances
             # NEW -> SCHEDULING itself.

@@ -30,8 +30,10 @@ therefore never races a stale completion into an illegal transition.
 
 from __future__ import annotations
 
+import bisect
+import math
 from collections import deque
-from typing import Deque, Dict, List, Optional, Set
+from typing import Deque, Dict, List, Optional, Sequence, Set
 
 from repro.obs.metrics import get_registry
 from repro.pilot.cluster import ClusterSpec
@@ -57,6 +59,7 @@ class AgentScheduler:
         failure_model: Optional[FailureModel] = None,
         gpu_capacity: int = 0,
         fault_domain=None,
+        indexed: bool = True,
     ):
         if capacity <= 0:
             raise ValueError(f"capacity must be > 0, got {capacity}")
@@ -88,6 +91,30 @@ class AgentScheduler:
             remaining -= take
         self._node_free: List[int] = list(self._node_total)
         self._quarantined: Set[int] = set()
+        #: ``indexed=False`` keeps the original linear-scan placement and
+        #: full queue rescans — the reference implementation the property
+        #: tests compare the indexed fast path against.
+        self._indexed = indexed
+        # Sorted index of healthy nodes with free cores.  First-fit always
+        # consumes the lowest-indexed nodes first and fills each node
+        # completely before touching the next, so a placement removes a
+        # *prefix* of this list — placement cost is O(nodes touched), not
+        # O(all nodes).  Invariant: node in _free_nodes iff
+        # _node_free[node] > 0 and node not quarantined.
+        self._free_nodes: List[int] = [
+            i for i, f in enumerate(self._node_free) if f > 0
+        ]
+        # Conservative lower bound on the smallest core request in the
+        # waiting queue (inf when empty).  Valid because units only leave
+        # the queue through scans that recompute it exactly; it lets
+        # releases skip the full queue rescan when nothing can possibly
+        # fit.
+        self._min_queued_cores: float = math.inf
+        # Last values pushed to the occupancy gauges (change detection;
+        # gauges only hold the latest value, so skipping equal sets is
+        # observably identical).
+        self._last_queue_depth = -1
+        self._last_used_cores = -1
         #: unit -> {node_index: cores taken}, for crash targeting/release
         self._placement: Dict[ComputeUnit, Dict[int, int]] = {}
         #: transfers currently in flight, for filesystem contention
@@ -111,8 +138,14 @@ class AgentScheduler:
         self._h_wait = registry.histogram("scheduler.wait_seconds")
 
     def _update_occupancy(self) -> None:
-        self._g_queue_depth.set(len(self._queue))
-        self._g_used_cores.set(self.used_cores)
+        depth = len(self._queue)
+        if depth != self._last_queue_depth:
+            self._last_queue_depth = depth
+            self._g_queue_depth.set(depth)
+        used = self.capacity - self.free_cores
+        if used != self._last_used_cores:
+            self._last_used_cores = used
+            self._g_used_cores.set(used)
 
     # -- public API ---------------------------------------------------------
 
@@ -147,8 +180,8 @@ class AgentScheduler:
             return self._node_total[node]
         return 0
 
-    def submit(self, unit: ComputeUnit) -> None:
-        """Queue a unit; it is scheduled as soon as cores are available."""
+    def _enqueue(self, unit: ComputeUnit) -> None:
+        """Validate + queue one unit (shared by submit/submit_many)."""
         if self._drained:
             raise SchedulerError("scheduler has been drained (pilot ended)")
         if unit.description.cores > self.capacity:
@@ -165,7 +198,26 @@ class AgentScheduler:
             )
         unit.advance(UnitState.SCHEDULING, self._clock.now)
         self._queue.append(unit)
+        if unit.description.cores < self._min_queued_cores:
+            self._min_queued_cores = unit.description.cores
         self._m_submitted.inc()
+
+    def submit(self, unit: ComputeUnit) -> None:
+        """Queue a unit; it is scheduled as soon as cores are available."""
+        self._enqueue(unit)
+        self._try_schedule()
+
+    def submit_many(self, units: Sequence[ComputeUnit]) -> None:
+        """Queue a batch of units with one placement scan.
+
+        Placement decisions are identical to submitting one by one: no
+        virtual time passes between submissions, so the single FIFO
+        backfill scan afterwards places exactly the units a per-submit
+        scan would have placed, in the same order (and therefore
+        schedules the same events in the same sequence).
+        """
+        for unit in units:
+            self._enqueue(unit)
         self._try_schedule()
 
     def cancel_all(self) -> None:
@@ -174,6 +226,7 @@ class AgentScheduler:
             unit = self._queue.popleft()
             unit.advance(UnitState.CANCELED, self._clock.now)
             self._m_canceled.inc()
+        self._min_queued_cores = math.inf
         self._drained = True
         self._update_occupancy()
 
@@ -195,6 +248,10 @@ class AgentScheduler:
         self._quarantined.add(node)
         self.capacity -= self._node_total[node]
         self.free_cores -= self._node_free[node]
+        if self._node_free[node] > 0:
+            idx = bisect.bisect_left(self._free_nodes, node)
+            if idx < len(self._free_nodes) and self._free_nodes[idx] == node:
+                del self._free_nodes[idx]
         self._node_free[node] = 0
         failed = 0
         for unit in victims:
@@ -202,6 +259,7 @@ class AgentScheduler:
             failed += 1
         # Queued units larger than the surviving capacity can never start.
         still_waiting: Deque[ComputeUnit] = deque()
+        new_min: float = math.inf
         while self._queue:
             unit = self._queue.popleft()
             if unit.description.cores > self.capacity:
@@ -214,7 +272,10 @@ class AgentScheduler:
                 failed += 1
             else:
                 still_waiting.append(unit)
+                if unit.description.cores < new_min:
+                    new_min = unit.description.cores
         self._queue = still_waiting
+        self._min_queued_cores = new_min
         self._update_occupancy()
         return failed
 
@@ -232,6 +293,7 @@ class AgentScheduler:
             unit.advance(UnitState.FAILED, self._clock.now)
             self._m_failed.inc()
             failed += 1
+        self._min_queued_cores = math.inf
         for unit in list(self._running):
             self._fail(unit, UnitFailure(reason))
             failed += 1
@@ -245,7 +307,23 @@ class AgentScheduler:
         """Start every queued unit that fits in the free cores (backfill)."""
         if not self._queue:
             return
+        if self._indexed and (
+            self.free_cores == 0
+            or self._min_queued_cores > self.free_cores
+        ):
+            # Nothing can possibly fit (unit core requests are >= 1 and
+            # the bound is a valid lower bound), so skip the rescan; the
+            # gauges still refresh because callers changed queue/usage.
+            self._update_occupancy()
+            return
         still_waiting: Deque[ComputeUnit] = deque()
+        new_min: float = math.inf
+        # Staging events of every unit placed in this scan go onto the
+        # clock in one batched insert; delays are still computed one unit
+        # at a time (in-flight transfer contention is order-dependent),
+        # and sequence numbers keep the per-unit order, so the heap pops
+        # exactly as per-unit scheduling would.
+        staging_batch: List = []
         while self._queue:
             unit = self._queue.popleft()
             if (
@@ -254,37 +332,63 @@ class AgentScheduler:
             ):
                 self._place(unit)
                 self._running.add(unit)
-                self._begin_staging_in(unit)
+                self._begin_staging_in(unit, batch=staging_batch)
             else:
                 still_waiting.append(unit)
+                if unit.description.cores < new_min:
+                    new_min = unit.description.cores
         self._queue = still_waiting
+        self._min_queued_cores = new_min
+        if staging_batch:
+            self._clock.schedule_many(staging_batch)
         self._update_occupancy()
 
     def _place(self, unit: ComputeUnit) -> None:
         """First-fit the unit's cores over healthy nodes (may span nodes)."""
         need = unit.description.cores
         placement: Dict[int, int] = {}
-        for node in range(self.n_nodes):
-            if need == 0:
-                break
-            if node in self._quarantined or self._node_free[node] == 0:
-                continue
-            take = min(need, self._node_free[node])
-            self._node_free[node] -= take
-            placement[node] = take
-            need -= take
+        if self._indexed:
+            free_nodes = self._free_nodes
+            node_free = self._node_free
+            emptied = 0
+            for node in free_nodes:
+                take = node_free[node]
+                if take > need:
+                    take = need
+                node_free[node] -= take
+                placement[node] = take
+                need -= take
+                if node_free[node] == 0:
+                    emptied += 1
+                if need == 0:
+                    break
+            if emptied:
+                del free_nodes[:emptied]
+        else:
+            for node in range(self.n_nodes):
+                if need == 0:
+                    break
+                if node in self._quarantined or self._node_free[node] == 0:
+                    continue
+                take = min(need, self._node_free[node])
+                self._node_free[node] -= take
+                placement[node] = take
+                need -= take
         assert need == 0, "free_cores disagreed with the node map"
         self._placement[unit] = placement
         self.free_cores -= unit.description.cores
         self.free_gpus -= unit.description.gpus
 
     def _staging_time(self, directives) -> float:
+        # The filesystem model is resolved once per unit, not once per
+        # directive — MD units carry several directives each.
+        fs = self._cluster.filesystem
         total = 0.0
         for d in directives:
             if d.action is StagingAction.LINK:
-                total += self._cluster.filesystem.link_time()
+                total += fs.link_time()
             else:
-                total += self._cluster.filesystem.transfer_time(
+                total += fs.transfer_time(
                     d.size_mb, concurrent=self._staging_in_flight
                 )
         return total
@@ -294,22 +398,29 @@ class AgentScheduler:
             return None
         return self.fault_domain.staging
 
-    def _run_staging(self, unit: ComputeUnit, directives, on_done, attempt: int = 1) -> None:
-        """Charge staging time for ``directives``, then ``on_done()``.
+    def _staging_event(
+        self, unit: ComputeUnit, directives, on_done, attempt: int = 1,
+        model=None,
+    ):
+        """Build one staging attempt as a ``(delay, callback)`` pair.
 
-        When the fault domain carries a transient staging model, each
-        attempt may fail; failed attempts are retried after an
-        exponential-backoff delay (re-charging the transfer time), up to
-        ``max_retries`` retries, after which the unit fails for good.
+        Charges staging time for ``directives``; the returned callback
+        runs ``on_done()`` on success.  When the fault domain carries a
+        transient staging model, each attempt may fail; failed attempts
+        are retried after an exponential-backoff delay (re-charging the
+        transfer time), up to ``max_retries`` retries, after which the
+        unit fails for good.  The transient model is resolved once per
+        unit and threaded through the retry chain.
         """
         delay = self._staging_time(directives)
         self._staging_in_flight += len(directives)
+        if model is None:
+            model = self._staging_model()
 
         def _done():
             self._staging_in_flight -= len(directives)
             if unit.done:  # failed by a node crash / preemption mid-transfer
                 return
-            model = self._staging_model()
             if model is not None and directives and model.draw_fault():
                 self._m_staging_faults.inc()
                 self.fault_domain.record(
@@ -331,14 +442,26 @@ class AgentScheduler:
                     model.backoff(attempt),
                     lambda: None
                     if unit.done
-                    else self._run_staging(unit, directives, on_done, attempt + 1),
+                    else self._run_staging(
+                        unit, directives, on_done, attempt + 1, model
+                    ),
                 )
                 return
             on_done()
 
-        self._clock.schedule(delay, _done)
+        return delay, _done
 
-    def _begin_staging_in(self, unit: ComputeUnit) -> None:
+    def _run_staging(
+        self, unit: ComputeUnit, directives, on_done, attempt: int = 1,
+        model=None,
+    ) -> None:
+        """Schedule one staging attempt (see :meth:`_staging_event`)."""
+        delay, done = self._staging_event(
+            unit, directives, on_done, attempt, model
+        )
+        self._clock.schedule(delay, done)
+
+    def _begin_staging_in(self, unit: ComputeUnit, batch=None) -> None:
         self._h_wait.observe(
             self._clock.now - unit.timestamps[UnitState.SCHEDULING]
         )
@@ -353,7 +476,11 @@ class AgentScheduler:
                     self.staging_area.get(d.target)
             self._begin_launch(unit)
 
-        self._run_staging(unit, directives, _staged)
+        pair = self._staging_event(unit, directives, _staged)
+        if batch is None:
+            self._clock.schedule(*pair)
+        else:
+            batch.append(pair)
 
     def _begin_launch(self, unit: ComputeUnit) -> None:
         unit.advance(UnitState.AGENT_EXECUTING_PENDING, self._clock.now)
@@ -431,6 +558,8 @@ class AgentScheduler:
             # the node crashed and must not rejoin the free pool.
             for node, taken in placement.items():
                 if node not in self._quarantined:
+                    if self._indexed and self._node_free[node] == 0:
+                        bisect.insort(self._free_nodes, node)
                     self._node_free[node] += taken
                     self.free_cores += taken
         self.free_gpus += unit.description.gpus

@@ -30,7 +30,15 @@ def _next_uid(prefix: str) -> str:
 
 
 class UnitState(enum.Enum):
-    """Lifecycle states of a compute unit (subset of RP's state model)."""
+    """Lifecycle states of a compute unit (subset of RP's state model).
+
+    Members are interned singletons, so identity hashing is sound; the
+    default ``Enum.__hash__`` (a Python-level hash of the member name)
+    shows up hot in scheduler profiles because every state-set lookup in
+    ``_TRANSITIONS``/``FINAL_STATES`` pays it.
+    """
+
+    __hash__ = object.__hash__
 
     NEW = "NEW"
     SCHEDULING = "SCHEDULING"
@@ -148,6 +156,7 @@ class ComputeUnit:
         self.timestamps: Dict[UnitState, float] = {}
         self.result: Any = None
         self.exception: Optional[BaseException] = None
+        self._done = False
         self._callbacks: List[Callable[["ComputeUnit", UnitState], None]] = []
 
     # -- state machine -----------------------------------------------------
@@ -165,6 +174,7 @@ class ComputeUnit:
                 f"{self.uid}: illegal transition {self.state.value} -> {state.value}"
             )
         self.state = state
+        self._done = state in FINAL_STATES
         self.timestamps[state] = now
         for cb in list(self._callbacks):
             cb(self, state)
@@ -180,7 +190,7 @@ class ComputeUnit:
     @property
     def done(self) -> bool:
         """True once the unit reached a final state."""
-        return self.state in FINAL_STATES
+        return self._done
 
     @property
     def succeeded(self) -> bool:

@@ -1,0 +1,197 @@
+"""Batched Metropolis sweeps must be bit-identical to the scalar path.
+
+``compute_exchange`` evaluates all pair exponents of a disjoint sweep as
+one stacked numpy expression (``ExchangeDimension.batch_exchange_deltas``)
+and then runs the accept/reject loop sequentially.  The optimisation is
+only sound if every batched exponent equals the scalar
+``exchange_delta`` *exactly* — the golden traces compare Metropolis
+decisions, and a 1-ulp drift flips marginal ones — so these tests assert
+float equality, not approx.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.exchange import (
+    GibbsPairing,
+    GroupEnergyCache,
+    NeighborPairing,
+    PHDimension,
+    RandomPairing,
+    SaltDimension,
+    TemperatureDimension,
+    UmbrellaDimension,
+)
+from repro.core.ram import compute_exchange
+from repro.core.replica import Replica
+from repro.md.toymd import ThermodynamicState
+
+
+def make_group(n, dim_name, rng, *, salted=False):
+    """Replicas with randomized coords/energies on windows 0..n-1."""
+    reps = []
+    for i in range(n):
+        r = Replica(
+            rid=i,
+            coords=rng.uniform(-np.pi, np.pi, size=2),
+            param_indices={dim_name: i},
+        )
+        r.last_energies = {
+            "potential_energy": float(rng.normal(-90.0, 15.0)),
+            "protonation": float(i % 2),
+        }
+        reps.append(r)
+    return reps
+
+
+def make_states(dim, reps):
+    return {
+        r.rid: dim.apply(
+            ThermodynamicState(temperature=300.0 + 2.0 * r.rid),
+            r.window(dim.name),
+        )
+        for r in reps
+    }
+
+
+def dimensions(n):
+    return [
+        TemperatureDimension.geometric(280.0, 400.0, n),
+        UmbrellaDimension(
+            [i * 360.0 / n for i in range(n)],
+            angle="phi", force_constant=0.01,
+        ),
+        UmbrellaDimension(
+            [i * 360.0 / n for i in range(n)],
+            angle="psi", force_constant=0.02,
+        ),
+        PHDimension.linear(4.0, 9.0, n),
+    ]
+
+
+@pytest.mark.parametrize("dim_index", range(4))
+@pytest.mark.parametrize("seed", [0, 7])
+def test_batch_deltas_equal_scalar_deltas_exactly(dim_index, seed):
+    rng = np.random.default_rng(seed)
+    n = 9
+    dim = dimensions(n)[dim_index]
+    reps = make_group(n, dim.name, rng)
+    states = make_states(dim, reps)
+    window_of = {r.rid: r.window(dim.name) for r in reps}
+    pairs = NeighborPairing().pairs(reps, cycle=seed, rng=rng)
+    deltas = dim.batch_exchange_deltas(
+        pairs, window_of=window_of, states=states,
+        cache=GroupEnergyCache(states),
+    )
+    assert deltas is not None and len(deltas) == len(pairs)
+    for k, (a, b) in enumerate(pairs):
+        scalar = dim.exchange_delta(
+            a, b, window_i=window_of[a.rid], window_j=window_of[b.rid],
+            states=states,
+        )
+        assert float(deltas[k]) == scalar  # exact, not approx
+
+
+def test_salt_batch_matches_scalar_with_energy_matrix():
+    rng = np.random.default_rng(3)
+    n = 8
+    dim = SaltDimension([0.1 * i for i in range(n)])
+    reps = make_group(n, dim.name, rng)
+    states = make_states(dim, reps)
+    window_of = {r.rid: r.window(dim.name) for r in reps}
+    energy_matrix = {r.rid: rng.normal(-50.0, 5.0, size=n) for r in reps}
+    pairs = NeighborPairing().pairs(reps, cycle=0, rng=rng)
+    deltas = dim.batch_exchange_deltas(
+        pairs, window_of=window_of, states=states,
+        energy_matrix=energy_matrix, cache=GroupEnergyCache(states),
+    )
+    for k, (a, b) in enumerate(pairs):
+        scalar = dim.exchange_delta(
+            a, b, window_i=window_of[a.rid], window_j=window_of[b.rid],
+            states=states, energy_matrix=energy_matrix,
+        )
+        assert float(deltas[k]) == scalar
+
+
+def test_salt_without_matrix_stays_on_scalar_path():
+    """The internal-evaluator variant opts out of batching."""
+    dim = SaltDimension([0.0, 0.5])
+    rng = np.random.default_rng(0)
+    reps = make_group(2, dim.name, rng)
+    states = make_states(dim, reps)
+    pairs = [(reps[0], reps[1])]
+    assert (
+        dim.batch_exchange_deltas(
+            pairs, window_of={0: 0, 1: 1}, states=states,
+        )
+        is None
+    )
+
+
+def test_incomplete_inputs_fall_back_to_scalar_path():
+    """Missing energies must NOT raise in batch mode.
+
+    The scalar loop raises mid-sweep (after earlier pairs were already
+    counted); an eager batch failure would change that observable order,
+    so the batch gather returns None and lets the scalar path reproduce
+    the original error behaviour.
+    """
+    rng = np.random.default_rng(1)
+    dim = TemperatureDimension.geometric(280.0, 400.0, 4)
+    reps = make_group(4, dim.name, rng)
+    del reps[2].last_energies["potential_energy"]
+    states = make_states(dim, reps)
+    window_of = {r.rid: r.window(dim.name) for r in reps}
+    pairs = [(reps[0], reps[1]), (reps[2], reps[3])]
+    assert (
+        dim.batch_exchange_deltas(
+            pairs, window_of=window_of, states=states,
+        )
+        is None
+    )
+
+    salt = SaltDimension([0.1, 0.2, 0.3, 0.4])
+    matrix = {0: np.zeros(4), 1: np.zeros(4)}  # rids 2, 3 missing
+    assert (
+        salt.batch_exchange_deltas(
+            pairs, window_of=window_of, states=states, energy_matrix=matrix,
+        )
+        is None
+    )
+
+
+def test_selector_disjoint_flags():
+    assert NeighborPairing.disjoint is True
+    assert RandomPairing.disjoint is True
+    assert GibbsPairing.disjoint is False
+
+
+@pytest.mark.parametrize("dim_index", range(4))
+def test_compute_exchange_identical_with_and_without_batching(dim_index):
+    """Full sweep: same proposals, same decisions, same RNG consumption."""
+    n = 12
+    outcomes = []
+    for batched in (True, False):
+        rng = np.random.default_rng(42)
+        group_rng = np.random.default_rng(17)
+        dim = dimensions(n)[dim_index]
+        reps = make_group(n, dim.name, group_rng)
+        states = make_states(dim, reps)
+        if not batched:
+            dim.batch_exchange_deltas = (
+                lambda *a, **kw: None  # force the scalar loop
+            )
+        proposals = compute_exchange(
+            dim, reps, states, NeighborPairing(), cycle=1, rng=rng,
+            cache=GroupEnergyCache(states),
+        )
+        outcomes.append(
+            (
+                [
+                    (p.rid_i, p.rid_j, p.dimension, p.delta, p.accepted)
+                    for p in proposals
+                ],
+                rng.random(),  # same stream position afterwards
+            )
+        )
+    assert outcomes[0] == outcomes[1]

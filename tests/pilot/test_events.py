@@ -138,3 +138,128 @@ class TestCounters:
             q.schedule(1.0, lambda: None)
         q.run(max_events=3)
         assert q.n_fired == 3
+
+
+class TestCancellationAccounting:
+    def test_n_cancelled_tracks_dead_heap_entries(self):
+        q = EventQueue()
+        events = [q.schedule(1.0, lambda: None) for _ in range(5)]
+        events[0].cancel()
+        events[3].cancel()
+        assert q.n_cancelled == 2
+        assert len(q) == 3
+
+    def test_cancel_is_idempotent_in_the_count(self):
+        q = EventQueue()
+        e = q.schedule(1.0, lambda: None)
+        e.cancel()
+        e.cancel()
+        assert q.n_cancelled == 1
+        assert len(q) == 0
+
+    def test_pop_of_dead_event_decrements_count(self):
+        q = EventQueue()
+        e = q.schedule(1.0, lambda: None)
+        q.schedule(2.0, lambda: None)
+        e.cancel()
+        q.run()
+        assert q.n_cancelled == 0
+        assert q.n_fired == 1
+
+    def test_cancel_after_fire_does_not_corrupt_count(self):
+        q = EventQueue()
+        e = q.schedule(1.0, lambda: None)
+        q.run()
+        e.cancel()  # late cancel of an already-popped event
+        assert q.n_cancelled == 0
+        assert len(q) == 0
+
+    def test_compaction_purges_dominating_dead_events(self):
+        q = EventQueue()
+        live = [q.schedule(10.0, lambda: None) for _ in range(10)]
+        dead = [q.schedule(5.0, lambda: None) for _ in range(200)]
+        for e in dead:
+            e.cancel()
+        # compaction ran: dead entries stay below the trigger threshold
+        # instead of accumulating all 200, and the books balance
+        assert len(q) == len(live)
+        assert q.n_cancelled < 64
+        assert len(q._heap) == len(live) + q.n_cancelled
+
+    def test_compaction_preserves_pop_order(self):
+        q = EventQueue()
+        fired = []
+        for i in range(50):
+            q.schedule(float(i % 7), lambda i=i: fired.append(i))
+        doomed = [q.schedule(0.5, lambda: fired.append(-1)) for _ in range(300)]
+        for e in doomed:
+            e.cancel()
+        q.run()
+        assert -1 not in fired
+        by_time = sorted(range(50), key=lambda i: (i % 7, i))
+        assert fired == by_time
+
+    def test_next_event_time_skips_dead_events(self):
+        q = EventQueue()
+        e = q.schedule(1.0, lambda: None)
+        q.schedule(2.0, lambda: None)
+        e.cancel()
+        assert q.next_event_time() == 2.0
+
+    def test_peak_heap_high_water_mark(self):
+        q = EventQueue()
+        for _ in range(7):
+            q.schedule(1.0, lambda: None)
+        q.run()
+        q.schedule(1.0, lambda: None)
+        assert q.peak_heap == 7
+
+
+class TestScheduleMany:
+    def test_matches_sequential_schedule_order(self):
+        """Batched insert fires in exactly the order k single schedules do."""
+        delays = [3.0, 1.0, 2.0, 1.0, 0.0, 2.0, 1.0, 3.0, 0.5, 1.5]
+        fired_a, fired_b = [], []
+        qa = EventQueue()
+        for k, d in enumerate(delays):
+            qa.schedule(d, lambda k=k: fired_a.append(k))
+        qa.run()
+        qb = EventQueue()
+        qb.schedule_many(
+            [(d, lambda k=k: fired_b.append(k)) for k, d in enumerate(delays)]
+        )
+        qb.run()
+        assert fired_a == fired_b
+
+    def test_interleaves_with_single_schedules(self):
+        q = EventQueue()
+        fired = []
+        q.schedule(1.0, lambda: fired.append("single-early"))
+        q.schedule_many(
+            [(1.0, lambda: fired.append("batch-0")),
+             (0.5, lambda: fired.append("batch-1"))]
+        )
+        q.schedule(1.0, lambda: fired.append("single-late"))
+        q.run()
+        assert fired == ["batch-1", "single-early", "batch-0", "single-late"]
+
+    def test_small_batch_uses_push_path(self):
+        q = EventQueue()
+        for _ in range(40):
+            q.schedule(5.0, lambda: None)
+        fired = []
+        q.schedule_many([(1.0, lambda: fired.append("x"))])
+        q.step()
+        assert fired == ["x"]
+
+    def test_negative_delay_rejected(self):
+        q = EventQueue()
+        with pytest.raises(SimulationError):
+            q.schedule_many([(1.0, lambda: None), (-0.1, lambda: None)])
+
+    def test_returns_events_in_input_order(self):
+        q = EventQueue()
+        events = q.schedule_many([(2.0, lambda: None), (1.0, lambda: None)])
+        assert [e.time for e in events] == [2.0, 1.0]
+        events[1].cancel()
+        assert len(q) == 1
