@@ -9,6 +9,10 @@ specified by configuration files"; this module makes that literal:
     $ python -m repro check examples/configs/tremd.json
     $ python -m repro obs summary run.jsonl
     $ python -m repro obs timeline run.jsonl
+    $ python -m repro obs export run.jsonl --format chrome -o run.trace.json
+    $ python -m repro obs critical-path run.jsonl
+    $ python -m repro obs diff before.jsonl after.jsonl
+    $ python -m repro obs validate run.trace.json
     $ python -m repro table1
     $ python -m repro engines
 
@@ -175,11 +179,21 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 
 def _load_manifest(path: str) -> Optional[RunManifest]:
+    """Load a manifest, recovering what a truncated stream left behind.
+
+    A run that died mid-stream leaves a JSONL file cut inside a record;
+    the analysis commands still work on whatever was recovered, with the
+    dropped lines reported on stderr.  Only a manifest with no ``run``
+    header at all (or an unreadable file) is a hard error.
+    """
     try:
-        return RunManifest.load(path)
+        manifest = RunManifest.load(path, recover=True)
     except (OSError, ManifestError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return None
+    for warning in manifest.recovered:
+        print(f"warning: {path}: {warning}", file=sys.stderr)
+    return manifest
 
 
 def cmd_obs_summary(args: argparse.Namespace) -> int:
@@ -209,12 +223,72 @@ def cmd_obs_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs_export(args: argparse.Namespace) -> int:
+    """Render a manifest as a Chrome trace or OpenMetrics text."""
+    from repro.obs.export import chrome_trace, openmetrics
+
+    manifest = _load_manifest(args.manifest)
+    if manifest is None:
+        return 2
+    if args.format == "chrome":
+        text = (
+            json.dumps(chrome_trace(manifest), indent=2, sort_keys=True) + "\n"
+        )
+    else:
+        text = openmetrics(manifest)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"{args.format} export written to {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_obs_critical_path(args: argparse.Namespace) -> int:
+    """Print a manifest's per-cycle critical-path report."""
+    from repro.obs.critical_path import render_report
+
+    manifest = _load_manifest(args.manifest)
+    if manifest is None:
+        return 2
+    print(render_report(manifest, max_segments=args.segments))
+    return 0
+
+
+def cmd_obs_diff(args: argparse.Namespace) -> int:
+    """Compare two manifests (metrics, phases, critical path)."""
+    from repro.obs.diff import diff_manifests, render_diff
+
+    a = _load_manifest(args.a)
+    b = _load_manifest(args.b)
+    if a is None or b is None:
+        return 2
+    print(render_diff(diff_manifests(a, b), only_changed=args.only_changed))
+    return 0
+
+
+def cmd_obs_validate(args: argparse.Namespace) -> int:
+    """Check a Chrome trace JSON file against the schema CI requires."""
+    from repro.obs.export import validate_chrome_trace
+
+    try:
+        doc = json.loads(Path(args.trace).read_text())
+        n_events = validate_chrome_trace(doc)
+    except (OSError, ValueError) as exc:
+        print(f"invalid: {args.trace}: {exc}", file=sys.stderr)
+        return 2
+    print(f"ok: {args.trace}: {n_events} events")
+    return 0
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     """Run the fault-injection scenario matrix and report survival."""
     from repro.core.chaos import render_report, run_matrix
 
-    outcomes = run_matrix(fast=args.fast)
+    outcomes = run_matrix(fast=args.fast, trace_dir=args.trace_dir)
     print(render_report(outcomes))
+    if args.trace_dir:
+        print(f"trace artifacts written to {args.trace_dir}/")
     if args.output:
         Path(args.output).write_text(
             json.dumps([o.to_dict() for o in outcomes], indent=2)
@@ -228,6 +302,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.perf.bench import (
         DEFAULT_THRESHOLD,
         compare_results,
+        export_traces,
         load_results,
         run_suite,
         write_results,
@@ -272,6 +347,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return 0
     write_results(doc, args.output)
     print(f"results written to {args.output}")
+    if args.trace_dir:
+        export_traces(
+            args.scenario or None,
+            fast=args.fast,
+            trace_dir=args.trace_dir,
+            echo=print,
+        )
     return 0
 
 
@@ -345,6 +427,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument(
         "-o", "--output", help="write the JSON report to this path"
     )
+    p_chaos.add_argument(
+        "--trace-dir", metavar="DIR",
+        help="also write per-scenario manifest + Chrome trace artifacts "
+             "into this directory (surviving scenarios only)",
+    )
     p_chaos.set_defaults(func=cmd_chaos)
 
     p_obs = sub.add_parser(
@@ -365,6 +452,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="max events to print (0 = all)",
     )
     p_obs_timeline.set_defaults(func=cmd_obs_timeline)
+    p_obs_export = obs_sub.add_parser(
+        "export",
+        help="render a manifest as Chrome trace JSON or OpenMetrics text",
+    )
+    p_obs_export.add_argument("manifest", help="path to a manifest JSONL")
+    p_obs_export.add_argument(
+        "--format", choices=("chrome", "openmetrics"), default="chrome",
+        help="chrome: Perfetto-loadable trace JSON (default); "
+             "openmetrics: Prometheus-style metric exposition",
+    )
+    p_obs_export.add_argument(
+        "-o", "--output", help="write to this path instead of stdout"
+    )
+    p_obs_export.set_defaults(func=cmd_obs_export)
+    p_obs_cp = obs_sub.add_parser(
+        "critical-path",
+        help="per-cycle critical path and phase decomposition",
+    )
+    p_obs_cp.add_argument("manifest", help="path to a manifest JSONL")
+    p_obs_cp.add_argument(
+        "--segments", type=int, default=6, metavar="N",
+        help="longest segments to list per cycle (default: 6)",
+    )
+    p_obs_cp.set_defaults(func=cmd_obs_critical_path)
+    p_obs_diff = obs_sub.add_parser(
+        "diff", help="compare two manifests (metrics, phases, critical path)"
+    )
+    p_obs_diff.add_argument("a", help="baseline manifest JSONL")
+    p_obs_diff.add_argument("b", help="candidate manifest JSONL")
+    p_obs_diff.add_argument(
+        "--only-changed", action="store_true",
+        help="suppress zero-delta rows",
+    )
+    p_obs_diff.set_defaults(func=cmd_obs_diff)
+    p_obs_val = obs_sub.add_parser(
+        "validate", help="check a Chrome trace JSON against the schema"
+    )
+    p_obs_val.add_argument("trace", help="path to a trace JSON file")
+    p_obs_val.set_defaults(func=cmd_obs_validate)
 
     p_bench = sub.add_parser(
         "bench", help="run the perf scenarios or compare two result files"
@@ -397,6 +523,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--threshold", type=float, default=None, metavar="FRAC",
         help="allowed events/s regression for --compare (default: 0.25)",
     )
+    p_bench.add_argument(
+        "--trace-dir", metavar="DIR",
+        help="after the timed suite, write per-scenario manifest + Chrome "
+             "trace artifacts into this directory (separate instrumented "
+             "runs; not comparable to the timed numbers)",
+    )
     p_bench.set_defaults(func=cmd_bench)
 
     p_check = sub.add_parser("check", help="validate a JSON config")
@@ -416,7 +548,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # `repro obs timeline ... | head` closes stdout early; exit
+        # quietly like any well-behaved filter instead of tracebacking
+        # (the dup2 keeps the interpreter's shutdown flush from raising
+        # a second time).
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.core.config import (
@@ -232,8 +233,16 @@ def builtin_scenarios(fast: bool = False) -> List[ChaosScenario]:
     return scenarios
 
 
-def run_scenario(scenario: ChaosScenario) -> ChaosOutcome:
-    """Run one scenario in an isolated metrics registry."""
+def run_scenario(
+    scenario: ChaosScenario, *, trace_dir: Optional[str] = None
+) -> ChaosOutcome:
+    """Run one scenario in an isolated metrics registry.
+
+    With ``trace_dir`` a surviving scenario also writes its manifest and
+    a Perfetto-loadable Chrome trace there (scenario names are
+    slash-separated, so ``/`` becomes ``_`` in the file names); dead
+    runs have no manifest and write nothing.
+    """
     with using_registry(MetricsRegistry()) as registry:
         try:
             result = RepEx(scenario.config).run()
@@ -245,6 +254,8 @@ def run_scenario(scenario: ChaosScenario) -> ChaosOutcome:
                 error=f"{type(exc).__name__}: {exc}",
                 fault_counters=_fault_counters(registry),
             )
+        if trace_dir is not None and result.manifest is not None:
+            _write_traces(result.manifest, scenario.name, trace_dir)
         return ChaosOutcome(
             name=scenario.name,
             survived=True,
@@ -258,6 +269,18 @@ def run_scenario(scenario: ChaosScenario) -> ChaosOutcome:
         )
 
 
+def _write_traces(manifest, name: str, trace_dir: str) -> None:
+    from repro.obs.export import chrome_trace
+
+    out = Path(trace_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    slug = name.replace("/", "_")
+    manifest.dump(out / f"{slug}.manifest.jsonl")
+    (out / f"{slug}.trace.json").write_text(
+        json.dumps(chrome_trace(manifest), indent=2, sort_keys=True) + "\n"
+    )
+
+
 def _fault_counters(registry: MetricsRegistry) -> Dict[str, float]:
     counters = registry.snapshot()["counters"]
     return {
@@ -267,9 +290,13 @@ def _fault_counters(registry: MetricsRegistry) -> Dict[str, float]:
     }
 
 
-def run_matrix(fast: bool = False) -> List[ChaosOutcome]:
+def run_matrix(
+    fast: bool = False, *, trace_dir: Optional[str] = None
+) -> List[ChaosOutcome]:
     """Run every built-in scenario; never raises on scenario death."""
-    return [run_scenario(s) for s in builtin_scenarios(fast)]
+    return [
+        run_scenario(s, trace_dir=trace_dir) for s in builtin_scenarios(fast)
+    ]
 
 
 def render_report(outcomes: List[ChaosOutcome]) -> str:

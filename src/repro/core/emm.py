@@ -161,8 +161,14 @@ class ExecutionManagerBase:
         cycle: int,
         dimension,
         replicas: Sequence[Replica],
+        span=None,
     ) -> List[SwapProposal]:
-        """Run the full exchange phase for one cycle (SP tasks + exchange)."""
+        """Run the full exchange phase for one cycle (SP tasks + exchange).
+
+        ``span``, when given, is the open ``exchange`` span; it is
+        annotated with the exchange unit's name so the trace analytics
+        can join the phase view with the unit timeline.
+        """
         self._last_exchange_data_time = 0.0
         energy_matrix = None
         if dimension.requires_single_point:
@@ -180,6 +186,8 @@ class ExecutionManagerBase:
         ex_desc = self.amm.exchange_task(
             replicas, dimension, cycle, energy_matrix=energy_matrix
         )
+        if span is not None:
+            span.unit = ex_desc.name
         ex_units = self.session.submit_units(self.pilot, [ex_desc])
         self.session.wait_units(ex_units)
         self._account_exchange(ex_units)
@@ -272,7 +280,7 @@ class SynchronousEMM(ExecutionManagerBase):
                 r for r in self.replicas if r.status is ReplicaStatus.ACTIVE
             ]
             md_span = self.metrics.begin_span(
-                "md", cycle=cycle, n_replicas=len(active)
+                "md", parent=cycle_span, cycle=cycle, n_replicas=len(active)
             )
             unit_of = self._run_md_with_recovery(cycle, active)
             md_end = self.session.now
@@ -299,11 +307,14 @@ class SynchronousEMM(ExecutionManagerBase):
                 ]
                 with self.metrics.span(
                     "exchange",
+                    parent=cycle_span,
                     pattern="synchronous",
                     cycle=cycle,
                     dimension=dimension.name,
-                ):
-                    proposals = self._run_exchange(cycle, dimension, healthy)
+                ) as ex_span:
+                    proposals = self._run_exchange(
+                        cycle, dimension, healthy, span=ex_span
+                    )
                 self._c_sweeps.inc()
                 all_proposals.extend(proposals)
             ex_end = self.session.now
@@ -558,6 +569,7 @@ class AsynchronousEMM(ExecutionManagerBase):
                 )
 
             ex_desc = self.amm.exchange_task(ready, dimension, sweep)
+            sweep_span.unit = ex_desc.name
             units = self.session.submit_units(self.pilot, [ex_desc])
 
             def on_ex_final(u: ComputeUnit, _s) -> None:

@@ -11,11 +11,30 @@ them as first-class data rather than ad-hoc prints:
   EMMs around each cycle/phase,
 * :mod:`repro.obs.manifest` — the :class:`RunManifest` JSONL artifact
   every ``RepEx.run()`` attaches to its result, rendered by
-  ``repro obs summary``.
+  ``repro obs summary``,
+* :mod:`repro.obs.export` — Chrome Trace Event JSON (Perfetto-loadable)
+  and OpenMetrics text renderings of a manifest,
+* :mod:`repro.obs.critical_path` — per-cycle critical-path and Fig.-5
+  phase-decomposition analytics,
+* :mod:`repro.obs.diff` — run-to-run manifest comparison for perf- and
+  chaos-regression triage.
 
 See ``docs/OBSERVABILITY.md`` for the metric-name and span taxonomy.
 """
 
+from repro.obs.critical_path import (
+    CyclePath,
+    Segment,
+    critical_paths,
+    decomposition,
+    render_report,
+)
+from repro.obs.diff import Delta, ManifestDiff, diff_manifests, render_diff
+from repro.obs.export import (
+    chrome_trace,
+    openmetrics,
+    validate_chrome_trace,
+)
 from repro.obs.manifest import (
     ManifestError,
     ManifestStream,
@@ -40,8 +59,11 @@ from repro.obs.spans import Span, SpanRecord
 
 __all__ = [
     "Counter",
+    "CyclePath",
+    "Delta",
     "Gauge",
     "Histogram",
+    "ManifestDiff",
     "ManifestError",
     "ManifestStream",
     "MetricError",
@@ -49,12 +71,21 @@ __all__ = [
     "NullRegistry",
     "RunManifest",
     "SCHEMA_VERSION",
+    "Segment",
     "Span",
     "SpanRecord",
+    "chrome_trace",
     "config_hash",
+    "critical_paths",
+    "decomposition",
+    "diff_manifests",
     "get_registry",
     "null_registry",
+    "openmetrics",
     "phase_totals",
+    "render_diff",
+    "render_report",
     "set_registry",
     "using_registry",
+    "validate_chrome_trace",
 ]

@@ -1,0 +1,382 @@
+"""Trace export: Chrome Trace Event JSON and OpenMetrics text.
+
+The paper's figures are timing decompositions; the fastest way to *see*
+one is to load the run in a trace viewer.  :func:`chrome_trace` renders a
+:class:`~repro.obs.manifest.RunManifest` into the Chrome Trace Event
+Format (the JSON Perfetto and ``chrome://tracing`` load), with
+
+* one lane holding the algorithm's phase spans (``cycle`` > ``md`` /
+  ``exchange`` as nested slices),
+* one lane per replica showing each unit's lifecycle (the whole unit as
+  an outer slice, its pilot states nested inside),
+* one lane per pilot core showing a deterministic rendering of core
+  occupancy over virtual time, and
+* one lane for framework units (exchange calculations) without a replica.
+
+:func:`openmetrics` renders the manifest's final metric snapshot in the
+OpenMetrics/Prometheus text exposition format, so existing dashboards
+and ``promtool`` can consume the numbers.  Both exports are pure
+functions of the manifest: the same manifest always produces the same
+bytes, which is what lets CI diff them.
+
+Virtual-time seconds map to trace microseconds (``ts``/``dur``), the
+unit the Chrome format expects.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.manifest import RunManifest
+
+#: canonical lifecycle order, for stable in-lane ordering of ties and
+#: for rebuilding per-unit state intervals from the sorted timeline
+STATE_ORDER: Tuple[str, ...] = (
+    "NEW",
+    "SCHEDULING",
+    "STAGING_INPUT",
+    "AGENT_EXECUTING_PENDING",
+    "EXECUTING",
+    "STAGING_OUTPUT",
+    "DONE",
+    "FAILED",
+    "CANCELED",
+)
+
+_STATE_RANK = {name: i for i, name in enumerate(STATE_ORDER)}
+
+#: states that terminate a unit's interval chain
+_FINAL = frozenset({"DONE", "FAILED", "CANCELED"})
+
+#: process ids of the fixed lanes
+PID_PHASES = 1
+PID_REPLICAS = 2
+PID_FRAMEWORK = 3
+PID_CORES = 4
+
+
+def _us(t: float) -> int:
+    """Virtual seconds -> integer trace microseconds."""
+    return int(round(t * 1e6))
+
+
+def unit_intervals(manifest: RunManifest) -> Dict[str, List[Tuple[str, float, float]]]:
+    """Rebuild per-unit ``(state, t_start, t_end)`` chains from the timeline.
+
+    The manifest timeline is globally event-ordered with ties broken by
+    name/state string order; within one unit, ties at equal (rounded)
+    timestamps are re-ranked by the canonical lifecycle order so the
+    chain is causal.  A unit's final state closes the chain and does not
+    open an interval of its own.
+    """
+    by_unit: Dict[str, List[Tuple[float, str]]] = {}
+    for t, unit, state in manifest.timeline:
+        by_unit.setdefault(unit, []).append((t, state))
+    intervals: Dict[str, List[Tuple[str, float, float]]] = {}
+    for unit, events in by_unit.items():
+        events.sort(key=lambda e: (e[0], _STATE_RANK.get(e[1], len(STATE_ORDER))))
+        chain = []
+        for i, (t0, state) in enumerate(events):
+            if state in _FINAL or i + 1 >= len(events):
+                continue
+            chain.append((state, t0, events[i + 1][0]))
+        intervals[unit] = chain
+    return intervals
+
+
+def _unit_meta(manifest: RunManifest) -> Dict[str, Dict]:
+    return {u["name"]: u for u in manifest.units}
+
+
+_RID_RE = re.compile(r"_r(\d+)_")
+
+
+def unit_replica(name: str, meta: Optional[Dict]) -> Optional[int]:
+    """The replica id a unit belongs to, if any.
+
+    Prefers the manifest's unit metadata; falls back to the ``_r<id>_``
+    naming convention for pre-v2 manifests.
+    """
+    if meta is not None and meta.get("rid") is not None:
+        return int(meta["rid"])
+    m = _RID_RE.search(name)
+    return int(m.group(1)) if m else None
+
+
+def unit_phase(name: str, meta: Optional[Dict]) -> Optional[str]:
+    """The algorithm phase of a unit (md / exchange / single_point)."""
+    if meta is not None and meta.get("phase") is not None:
+        return meta["phase"]
+    for prefix, phase in (("md", "md"), ("ex", "exchange"), ("sp", "single_point")):
+        if name.startswith(prefix + "_") or name.startswith(prefix + "."):
+            return phase
+    return None
+
+
+def _core_assignment(
+    executions: Iterable[Tuple[str, float, float, int]],
+    n_cores: int,
+) -> List[Tuple[str, float, float, int]]:
+    """Deterministic first-fit rendering of EXECUTING intervals onto cores.
+
+    The manifest does not record which physical cores the scheduler
+    picked, so this synthesizes *a* valid non-overlapping assignment:
+    intervals sorted by (start, name) each take the lowest-numbered
+    cores that are free.  Returns ``(unit, t0, t1, core)`` tuples, one
+    per core occupied.
+    """
+    free_at = [0.0] * n_cores
+    placed: List[Tuple[str, float, float, int]] = []
+    eps = 1e-9
+    for name, t0, t1, cores in sorted(executions, key=lambda e: (e[1], e[0])):
+        grabbed = []
+        for core in range(n_cores):
+            if free_at[core] <= t0 + eps:
+                grabbed.append(core)
+                if len(grabbed) == cores:
+                    break
+        if len(grabbed) < cores:
+            # crashed/quarantined capacity can leave no consistent
+            # rendering; drop the unit rather than draw an overlap
+            continue
+        for core in grabbed:
+            free_at[core] = t1
+            placed.append((name, t0, t1, core))
+    return placed
+
+
+def chrome_trace(manifest: RunManifest) -> Dict:
+    """Render ``manifest`` as a Chrome Trace Event Format document.
+
+    Deterministic: event order, lane numbering and JSON content are pure
+    functions of the manifest.  Load the output in Perfetto
+    (https://ui.perfetto.dev) or ``chrome://tracing``.
+    """
+    events: List[Dict] = []
+
+    def meta_event(pid: int, tid: int, kind: str, label: str) -> Dict:
+        return {
+            "ph": "M",
+            "ts": 0,
+            "pid": pid,
+            "tid": tid,
+            "name": kind,
+            "args": {"name": label},
+        }
+
+    def slice_event(
+        pid: int, tid: int, name: str, t0: float, t1: float, args: Dict
+    ) -> Dict:
+        return {
+            "ph": "X",
+            "ts": _us(t0),
+            "dur": max(0, _us(t1) - _us(t0)),
+            "pid": pid,
+            "tid": tid,
+            "name": name,
+            "args": args,
+        }
+
+    # -- lane 1: algorithm phase spans ---------------------------------------
+    events.append(meta_event(PID_PHASES, 0, "process_name", "algorithm"))
+    events.append(meta_event(PID_PHASES, 1, "thread_name", "phases"))
+    for span in manifest.spans:
+        args: Dict[str, object] = {
+            k: v for k, v in sorted(span.tags.items()) if v is not None
+        }
+        if span.span_id is not None:
+            args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        if span.unit is not None:
+            args["unit"] = span.unit
+        events.append(
+            slice_event(PID_PHASES, 1, span.name, span.t_start, span.t_end, args)
+        )
+
+    # -- lanes 2/3: per-replica and framework unit lifecycles ----------------
+    meta = _unit_meta(manifest)
+    intervals = unit_intervals(manifest)
+    events.append(meta_event(PID_REPLICAS, 0, "process_name", "replicas"))
+    events.append(meta_event(PID_FRAMEWORK, 0, "process_name", "framework units"))
+    events.append(meta_event(PID_FRAMEWORK, 1, "thread_name", "exchange"))
+    replica_tids = set()
+    for unit in sorted(intervals):
+        chain = intervals[unit]
+        if not chain:
+            continue
+        rid = unit_replica(unit, meta.get(unit))
+        if rid is not None:
+            pid, tid = PID_REPLICAS, rid + 1
+            if tid not in replica_tids:
+                replica_tids.add(tid)
+                events.append(
+                    meta_event(pid, tid, "thread_name", f"replica {rid}")
+                )
+        else:
+            pid, tid = PID_FRAMEWORK, 1
+        phase = unit_phase(unit, meta.get(unit))
+        t0, t1 = chain[0][1], chain[-1][2]
+        outer_args: Dict[str, object] = {"unit": unit}
+        if phase is not None:
+            outer_args["phase"] = phase
+        events.append(slice_event(pid, tid, unit, t0, t1, outer_args))
+        for state, s0, s1 in chain:
+            events.append(
+                slice_event(pid, tid, state, s0, s1, {"unit": unit})
+            )
+
+    # -- lane 4: synthesized core occupancy ----------------------------------
+    executions = []
+    for unit, chain in intervals.items():
+        for state, s0, s1 in chain:
+            if state == "EXECUTING":
+                cores = int(meta.get(unit, {}).get("cores") or 1)
+                executions.append((unit, s0, s1, cores))
+    if manifest.pilot_cores > 0 and executions:
+        events.append(meta_event(PID_CORES, 0, "process_name", "cores"))
+        placed = _core_assignment(executions, manifest.pilot_cores)
+        for core in sorted({c for _, _, _, c in placed}):
+            events.append(
+                meta_event(PID_CORES, core + 1, "thread_name", f"core {core}")
+            )
+        for unit, t0, t1, core in sorted(placed, key=lambda p: (p[3], p[1], p[0])):
+            events.append(
+                slice_event(PID_CORES, core + 1, unit, t0, t1, {"unit": unit})
+            )
+
+    # Stable global order: metadata first, then by (ts, pid, tid,
+    # -dur, name) so outer slices precede the slices they contain.
+    events.sort(
+        key=lambda e: (
+            e["ph"] != "M",
+            e["ts"],
+            e["pid"],
+            e["tid"],
+            -e.get("dur", 0),
+            e["name"],
+        )
+    )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "title": manifest.title,
+            "config_hash": manifest.config_hash,
+            "pattern": manifest.pattern,
+            "execution_mode": manifest.execution_mode,
+            "schema_version": manifest.schema_version,
+        },
+    }
+
+
+#: keys every trace event must carry (the CI schema gate checks these)
+REQUIRED_EVENT_KEYS = ("ph", "ts", "pid", "tid", "name")
+
+
+def validate_chrome_trace(doc: Dict) -> int:
+    """Validate a :func:`chrome_trace` document against the schema.
+
+    Checks the shape Perfetto actually requires: a ``traceEvents`` list
+    whose every event carries :data:`REQUIRED_EVENT_KEYS`, numeric
+    non-negative ``ts``, and a non-negative ``dur`` on complete (``X``)
+    events.  Returns the number of events; raises ``ValueError`` with
+    every problem found otherwise.
+    """
+    problems: List[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("document has no 'traceEvents' list")
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        missing = [k for k in REQUIRED_EVENT_KEYS if k not in event]
+        if missing:
+            problems.append(f"event {i}: missing keys {missing}")
+            continue
+        if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
+            problems.append(f"event {i}: bad ts {event['ts']!r}")
+        if event["ph"] == "X" and event.get("dur", 0) < 0:
+            problems.append(f"event {i}: negative dur")
+    if problems:
+        raise ValueError(
+            f"{len(problems)} schema violation(s): " + "; ".join(problems[:10])
+        )
+    return len(events)
+
+
+# -- OpenMetrics --------------------------------------------------------------
+
+_LABELLED_RE = re.compile(r"^(?P<base>[^{]+)\{(?P<labels>.*)\}$")
+_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str) -> Tuple[str, str]:
+    """Split a registry metric name into (exposition name, label string).
+
+    ``exchange.attempted{dim=temperature}`` becomes
+    ``("exchange_attempted", 'dim="temperature"')``.
+    """
+    labels = ""
+    m = _LABELLED_RE.match(name)
+    if m:
+        name = m.group("base")
+        pairs = []
+        for part in m.group("labels").split(","):
+            if "=" in part:
+                key, value = part.split("=", 1)
+                value = value.strip().strip('"')
+                pairs.append(f'{key.strip()}="{value}"')
+        labels = ",".join(pairs)
+    return _SANITIZE_RE.sub("_", name.strip()), labels
+
+
+def _format_value(value: float) -> str:
+    return repr(float(value))
+
+
+def openmetrics(manifest: RunManifest) -> str:
+    """The manifest's metric snapshot in OpenMetrics text exposition.
+
+    Counters become ``<name>_total``, gauges plain samples, histograms
+    summaries (quantiles + ``_count``/``_sum``), each with a ``# TYPE``
+    line; dotted registry names map to underscores and ``{dim=...}``
+    suffixes to proper label sets.  Ends with ``# EOF`` per the spec.
+    """
+    lines: List[str] = []
+    metrics = manifest.metrics or {}
+
+    def sample(name: str, labels: str, value: float, suffix: str = "") -> str:
+        label_part = f"{{{labels}}}" if labels else ""
+        return f"{name}{suffix}{label_part} {_format_value(value)}"
+
+    typed: Dict[str, str] = {}
+
+    def type_line(name: str, kind: str) -> None:
+        if typed.get(name) is None:
+            typed[name] = kind
+            lines.append(f"# TYPE {name} {kind}")
+
+    for raw, value in sorted((metrics.get("counters") or {}).items()):
+        name, labels = _metric_name(raw)
+        type_line(name, "counter")
+        lines.append(sample(name, labels, value, suffix="_total"))
+    for raw, value in sorted((metrics.get("gauges") or {}).items()):
+        name, labels = _metric_name(raw)
+        type_line(name, "gauge")
+        lines.append(sample(name, labels, value))
+    for raw, stats in sorted((metrics.get("histograms") or {}).items()):
+        name, labels = _metric_name(raw)
+        type_line(name, "summary")
+        for q_key, q_label in (("p50", "0.5"), ("p90", "0.9"), ("p99", "0.99")):
+            if q_key in stats:
+                q_labels = f'quantile="{q_label}"'
+                if labels:
+                    q_labels = f"{labels},{q_labels}"
+                lines.append(sample(name, q_labels, stats[q_key]))
+        lines.append(sample(name, labels, stats.get("count", 0), suffix="_count"))
+        lines.append(sample(name, labels, stats.get("total", 0.0), suffix="_sum"))
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"

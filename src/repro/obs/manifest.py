@@ -29,7 +29,11 @@ from repro.pilot.trace import Tracer
 from repro.pilot.unit import UnitState
 
 #: Bump when the JSONL schema changes shape.
-SCHEMA_VERSION = 1
+#: v1: run/metrics/span/event/fault records.
+#: v2: adds per-unit ``unit`` metadata records and optional
+#:     ``span_id``/``parent_id``/``unit`` fields on span records; v1
+#:     manifests still load (the additions are strictly optional).
+SCHEMA_VERSION = 2
 
 #: Unit metadata phases folded into the manifest's ``exchange`` bucket.
 _EXCHANGE_PHASES = frozenset({"exchange", "single_point"})
@@ -109,9 +113,15 @@ class RunManifest:
     #: transients) recorded by the pilot's fault domain; empty when
     #: faults are disabled
     fault_events: List[Dict] = field(default_factory=list)
+    #: per-unit metadata (name/cores/phase/rid/cycle/final_state) from
+    #: :meth:`Tracer.unit_meta`; empty in pre-v2 manifests
+    units: List[Dict] = field(default_factory=list)
     #: True when this manifest was loaded from an unfinalised stream
     #: (the run died before :meth:`ManifestStream.finalize`)
     partial: bool = False
+    #: parse warnings collected by a tolerant load (``recover=True``);
+    #: empty for a clean parse, never serialized
+    recovered: List[str] = field(default_factory=list)
     schema_version: int = SCHEMA_VERSION
 
     # -- construction --------------------------------------------------------
@@ -151,6 +161,7 @@ class RunManifest:
             manifest.phase_totals = phase_totals(tracer)
             manifest.timeline = tracer.timeline()
             manifest.n_units = len(tracer.records)
+            manifest.units = tracer.unit_meta()
         if fault_events:
             manifest.fault_events = list(fault_events)
         return manifest
@@ -201,6 +212,10 @@ class RunManifest:
             record = {"kind": "span"}
             record.update(span.to_dict())
             lines.append(json.dumps(record, sort_keys=True))
+        for unit in self.units:
+            record = {"kind": "unit"}
+            record.update(unit)
+            lines.append(json.dumps(record, sort_keys=True))
         for event in self.fault_events:
             record = {"kind": "fault"}
             record.update(event)
@@ -215,13 +230,24 @@ class RunManifest:
         return "\n".join(lines) + "\n"
 
     @classmethod
-    def from_jsonl(cls, text: str) -> "RunManifest":
-        """Parse :meth:`to_jsonl` output back into a manifest."""
+    def from_jsonl(cls, text: str, *, recover: bool = False) -> "RunManifest":
+        """Parse :meth:`to_jsonl` output back into a manifest.
+
+        With ``recover=True`` a damaged manifest — a streamed file cut
+        mid-record by a kill, or records from a newer schema — does not
+        raise: unparsable or unknown lines are skipped, each skip is
+        noted in :attr:`recovered`, and the result is marked
+        :attr:`partial` so downstream consumers know the view is
+        incomplete.  A manifest with no ``run`` header at all is beyond
+        recovery and still raises :class:`ManifestError`.
+        """
         header: Optional[Dict] = None
         metrics: Dict[str, Dict] = {}
         spans: List[SpanRecord] = []
         timeline: List[List] = []
         fault_events: List[Dict] = []
+        units: List[Dict] = []
+        warnings: List[str] = []
         for lineno, line in enumerate(text.splitlines(), start=1):
             line = line.strip()
             if not line:
@@ -229,6 +255,11 @@ class RunManifest:
             try:
                 record = json.loads(line)
             except json.JSONDecodeError as exc:
+                if recover:
+                    warnings.append(
+                        f"line {lineno}: truncated or invalid JSON dropped"
+                    )
+                    continue
                 raise ManifestError(f"line {lineno}: invalid JSON: {exc}") from None
             kind = record.get("kind")
             if kind == "run":
@@ -245,7 +276,14 @@ class RunManifest:
                 fault_events.append(
                     {k: v for k, v in record.items() if k != "kind"}
                 )
+            elif kind == "unit":
+                units.append({k: v for k, v in record.items() if k != "kind"})
             else:
+                if recover:
+                    warnings.append(
+                        f"line {lineno}: unknown record kind {kind!r} dropped"
+                    )
+                    continue
                 raise ManifestError(
                     f"line {lineno}: unknown record kind {kind!r}"
                 )
@@ -268,7 +306,9 @@ class RunManifest:
             timeline=timeline,
             n_units=header.get("n_units", 0),
             fault_events=fault_events,
-            partial=header.get("partial", False),
+            units=units,
+            partial=header.get("partial", False) or bool(warnings),
+            recovered=warnings,
             schema_version=header.get("schema_version", SCHEMA_VERSION),
         )
 
@@ -279,9 +319,9 @@ class RunManifest:
         return path
 
     @classmethod
-    def load(cls, path) -> "RunManifest":
+    def load(cls, path, *, recover: bool = False) -> "RunManifest":
         """Read a manifest previously written with :meth:`dump`."""
-        return cls.from_jsonl(Path(path).read_text())
+        return cls.from_jsonl(Path(path).read_text(), recover=recover)
 
     # -- rendering -----------------------------------------------------------
 
@@ -312,6 +352,8 @@ class RunManifest:
         )
         if self.fault_events:
             lines.append(f"fault events: {len(self.fault_events)}")
+        for warning in self.recovered:
+            lines.append(f"RECOVERED: {warning}")
         if self.partial:
             lines.append("PARTIAL: the run did not finalize this manifest")
         return lines
@@ -393,6 +435,10 @@ class ManifestStream:
         for span in manifest.spans:
             record = {"kind": "span"}
             record.update(span.to_dict())
+            self._write(record)
+        for unit in manifest.units:
+            record = {"kind": "unit"}
+            record.update(unit)
             self._write(record)
         self._write(
             {

@@ -146,6 +146,15 @@ class Histogram:
 ClockLike = Union[Callable[[], float], object]
 
 
+def _parent_id(parent: Optional[object]) -> Optional[str]:
+    """Resolve a parent given as Span, SpanRecord, or raw id string."""
+    if parent is None:
+        return None
+    if isinstance(parent, str):
+        return parent
+    return getattr(parent, "span_id", None)
+
+
 class MetricsRegistry:
     """Named instruments plus finished spans, with a bound virtual clock.
 
@@ -164,6 +173,10 @@ class MetricsRegistry:
         self.spans: List[SpanRecord] = []
         self._now: Callable[[], float] = lambda: 0.0
         self._clock_bound = False
+        # Monotone per-run span ids ("sp00000", ...): reset() rewinds the
+        # counter, so ids are deterministic for a seeded workload and the
+        # parent/child links survive the manifest round-trip.
+        self._span_seq = 0
 
     # -- clock ---------------------------------------------------------------
 
@@ -212,14 +225,45 @@ class MetricsRegistry:
 
     # -- spans ---------------------------------------------------------------
 
-    def begin_span(self, name: str, **tags) -> Span:
-        """Open a span at the current virtual time; close with ``.end()``."""
-        return Span(name, self._now, self.spans, tags)
+    def begin_span(
+        self,
+        name: str,
+        *,
+        parent: Optional[object] = None,
+        unit: Optional[str] = None,
+        **tags,
+    ) -> Span:
+        """Open a span at the current virtual time; close with ``.end()``.
+
+        ``parent`` may be another :class:`Span`, a
+        :class:`~repro.obs.spans.SpanRecord`, or a span id string; the
+        child records the parent's id so the causal tree can be rebuilt
+        from the manifest.  ``unit`` names the compute unit the span
+        describes (settable later via ``span.unit = ...``).
+        """
+        span_id = f"sp{self._span_seq:05d}"
+        self._span_seq += 1
+        return Span(
+            name,
+            self._now,
+            self.spans,
+            tags,
+            span_id=span_id,
+            parent_id=_parent_id(parent),
+            unit=unit,
+        )
 
     @contextlib.contextmanager
-    def span(self, name: str, **tags) -> Iterator[Span]:
+    def span(
+        self,
+        name: str,
+        *,
+        parent: Optional[object] = None,
+        unit: Optional[str] = None,
+        **tags,
+    ) -> Iterator[Span]:
         """Context-manager form of :meth:`begin_span`."""
-        sp = self.begin_span(name, **tags)
+        sp = self.begin_span(name, parent=parent, unit=unit, **tags)
         try:
             yield sp
         finally:
@@ -238,6 +282,7 @@ class MetricsRegistry:
             for inst in store.values():
                 inst.reset()
         self.spans.clear()
+        self._span_seq = 0
 
     def snapshot(self) -> Dict[str, Dict]:
         """JSON-serializable dump of every instrument's current value."""
@@ -312,7 +357,14 @@ class NullRegistry(MetricsRegistry):
         """A shared no-op instrument."""
         return self._null  # type: ignore[return-value]
 
-    def begin_span(self, name: str, **tags) -> Span:
+    def begin_span(
+        self,
+        name: str,
+        *,
+        parent: Optional[object] = None,
+        unit: Optional[str] = None,
+        **tags,
+    ) -> Span:
         """A span with no sink: start/end never touch the clock."""
         return Span(name, self._now, None, tags)
 

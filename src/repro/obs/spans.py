@@ -21,12 +21,23 @@ from typing import Callable, Dict, List, Optional
 
 @dataclass
 class SpanRecord:
-    """One finished span: a named virtual-time interval with tags."""
+    """One finished span: a named virtual-time interval with tags.
+
+    ``span_id``/``parent_id`` link spans into the causal tree the
+    critical-path analysis walks (a cycle span is the parent of its md
+    and exchange phase spans); ``unit`` names the compute unit a span
+    describes, joining the algorithm view with the pilot-level unit
+    timeline.  All three are optional: PR-1-era manifests predate them
+    and must keep loading, so :meth:`to_dict` omits them when unset.
+    """
 
     name: str
     t_start: float
     t_end: float
     tags: Dict[str, object] = field(default_factory=dict)
+    span_id: Optional[str] = None
+    parent_id: Optional[str] = None
+    unit: Optional[str] = None
 
     @property
     def duration(self) -> float:
@@ -34,22 +45,38 @@ class SpanRecord:
         return max(0.0, self.t_end - self.t_start)
 
     def to_dict(self) -> Dict[str, object]:
-        """JSON-serializable form."""
-        return {
+        """JSON-serializable form (lineage fields omitted when unset)."""
+        data: Dict[str, object] = {
             "name": self.name,
             "t_start": self.t_start,
             "t_end": self.t_end,
             "tags": dict(self.tags),
         }
+        if self.span_id is not None:
+            data["span_id"] = self.span_id
+        if self.parent_id is not None:
+            data["parent_id"] = self.parent_id
+        if self.unit is not None:
+            data["unit"] = self.unit
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "SpanRecord":
-        """Rebuild a record from :meth:`to_dict` output."""
+        """Rebuild a record from :meth:`to_dict` output.
+
+        Tolerates records written before the lineage fields existed.
+        """
+        span_id = data.get("span_id")
+        parent_id = data.get("parent_id")
+        unit = data.get("unit")
         return cls(
             name=str(data["name"]),
             t_start=float(data["t_start"]),
             t_end=float(data["t_end"]),
             tags=dict(data.get("tags", {})),
+            span_id=str(span_id) if span_id is not None else None,
+            parent_id=str(parent_id) if parent_id is not None else None,
+            unit=str(unit) if unit is not None else None,
         )
 
 
@@ -63,7 +90,17 @@ class Span:
     ``with`` form.
     """
 
-    __slots__ = ("name", "tags", "t_start", "_now", "_sink", "_closed")
+    __slots__ = (
+        "name",
+        "tags",
+        "t_start",
+        "span_id",
+        "parent_id",
+        "unit",
+        "_now",
+        "_sink",
+        "_closed",
+    )
 
     def __init__(
         self,
@@ -71,9 +108,17 @@ class Span:
         now: Callable[[], float],
         sink: Optional[List[SpanRecord]],
         tags: Dict[str, object],
+        span_id: Optional[str] = None,
+        parent_id: Optional[str] = None,
+        unit: Optional[str] = None,
     ):
         self.name = name
         self.tags = tags
+        self.span_id = span_id
+        self.parent_id = parent_id
+        #: unit name this span describes; settable after creation (the
+        #: async EMM learns the exchange unit's name only after submit)
+        self.unit = unit
         self._now = now
         self._sink = sink
         self._closed = False
@@ -90,6 +135,9 @@ class Span:
             t_start=self.t_start,
             t_end=self._now(),
             tags=self.tags,
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            unit=self.unit,
         )
         self._sink.append(record)
         return record

@@ -19,7 +19,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.framework import RepEx
-from repro.obs.metrics import NullRegistry, using_registry
+from repro.obs.metrics import MetricsRegistry, NullRegistry, using_registry
 from repro.perf.scenarios import SCENARIOS, scenario_names
 
 #: canonical result file name, written at the repo root
@@ -157,6 +157,50 @@ def run_suite(
                 f"peak heap {record['peak_heap']}"
             )
     return doc
+
+
+def export_traces(
+    names: Optional[Iterable[str]] = None,
+    *,
+    fast: bool = False,
+    trace_dir: str,
+    echo: Optional[object] = None,
+) -> List[Path]:
+    """Re-run scenarios with observability ON and write trace artifacts.
+
+    The timed measurements above run under a null registry, so they have
+    no manifest to export; this does one *separate* instrumented run per
+    scenario (not comparable to the timed numbers) and writes
+    ``<name>.manifest.jsonl`` plus a Perfetto-loadable
+    ``<name>.trace.json`` into ``trace_dir``.  Returns the paths written.
+    """
+    from repro.obs.export import chrome_trace
+
+    selected = list(names) if names else scenario_names()
+    unknown = [n for n in selected if n not in SCENARIOS]
+    if unknown:
+        raise KeyError(
+            f"unknown scenario(s) {unknown}; known: {scenario_names()}"
+        )
+    out = Path(trace_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for name in selected:
+        config = SCENARIOS[name].build(fast)
+        with using_registry(MetricsRegistry()):
+            result = RepEx(config).run()
+        manifest = result.manifest
+        slug = name.replace("/", "_")
+        manifest_path = out / f"{slug}.manifest.jsonl"
+        manifest.dump(manifest_path)
+        trace_path = out / f"{slug}.trace.json"
+        trace_path.write_text(
+            json.dumps(chrome_trace(manifest), indent=2, sort_keys=True) + "\n"
+        )
+        written += [manifest_path, trace_path]
+        if echo is not None:
+            echo(f"{name:<20} traces -> {manifest_path} {trace_path}")
+    return written
 
 
 def write_results(doc: Dict[str, object], path: str) -> None:

@@ -233,10 +233,35 @@ class Tracer:
                             "unit": rec.name,
                             "phase": rec.metadata.get("phase"),
                         },
+                        unit=rec.name,
                     )
                 )
         spans.sort(key=lambda s: (s.t_start, s.tags["unit"], s.name))
         return spans
+
+    def unit_meta(self) -> List[Dict]:
+        """Per-unit metadata in manifest form, sorted by unit name.
+
+        One dict per watched unit with the fields the trace analytics
+        need to attribute timeline intervals: ``name``, ``cores``, the
+        metadata ``phase``/``rid``/``cycle`` tags, and the final state.
+        Unit uids are deliberately excluded — they come from a global
+        counter and would break byte-stable manifests.
+        """
+        metas = []
+        for rec in self.records.values():
+            metas.append(
+                {
+                    "name": rec.name,
+                    "cores": rec.cores,
+                    "phase": rec.metadata.get("phase"),
+                    "rid": rec.metadata.get("rid"),
+                    "cycle": rec.metadata.get("cycle"),
+                    "final_state": rec.final_state,
+                }
+            )
+        metas.sort(key=lambda m: m["name"])
+        return metas
 
     # -- export ---------------------------------------------------------------
 

@@ -88,6 +88,67 @@ class TestInfoCommands:
         assert "namd" in out
 
 
+class TestObsCommands:
+    @pytest.fixture(scope="class")
+    def manifest_file(self, tmp_path_factory):
+        from repro.core import RepEx
+        from tests.conftest import small_tremd_config
+
+        result = RepEx(small_tremd_config()).run()
+        path = tmp_path_factory.mktemp("obs") / "run.jsonl"
+        result.manifest.dump(path)
+        return path
+
+    def test_export_chrome_validates(self, manifest_file, tmp_path, capsys):
+        trace_path = tmp_path / "run.trace.json"
+        assert main(
+            ["obs", "export", str(manifest_file), "-o", str(trace_path)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["obs", "validate", str(trace_path)]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_export_openmetrics_to_stdout(self, manifest_file, capsys):
+        rc = main(
+            ["obs", "export", str(manifest_file), "--format", "openmetrics"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.endswith("# EOF\n")
+        assert "emm_cycles_total" in out
+
+    def test_validate_rejects_non_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        assert main(["obs", "validate", str(bad)]) == 2
+        assert "invalid" in capsys.readouterr().err
+
+    def test_critical_path_report(self, manifest_file, capsys):
+        assert main(["obs", "critical-path", str(manifest_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Critical path per cycle" in out
+        assert "Phase decomposition" in out
+
+    def test_diff_self_is_identical(self, manifest_file, capsys):
+        rc = main(["obs", "diff", str(manifest_file), str(manifest_file)])
+        assert rc == 0
+        assert "observationally identical" in capsys.readouterr().out
+
+    def test_truncated_manifest_degrades_gracefully(
+        self, manifest_file, tmp_path, capsys
+    ):
+        """A streamed manifest cut mid-record still summarizes, warns on
+        stderr, and exits 0."""
+        lines = manifest_file.read_text().splitlines(True)
+        cut = tmp_path / "truncated.jsonl"
+        cut.write_text("".join(lines[:-2]) + lines[-2][: len(lines[-2]) // 2])
+        for command in (["obs", "summary"], ["obs", "timeline", "-n", "5"]):
+            assert main(command + [str(cut)]) == 0
+            captured = capsys.readouterr()
+            assert "truncated or invalid JSON dropped" in captured.err
+            assert captured.out  # recovered content still prints
+
+
 class TestExampleConfigs:
     @pytest.mark.parametrize(
         "name", ["tremd.json", "tsu_mode2.json", "async_namd.json"]

@@ -1,0 +1,68 @@
+"""Tests for run-to-run manifest diffing."""
+
+import pytest
+
+from repro.core import RepEx
+from repro.obs.diff import diff_manifests, render_diff
+from tests.conftest import small_tremd_config
+
+
+@pytest.fixture(scope="module")
+def manifest():
+    return RepEx(small_tremd_config()).run().manifest
+
+
+class TestSelfDiff:
+    def test_all_deltas_zero(self, manifest):
+        """Acceptance criterion: a run diffed against itself is silent."""
+        diff = diff_manifests(manifest, manifest)
+        assert diff.identical
+        assert diff.changed() == []
+        for delta in diff.all_deltas():
+            assert delta.delta == 0.0
+
+    def test_reloaded_manifest_still_zero(self, manifest, tmp_path):
+        """Serialization round-trips must not introduce phantom deltas."""
+        from repro.obs.manifest import RunManifest
+
+        loaded = RunManifest.load(manifest.dump(tmp_path / "run.jsonl"))
+        assert diff_manifests(manifest, loaded).identical
+
+    def test_render_reports_identical(self, manifest):
+        text = render_diff(diff_manifests(manifest, manifest))
+        assert "config: identical" in text
+        assert "observationally identical" in text
+
+
+class TestRealDiff:
+    def test_longer_run_changes_quantities(self, manifest):
+        other = RepEx(small_tremd_config(n_cycles=3)).run().manifest
+        diff = diff_manifests(manifest, other)
+        assert not diff.same_config
+        assert not diff.identical
+        names = {d.name for d in diff.changed()}
+        assert "wallclock_s" in names
+        assert "phase.md" in names
+        assert "emm.cycles" in names
+        assert "critical_path.md" in names
+
+    def test_compares_all_dimensions_of_a_run(self, manifest):
+        diff = diff_manifests(manifest, manifest)
+        names = {d.name for d in diff.all_deltas()}
+        assert "wallclock_s" in names
+        assert "utilization" in names
+        assert "fault_events" in names
+        assert "phase.md" in names
+        assert "acceptance.overall" in names
+        assert "acceptance.temperature" in names  # per-dim labelled counters
+        assert "critical_path.md" in names
+        assert "emm.cycles" in names
+
+    def test_only_changed_suppresses_zero_rows(self, manifest):
+        other = RepEx(small_tremd_config(n_cycles=3)).run().manifest
+        full = render_diff(diff_manifests(manifest, other))
+        short = render_diff(
+            diff_manifests(manifest, other), only_changed=True
+        )
+        assert len(short.splitlines()) < len(full.splitlines())
+        assert "DIFFERENT" in short

@@ -95,7 +95,7 @@ class TestJsonlRoundTrip:
         ]
         assert kinds[0] == "run"
         assert kinds[1] == "metrics"
-        assert set(kinds) == {"run", "metrics", "span", "event"}
+        assert set(kinds) == {"run", "metrics", "span", "event", "unit"}
 
     def test_invalid_json_line_rejected(self):
         with pytest.raises(ManifestError, match="invalid JSON"):
@@ -108,6 +108,54 @@ class TestJsonlRoundTrip:
     def test_missing_header_rejected(self):
         with pytest.raises(ManifestError, match="no 'run' header"):
             RunManifest.from_jsonl('{"kind": "metrics", "data": {}}\n')
+
+
+class TestRecovery:
+    """Tolerant loading of truncated / damaged streamed manifests."""
+
+    def truncated(self, run):
+        """The JSONL cut mid-way through its second-to-last record."""
+        _, result = run
+        lines = result.manifest.to_jsonl().splitlines(True)
+        return "".join(lines[:-2]) + lines[-2][: len(lines[-2]) // 2]
+
+    def test_strict_load_still_raises(self, run):
+        with pytest.raises(ManifestError, match="invalid JSON"):
+            RunManifest.from_jsonl(self.truncated(run))
+
+    def test_recover_salvages_the_prefix(self, run):
+        _, result = run
+        manifest = RunManifest.from_jsonl(self.truncated(run), recover=True)
+        assert manifest.partial
+        assert len(manifest.recovered) == 1
+        assert "truncated or invalid JSON" in manifest.recovered[0]
+        assert manifest.title == result.manifest.title
+        assert manifest.spans == result.manifest.spans
+        # the cut record and everything after it are gone, nothing else
+        assert len(manifest.timeline) == len(result.manifest.timeline) - 2
+
+    def test_recover_skips_unknown_kinds(self, run):
+        _, result = run
+        text = result.manifest.to_jsonl() + '{"kind": "mystery"}\n'
+        manifest = RunManifest.from_jsonl(text, recover=True)
+        assert manifest.partial
+        assert "unknown record kind 'mystery'" in manifest.recovered[0]
+
+    def test_recover_never_saves_a_headerless_file(self):
+        with pytest.raises(ManifestError, match="no 'run' header"):
+            RunManifest.from_jsonl('{"kind": "metrics"}\n', recover=True)
+
+    def test_summary_reports_recovery(self, run):
+        manifest = RunManifest.from_jsonl(self.truncated(run), recover=True)
+        text = "\n".join(manifest.summary_lines())
+        assert "RECOVERED:" in text
+        assert "PARTIAL" in text
+
+    def test_recovered_warnings_never_serialized(self, run):
+        manifest = RunManifest.from_jsonl(self.truncated(run), recover=True)
+        reloaded = RunManifest.from_jsonl(manifest.to_jsonl())
+        assert reloaded.recovered == []
+        assert reloaded.partial  # partiality itself does persist
 
 
 class TestConfigHash:

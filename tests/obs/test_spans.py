@@ -1,8 +1,15 @@
 """Tests for span tracing on the virtual clock."""
 
+from pathlib import Path
+
+from repro.core import RepEx
+from repro.obs.manifest import RunManifest
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.spans import SpanRecord
 from repro.pilot import EventQueue
+from tests.conftest import small_tremd_config
+
+FIXTURES = Path(__file__).resolve().parent.parent / "fixtures"
 
 
 def make_registry(clock):
@@ -64,3 +71,96 @@ class TestSpanRecord:
         )
         assert record.tags == {}
         assert record.duration == 1.0
+
+
+class TestSpanLineage:
+    """The v2 span fields: span_id / parent_id / unit."""
+
+    def test_registry_assigns_deterministic_span_ids(self, clock):
+        registry = make_registry(clock)
+        a = registry.begin_span("cycle")
+        b = registry.begin_span("md", parent=a)
+        assert a.span_id == "sp00000"
+        assert b.span_id == "sp00001"
+        assert b.parent_id == a.span_id
+        registry.reset()
+        assert registry.begin_span("cycle").span_id == "sp00000"
+
+    def test_parent_accepts_span_or_id(self, clock):
+        registry = make_registry(clock)
+        parent = registry.begin_span("cycle")
+        by_span = registry.begin_span("md", parent=parent).end()
+        by_id = registry.begin_span("md", parent=parent.span_id).end()
+        assert by_span.parent_id == by_id.parent_id == parent.span_id
+
+    def test_unit_field_settable_after_creation(self, clock):
+        registry = make_registry(clock)
+        span = registry.begin_span("exchange")
+        span.unit = "ex_temperature_c0000"
+        assert span.end().unit == "ex_temperature_c0000"
+
+    def test_lineage_round_trips(self):
+        record = SpanRecord(
+            "md", 0.0, 1.0, {"cycle": 0},
+            span_id="sp00003", parent_id="sp00001", unit="md_r00000_c0000",
+        )
+        data = record.to_dict()
+        assert data["span_id"] == "sp00003"
+        assert SpanRecord.from_dict(data) == record
+
+    def test_to_dict_omits_absent_lineage(self):
+        """v1 consumers must not see new keys on lineage-free spans."""
+        data = SpanRecord("md", 0.0, 1.0, {}).to_dict()
+        assert set(data) == {"name", "t_start", "t_end", "tags"}
+
+    def test_round_trip_over_golden_run(self):
+        """Every span of a real run survives to_dict/from_dict exactly,
+        and the EMM wires md/exchange spans to their cycle span."""
+        result = RepEx(small_tremd_config()).run()
+        manifest = result.manifest
+        for record in manifest.spans:
+            assert SpanRecord.from_dict(record.to_dict()) == record
+        cycle_ids = {
+            s.tags["cycle"]: s.span_id for s in manifest.spans_named("cycle")
+        }
+        for name in ("md", "exchange"):
+            for span in manifest.spans_named(name):
+                assert span.parent_id == cycle_ids[span.tags["cycle"]]
+        for span in manifest.spans_named("exchange"):
+            assert span.unit and span.unit.startswith("ex_")
+
+
+class TestPR1ManifestCompat:
+    """tests/fixtures/manifest_pr1.jsonl is frozen schema-v1 output
+    (no unit records, no span lineage) and must keep loading."""
+
+    def load(self):
+        return RunManifest.load(FIXTURES / "manifest_pr1.jsonl")
+
+    def test_v1_fixture_loads(self):
+        manifest = self.load()
+        assert manifest.schema_version == 1
+        assert manifest.title == "pr1-era"
+        assert manifest.units == []
+        assert not manifest.partial
+        assert len(manifest.spans) == 3
+        assert all(s.span_id is None for s in manifest.spans)
+        assert len(manifest.timeline) == 18
+
+    def test_v1_fixture_round_trips(self):
+        manifest = self.load()
+        assert RunManifest.from_jsonl(manifest.to_jsonl()) == manifest
+
+    def test_analytics_run_on_v1(self):
+        """The trace analytics fall back to name heuristics when the
+        manifest predates unit metadata."""
+        from repro.obs.critical_path import critical_paths, decomposition
+        from repro.obs.export import chrome_trace, validate_chrome_trace
+
+        manifest = self.load()
+        assert validate_chrome_trace(chrome_trace(manifest)) > 0
+        (path,) = critical_paths(manifest)
+        assert path.duration == 100.0
+        totals = decomposition(manifest)
+        assert totals["md"] == 180.0  # 2 units x 90 s x 1 core
+        assert totals["exchange"] == 1.0

@@ -1,0 +1,58 @@
+"""Property-based tests for the metrics instruments."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import Histogram
+
+samples = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=50,
+)
+
+quantiles = st.floats(min_value=0.0, max_value=1.0)
+
+
+def histogram_with(values):
+    h = Histogram("test")
+    for v in values:
+        h.observe(v)
+    return h
+
+
+def _slack(*values):
+    """Interpolation rounds at the last ulp; allow that much and no more."""
+    return 1e-9 * max(1.0, *(abs(v) for v in values))
+
+
+@given(values=samples, q1=quantiles, q2=quantiles)
+@settings(max_examples=200)
+def test_quantile_monotonic_in_q(values, q1, q2):
+    h = histogram_with(values)
+    lo, hi = sorted((q1, q2))
+    assert h.quantile(lo) <= h.quantile(hi) + _slack(*values)
+
+
+@given(values=samples, q=quantiles)
+@settings(max_examples=200)
+def test_quantile_bounded_by_observed_extremes(values, q):
+    h = histogram_with(values)
+    value = h.quantile(q)
+    assert min(values) - _slack(*values) <= value
+    assert value <= max(values) + _slack(*values)
+
+
+@given(values=samples)
+@settings(max_examples=100)
+def test_quantile_endpoints_are_exact_order_statistics(values):
+    h = histogram_with(values)
+    assert h.quantile(0.0) == min(values)
+    assert h.quantile(1.0) == max(values)
+
+
+@given(value=st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), q=quantiles)
+@settings(max_examples=100)
+def test_quantile_exact_for_single_observation(value, q):
+    h = histogram_with([value])
+    assert h.quantile(q) == value
