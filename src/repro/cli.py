@@ -35,6 +35,7 @@ from repro.core.checkpoint import CheckpointError
 from repro.core.config import ConfigError, SimulationConfig
 from repro.md.engine import available_engines
 from repro.obs.manifest import ManifestError, RunManifest
+from repro.pilot.events import SimulatedCrash
 from repro.utils.tables import render_table
 
 
@@ -59,13 +60,22 @@ def cmd_run(args: argparse.Namespace) -> int:
         f"{config.resource.cores} cores"
     )
     repex_kwargs = {}
+    if args.checkpoint_every or args.checkpoint_every_s:
+        repex_kwargs["checkpoint_dir"] = args.checkpoint_dir or "checkpoints"
     if args.checkpoint_every:
         repex_kwargs["checkpoint_every"] = args.checkpoint_every
-        repex_kwargs["checkpoint_dir"] = args.checkpoint_dir or "checkpoints"
+    if args.checkpoint_every_s:
+        repex_kwargs["checkpoint_every_s"] = args.checkpoint_every_s
+    if args.checkpoint_keep:
+        repex_kwargs["checkpoint_keep"] = args.checkpoint_keep
     if args.resume:
         repex_kwargs["resume_from"] = args.resume
     if args.stop_after_cycle is not None:
         repex_kwargs["stop_after_cycle"] = args.stop_after_cycle
+    if args.stop_after_checkpoint is not None:
+        repex_kwargs["stop_after_checkpoint"] = args.stop_after_checkpoint
+    if args.crash_at_time is not None:
+        repex_kwargs["crash_at_time"] = args.crash_at_time
     if args.stream and args.manifest:
         repex_kwargs["manifest_path"] = args.manifest
     try:
@@ -73,12 +83,24 @@ def cmd_run(args: argparse.Namespace) -> int:
     except CheckpointError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    result = repex.run()
-    if result.interrupted:
-        print(
-            f"stopped after cycle {args.stop_after_cycle} "
-            f"(--stop-after-cycle); resume with --resume"
+    try:
+        result = repex.run()
+    except SimulatedCrash as exc:
+        ckpt_dir = repex.checkpoint_dir
+        hint = (
+            f"resume with --resume {ckpt_dir / 'latest.json'}"
+            if ckpt_dir is not None and (ckpt_dir / "latest.json").exists()
+            else "no checkpoint on disk — nothing to resume from"
         )
+        print(f"crashed: {exc}; {hint}", file=sys.stderr)
+        return 3
+    if result.interrupted:
+        flag = (
+            "--stop-after-cycle"
+            if args.stop_after_cycle is not None
+            else "--stop-after-checkpoint"
+        )
+        print(f"stopped early at a checkpoint ({flag}); resume with --resume")
     if repex.checkpoints and repex.checkpoint_dir is not None:
         print(
             f"{len(repex.checkpoints)} checkpoint(s) written to "
@@ -285,7 +307,9 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     """Run the fault-injection scenario matrix and report survival."""
     from repro.core.chaos import render_report, run_matrix
 
-    outcomes = run_matrix(fast=args.fast, trace_dir=args.trace_dir)
+    outcomes = run_matrix(
+        fast=args.fast, trace_dir=args.trace_dir, resume=not args.no_resume
+    )
     print(render_report(outcomes))
     if args.trace_dir:
         print(f"trace artifacts written to {args.trace_dir}/")
@@ -319,7 +343,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
         threshold = (
             args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
         )
-        lines, regressions = compare_results(old, new, threshold=threshold)
+        lines, regressions = compare_results(
+            old,
+            new,
+            threshold=threshold,
+            attribute_dirs=tuple(args.attribute) if args.attribute else None,
+        )
         for line in lines:
             print(line)
         if regressions:
@@ -403,17 +432,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="snapshot the run every N cycles (synchronous pattern only)",
     )
     p_run.add_argument(
+        "--checkpoint-every-s", type=float, default=0.0, metavar="SECONDS",
+        help="quiesce and snapshot every N virtual seconds "
+             "(asynchronous pattern only)",
+    )
+    p_run.add_argument(
         "--checkpoint-dir", metavar="DIR",
-        help="directory for cycle_NNNN.json + latest.json "
-             "(default: ./checkpoints when --checkpoint-every is set)",
+        help="directory for numbered snapshots + latest.json (default: "
+             "./checkpoints when --checkpoint-every[-s] is set)",
+    )
+    p_run.add_argument(
+        "--checkpoint-keep", type=int, default=0, metavar="N",
+        help="retain only the newest N numbered snapshots "
+             "(write-new-then-delete; 0 keeps all)",
     )
     p_run.add_argument(
         "--resume", metavar="CKPT",
-        help="continue from a checkpoint file written by a previous run",
+        help="continue from a checkpoint file written by a previous run "
+             "(pass the same checkpoint cadence flags to stay "
+             "bit-identical to the uninterrupted run)",
     )
     p_run.add_argument(
         "--stop-after-cycle", type=int, default=None, metavar="N",
-        help="stop cleanly after N completed cycles (for later --resume)",
+        help="stop cleanly after N completed cycles (synchronous; for "
+             "later --resume)",
+    )
+    p_run.add_argument(
+        "--stop-after-checkpoint", type=int, default=None, metavar="N",
+        help="stop cleanly once N quiesce checkpoints exist "
+             "(asynchronous; for later --resume)",
+    )
+    p_run.add_argument(
+        "--crash-at-time", type=float, default=None, metavar="SECONDS",
+        help="inject a hard kill at this virtual time (crash/resume "
+             "testing; exits 3, leaving on-disk checkpoints as the "
+             "recovery points)",
     )
     p_run.set_defaults(func=cmd_run)
 
@@ -431,6 +484,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-dir", metavar="DIR",
         help="also write per-scenario manifest + Chrome trace artifacts "
              "into this directory (surviving scenarios only)",
+    )
+    p_chaos.add_argument(
+        "--no-resume", action="store_true",
+        help="skip the crash/resume verdict column (each surviving "
+             "scenario is otherwise killed mid-run and restarted from "
+             "its newest checkpoint)",
     )
     p_chaos.set_defaults(func=cmd_chaos)
 
@@ -518,6 +577,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--compare", nargs=2, metavar=("OLD", "NEW"),
         help="diff two result files on events/s instead of running",
+    )
+    p_bench.add_argument(
+        "--attribute", nargs=2, metavar=("OLD_DIR", "NEW_DIR"),
+        help="with --compare: trace directories (from --trace-dir) whose "
+             "<scenario>.manifest.jsonl files attribute each regression "
+             "to phase/critical-path shifts",
     )
     p_bench.add_argument(
         "--threshold", type=float, default=None, metavar="FRAC",

@@ -15,6 +15,7 @@ doubles as a CI smoke test.
 from __future__ import annotations
 
 import json
+import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional
@@ -28,6 +29,7 @@ from repro.core.config import (
 )
 from repro.core.framework import RepEx
 from repro.obs.metrics import MetricsRegistry, using_registry
+from repro.pilot.events import SimulatedCrash
 from repro.utils.tables import render_table
 
 #: counters copied into each outcome (plus every ``fault.*`` counter)
@@ -59,11 +61,17 @@ class ChaosOutcome:
     cycles_completed: int = 0
     utilization: float = 0.0
     fault_counters: Dict[str, float] = field(default_factory=dict)
+    #: crash/resume verdict: "ok" when a killed-and-restarted copy of the
+    #: scenario reproduces the reference fingerprint exactly, a
+    #: "FAIL: ..." string when it does not, None when not checked
+    #: (expected-failure scenarios, dead runs, ``--no-resume``)
+    resume: Optional[str] = None
 
     @property
     def ok(self) -> bool:
         """True when the scenario behaved as designed."""
-        return self.survived is not self.expect_failure
+        behaved = self.survived is not self.expect_failure
+        return behaved and (self.resume is None or self.resume == "ok")
 
     def to_dict(self) -> Dict:
         """JSON-friendly form (for ``repro chaos -o``)."""
@@ -79,6 +87,7 @@ class ChaosOutcome:
             "cycles_completed": self.cycles_completed,
             "utilization": self.utilization,
             "fault_counters": self.fault_counters,
+            "resume": self.resume,
         }
 
 
@@ -234,7 +243,10 @@ def builtin_scenarios(fast: bool = False) -> List[ChaosScenario]:
 
 
 def run_scenario(
-    scenario: ChaosScenario, *, trace_dir: Optional[str] = None
+    scenario: ChaosScenario,
+    *,
+    trace_dir: Optional[str] = None,
+    resume_check: bool = True,
 ) -> ChaosOutcome:
     """Run one scenario in an isolated metrics registry.
 
@@ -242,6 +254,11 @@ def run_scenario(
     a Perfetto-loadable Chrome trace there (scenario names are
     slash-separated, so ``/`` becomes ``_`` in the file names); dead
     runs have no manifest and write nothing.
+
+    With ``resume_check`` (the default) every surviving scenario is
+    additionally killed mid-run and restarted from its newest on-disk
+    checkpoint (see :func:`_resume_verdict`); the verdict lands in
+    :attr:`ChaosOutcome.resume` and a mismatch fails the scenario.
     """
     with using_registry(MetricsRegistry()) as registry:
         try:
@@ -256,17 +273,79 @@ def run_scenario(
             )
         if trace_dir is not None and result.manifest is not None:
             _write_traces(result.manifest, scenario.name, trace_dir)
-        return ChaosOutcome(
-            name=scenario.name,
-            survived=True,
-            expect_failure=scenario.expect_failure,
-            n_failures=result.n_failures,
-            n_relaunches=result.n_relaunches,
-            n_retired=result.n_retired,
-            cycles_completed=len(result.cycle_timings),
-            utilization=result.utilization(),
-            fault_counters=_fault_counters(registry),
-        )
+    resume = None
+    if resume_check and not scenario.expect_failure:
+        resume = _resume_verdict(scenario, result)
+    return ChaosOutcome(
+        name=scenario.name,
+        survived=True,
+        expect_failure=scenario.expect_failure,
+        n_failures=result.n_failures,
+        n_relaunches=result.n_relaunches,
+        n_retired=result.n_retired,
+        cycles_completed=len(result.cycle_timings),
+        utilization=result.utilization(),
+        fault_counters=_fault_counters(registry),
+        resume=resume,
+    )
+
+
+def _resume_verdict(scenario: ChaosScenario, baseline) -> str:
+    """Kill the scenario mid-run, restart from disk, compare fingerprints.
+
+    Synchronous scenarios checkpoint at every cycle boundary (which does
+    not perturb the timeline, so the plain ``baseline`` run is the
+    reference) and are crashed mid-cycle at 60% of the baseline span;
+    the resumed run rolls back to the last completed boundary and
+    replays.  Asynchronous scenarios quiesce on a cadence (which *does*
+    perturb the timeline, so a golden run with the same cadence is the
+    reference) and are crashed at 80% of the golden span.  Either way the
+    stitched run must reproduce the reference
+    :meth:`~repro.core.results.SimulationResult.fingerprint` exactly.
+    """
+    is_sync = scenario.config.pattern.kind == "synchronous"
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        if is_sync:
+            reference = baseline
+            kwargs: Dict[str, object] = {"checkpoint_every": 1}
+            crash_at = baseline.t_start + 0.6 * baseline.wallclock
+        else:
+            # quiesce roughly twice over the run; the exact cadence only
+            # needs to put >= 1 checkpoint on disk before the crash
+            kwargs = {"checkpoint_every_s": max(baseline.wallclock / 3, 1e-6)}
+            with using_registry(MetricsRegistry()):
+                reference = RepEx(scenario.config, **kwargs).run()
+            crash_at = reference.t_start + 0.8 * reference.wallclock
+        ckpt_dir = Path(tmp) / "ckpt"
+        with using_registry(MetricsRegistry()):
+            try:
+                RepEx(
+                    scenario.config,
+                    checkpoint_dir=ckpt_dir,
+                    crash_at_time=crash_at,
+                    **kwargs,
+                ).run()
+                return f"FAIL: injected crash at t={crash_at:g}s never fired"
+            except SimulatedCrash:
+                pass
+            except Exception as exc:
+                return f"FAIL: crash run died early: {type(exc).__name__}: {exc}"
+        latest = ckpt_dir / "latest.json"
+        if not latest.exists():
+            return "FAIL: no checkpoint on disk at crash time"
+        with using_registry(MetricsRegistry()):
+            try:
+                resumed = RepEx(
+                    scenario.config,
+                    checkpoint_dir=ckpt_dir,
+                    resume_from=latest,
+                    **kwargs,
+                ).run()
+            except Exception as exc:
+                return f"FAIL: resume died: {type(exc).__name__}: {exc}"
+    if resumed.fingerprint() != reference.fingerprint():
+        return "FAIL: resumed run's fingerprint differs from reference"
+    return "ok"
 
 
 def _write_traces(manifest, name: str, trace_dir: str) -> None:
@@ -291,11 +370,15 @@ def _fault_counters(registry: MetricsRegistry) -> Dict[str, float]:
 
 
 def run_matrix(
-    fast: bool = False, *, trace_dir: Optional[str] = None
+    fast: bool = False,
+    *,
+    trace_dir: Optional[str] = None,
+    resume: bool = True,
 ) -> List[ChaosOutcome]:
     """Run every built-in scenario; never raises on scenario death."""
     return [
-        run_scenario(s, trace_dir=trace_dir) for s in builtin_scenarios(fast)
+        run_scenario(s, trace_dir=trace_dir, resume_check=resume)
+        for s in builtin_scenarios(fast)
     ]
 
 
@@ -312,6 +395,7 @@ def render_report(outcomes: List[ChaosOutcome]) -> str:
                 o.name,
                 "ok" if o.ok else "FAIL",
                 "yes" if o.survived else ("expected" if o.ok else "NO"),
+                o.resume if o.resume is not None else "-",
                 o.cycles_completed,
                 o.n_failures,
                 o.n_relaunches,
@@ -325,6 +409,7 @@ def render_report(outcomes: List[ChaosOutcome]) -> str:
             "scenario",
             "verdict",
             "survived",
+            "resume",
             "cycles",
             "failed",
             "relaunched",

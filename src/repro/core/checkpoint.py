@@ -1,7 +1,7 @@
-"""Cycle-boundary checkpoint/restart for synchronous REMD runs.
+"""Checkpoint/restart for REMD runs: cycle boundaries and quiesce points.
 
-A checkpoint is a versioned JSON snapshot of everything the synchronous
-EMM needs to continue a simulation exactly where it stopped:
+A checkpoint is a versioned JSON snapshot of everything an EMM needs to
+continue a simulation exactly where it stopped:
 
 * full replica state — coordinates, window indices, per-cycle history
   (including sampled trajectories), failure counts;
@@ -9,26 +9,36 @@ EMM needs to continue a simulation exactly where it stopped:
 * core-second accounting (MD + exchange) and failure/relaunch totals;
 * the state of every named RNG stream (AMM registry, failure injector,
   transient staging faults), so the continued run draws the exact random
-  sequences the uninterrupted run would have.
+  sequences the uninterrupted run would have;
+* the observability state (metric values, raw histogram samples, finished
+  spans, the unit trace, recorded fault events), so a resumed run's
+  manifest diffs all-zero against the uninterrupted run's.
 
 Restart rebuilds the stack from the same configuration (enforced via the
 config hash), drives the fresh pilot through activation, replays the
 virtual clock to the checkpoint time, and overwrites the EMM's state —
 after which the resumed run is bit-identical to the uninterrupted one
 (asserted by ``tests/integration/test_resume.py``).  The event-clock
-replay works because a synchronous cycle boundary is a quiet point: no
-units are in flight, so the only pending events (walltime expiry, the
-deterministic fault schedule) regenerate identically from the seed.
+replay works because a checkpoint is taken at a quiet point: no units are
+in flight, so the only pending events (walltime expiry, the deterministic
+fault schedule) regenerate identically from the seed.
 
-Checkpoints are cycle-granular and synchronous-only: the async pattern
-has no global quiet point, which is exactly why the paper recommends it
-for fault *tolerance* (keep going) rather than fault *recovery* (stop
-and restart).
+Two kinds of quiet point exist, one per execution pattern:
+
+* **synchronous** — every cycle boundary is naturally quiet (schema v1
+  checkpoints were exactly these, and still load);
+* **asynchronous** — the EMM *induces* one via the quiesce protocol
+  (:class:`~repro.core.emm.AsynchronousEMM`): stop launching, drain
+  in-flight units, capture, resume.  Schema v2 adds the ``pattern`` tag
+  and the ``async_state`` block (per-replica progress counters, deferred
+  launch queue, exchange-candidate pool, window-timer phase) that the
+  async event loop needs to rebuild itself mid-stream.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
@@ -41,7 +51,22 @@ from repro.core.exchange.base import SwapProposal
 from repro.obs.manifest import config_hash
 
 #: Bump on any incompatible change to the checkpoint layout.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Versions :func:`Checkpoint.from_json` can read.  v1 (cycle-boundary,
+#: synchronous-only, no obs blob) upgrades in memory on load.
+SUPPORTED_VERSIONS = (1, 2)
+
+#: Required keys of the ``async_state`` block of an asynchronous snapshot.
+_ASYNC_STATE_KEYS = (
+    "cycles_done",
+    "md_attempts",
+    "pool",
+    "deferred",
+    "sweep",
+    "rid_next",
+    "n_quiesces",
+)
 
 
 class CheckpointError(RuntimeError):
@@ -128,16 +153,61 @@ def _replica_from_dict(data: Dict) -> Replica:
     return rep
 
 
+def _capture_rng(emm) -> Dict[str, object]:
+    rng_blob: Dict[str, object] = {"amm": emm.amm.rng.state_dict()}
+    failure_model = emm.session.failure_model
+    if failure_model is not None and getattr(failure_model, "rng", None) is not None:
+        rng_blob["failures"] = failure_model.rng.bit_generator.state
+    fault_domain = getattr(emm.session, "fault_domain", None)
+    if fault_domain is not None and fault_domain.staging is not None:
+        rng_blob["staging"] = fault_domain.staging.rng.bit_generator.state
+    return rng_blob
+
+
+def _capture_obs(emm) -> Optional[Dict[str, object]]:
+    """Observability state: metrics, spans, unit trace, fault log.
+
+    None when the registry is disabled (``REPRO_OBS=0``) — restoring then
+    degrades gracefully to EMM-state-only resume.
+    """
+    if not emm.metrics.enabled:
+        return None
+    tracer = emm.session.tracer
+    fault_domain = getattr(emm.session, "fault_domain", None)
+    return {
+        "registry": emm.metrics.state_dict(),
+        "tracer": tracer.state_dict() if tracer is not None else [],
+        "fault_events": (
+            [e.to_dict() for e in fault_domain.events]
+            if fault_domain is not None
+            else []
+        ),
+    }
+
+
+def _capture_accounting(emm) -> Dict[str, float]:
+    return {
+        "md_core_seconds": emm.md_core_seconds,
+        "exchange_core_seconds": emm.exchange_core_seconds,
+        "n_failures": emm.n_failures,
+        "n_relaunches": emm.n_relaunches,
+        "n_retired": emm.n_retired,
+        "n_spawned": emm.n_spawned,
+    }
+
+
 @dataclass
 class Checkpoint:
-    """One cycle-boundary snapshot of a synchronous run."""
+    """One quiet-point snapshot of a run (cycle boundary or quiesce)."""
 
     config_hash: str
     title: str
-    #: first cycle the resumed run executes
+    #: first cycle the resumed run executes (synchronous pattern; for the
+    #: asynchronous pattern this is the least-progressed replica's next
+    #: cycle, informational only)
     next_cycle: int
     t_start: float
-    #: virtual time of the snapshot (the cycle boundary)
+    #: virtual time of the snapshot (the quiet point)
     t_now: float
     replicas: List[Dict] = field(default_factory=list)
     exchange_stats: Dict[str, Dict] = field(default_factory=dict)
@@ -146,6 +216,12 @@ class Checkpoint:
     accounting: Dict[str, float] = field(default_factory=dict)
     rng: Dict[str, object] = field(default_factory=dict)
     staging: Dict[str, object] = field(default_factory=dict)
+    #: which EMM took the snapshot: "synchronous" | "asynchronous"
+    pattern: str = "synchronous"
+    #: async event-loop state (quiesce snapshots only)
+    async_state: Optional[Dict[str, object]] = None
+    #: observability state (metrics/spans/trace/faults); None when obs off
+    obs: Optional[Dict[str, object]] = None
     schema_version: int = SCHEMA_VERSION
 
     # -- capture -------------------------------------------------------------
@@ -160,13 +236,6 @@ class Checkpoint:
         proposals: List[SwapProposal],
     ) -> "Checkpoint":
         """Snapshot ``emm`` at a cycle boundary (``next_cycle`` not yet run)."""
-        rng_blob: Dict[str, object] = {"amm": emm.amm.rng.state_dict()}
-        failure_model = emm.session.failure_model
-        if failure_model is not None and getattr(failure_model, "rng", None) is not None:
-            rng_blob["failures"] = failure_model.rng.bit_generator.state
-        fault_domain = getattr(emm.session, "fault_domain", None)
-        if fault_domain is not None and fault_domain.staging is not None:
-            rng_blob["staging"] = fault_domain.staging.rng.bit_generator.state
         return cls(
             config_hash=config_hash(emm.config),
             title=emm.config.title,
@@ -180,16 +249,57 @@ class Checkpoint:
             },
             timings=[asdict(t) for t in timings],
             proposals=[asdict(p) for p in proposals],
-            accounting={
-                "md_core_seconds": emm.md_core_seconds,
-                "exchange_core_seconds": emm.exchange_core_seconds,
-                "n_failures": emm.n_failures,
-                "n_relaunches": emm.n_relaunches,
-                "n_retired": emm.n_retired,
-                "n_spawned": emm.n_spawned,
-            },
-            rng=rng_blob,
+            accounting=_capture_accounting(emm),
+            rng=_capture_rng(emm),
             staging=emm.session.staging_area.snapshot(),
+            pattern="synchronous",
+            obs=_capture_obs(emm),
+        )
+
+    @classmethod
+    def capture_async(
+        cls,
+        emm,
+        *,
+        t_start: float,
+        timings: List[CycleTiming],
+        proposals: List[SwapProposal],
+        async_state: Dict[str, object],
+    ) -> "Checkpoint":
+        """Snapshot ``emm`` at a quiesce point (async pattern).
+
+        Must be called at the induced quiet point — nothing in flight, no
+        exchange in progress — so the clock replay on restore sees the
+        same pending-event picture the capture did.  ``async_state`` is
+        the event loop's own progress block (see
+        :class:`~repro.core.emm.AsynchronousEMM`).
+        """
+        missing = [k for k in _ASYNC_STATE_KEYS if k not in async_state]
+        if missing:
+            raise CheckpointError(
+                f"async_state is missing keys: {', '.join(missing)}"
+            )
+        cycles_done = async_state["cycles_done"]
+        next_cycle = min(cycles_done.values()) if cycles_done else 0
+        return cls(
+            config_hash=config_hash(emm.config),
+            title=emm.config.title,
+            next_cycle=int(next_cycle),
+            t_start=t_start,
+            t_now=emm.session.now,
+            replicas=[_replica_to_dict(r) for r in emm.replicas],
+            exchange_stats={
+                name: {"attempted": s.attempted, "accepted": s.accepted}
+                for name, s in emm.amm.exchange_stats.items()
+            },
+            timings=[asdict(t) for t in timings],
+            proposals=[asdict(p) for p in proposals],
+            accounting=_capture_accounting(emm),
+            rng=_capture_rng(emm),
+            staging=emm.session.staging_area.snapshot(),
+            pattern="asynchronous",
+            async_state=dict(async_state),
+            obs=_capture_obs(emm),
         )
 
     # -- (de)serialization ---------------------------------------------------
@@ -208,19 +318,93 @@ class Checkpoint:
         if not isinstance(data, dict):
             raise CheckpointError("checkpoint must be a JSON object")
         version = data.get("schema_version")
-        if version != SCHEMA_VERSION:
+        if version not in SUPPORTED_VERSIONS:
             raise CheckpointError(
                 f"checkpoint schema version {version!r} is not supported "
-                f"(this build reads version {SCHEMA_VERSION})"
+                f"(this build reads versions "
+                f"{', '.join(str(v) for v in SUPPORTED_VERSIONS)})"
             )
+        if version == 1:
+            # v1 predates the pattern tag: always a synchronous
+            # cycle-boundary snapshot with no async/obs blocks.
+            data.setdefault("pattern", "synchronous")
+            data.setdefault("async_state", None)
+            data.setdefault("obs", None)
         try:
-            return cls(**data)
+            ckpt = cls(**data)
         except TypeError as exc:
             raise CheckpointError(f"malformed checkpoint: {exc}") from None
+        ckpt.validate()
+        return ckpt
+
+    def validate(self) -> None:
+        """Eagerly parse every block, raising :class:`CheckpointError`.
+
+        Catches truncated or hand-edited snapshots at load time with one
+        clear error instead of a bare ``KeyError``/``TypeError`` deep in
+        restore.
+        """
+        try:
+            if self.pattern not in ("synchronous", "asynchronous"):
+                raise ValueError(f"unknown pattern {self.pattern!r}")
+            for d in self.replicas:
+                _replica_from_dict(d)
+            for d in self.timings:
+                CycleTiming(**d)
+            for d in self.proposals:
+                SwapProposal(**d)
+            for name, counts in self.exchange_stats.items():
+                int(counts["attempted"])
+                int(counts["accepted"])
+            for key in (
+                "md_core_seconds",
+                "exchange_core_seconds",
+                "n_failures",
+                "n_relaunches",
+            ):
+                float(self.accounting[key])
+            if not isinstance(self.rng, dict) or "amm" not in self.rng:
+                raise KeyError("rng['amm']")
+            if not isinstance(self.staging, dict):
+                raise TypeError("staging block must be an object")
+            float(self.t_start)
+            float(self.t_now)
+            if self.pattern == "asynchronous":
+                state = self.async_state
+                if not isinstance(state, dict):
+                    raise TypeError(
+                        "asynchronous checkpoint has no async_state block"
+                    )
+                missing = [k for k in _ASYNC_STATE_KEYS if k not in state]
+                if missing:
+                    raise KeyError(
+                        f"async_state missing {', '.join(missing)}"
+                    )
+                for k, v in state["cycles_done"].items():
+                    int(k), int(v)
+                [int(r) for r in state["pool"]]
+                [int(r) for r in state["deferred"]]
+                int(state["sweep"])
+                int(state["rid_next"])
+                int(state["n_quiesces"])
+        except CheckpointError:
+            raise
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise CheckpointError(
+                f"corrupted checkpoint: {type(exc).__name__}: {exc}"
+            ) from None
 
     def save(self, path) -> None:
-        """Write the checkpoint to ``path``."""
-        Path(path).write_text(self.to_json())
+        """Write the checkpoint to ``path`` atomically.
+
+        The snapshot lands under a temporary name and is moved into place
+        with ``os.replace``, so a kill mid-write can never leave a
+        half-written file where a loadable checkpoint used to be.
+        """
+        path = Path(path)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(self.to_json())
+        os.replace(tmp, path)
 
     @classmethod
     def load(cls, path) -> "Checkpoint":
@@ -232,29 +416,21 @@ class Checkpoint:
         return cls.from_json(text)
 
 
-def restore(
-    emm, ckpt: Checkpoint
-) -> Tuple[int, float, List[CycleTiming], List[SwapProposal]]:
-    """Overwrite ``emm``'s state from ``ckpt``; returns the loop state.
-
-    Must be called after the pilot is ACTIVE and before any cycle runs.
-    Returns ``(start_cycle, t_start, timings, proposals)`` for the EMM's
-    cycle loop.  The virtual clock is replayed to the checkpoint time:
-    events strictly before it fire (re-arming deterministic fault
-    schedules, re-quarantining crashed nodes), events at or after it stay
-    pending, exactly as at the original boundary.
-    """
+def _check_pattern(emm, ckpt: Checkpoint, expected: str) -> None:
+    if ckpt.pattern != expected:
+        raise CheckpointError(
+            f"checkpoint was taken by the {ckpt.pattern} pattern but this "
+            f"run uses the {expected} pattern"
+        )
     if ckpt.config_hash != config_hash(emm.config):
         raise CheckpointError(
             f"checkpoint was taken from a different configuration "
             f"(hash {ckpt.config_hash} != {config_hash(emm.config)})"
         )
-    if ckpt.next_cycle >= emm.config.n_cycles:
-        raise CheckpointError(
-            f"checkpoint is already complete ({ckpt.next_cycle} of "
-            f"{emm.config.n_cycles} cycles)"
-        )
 
+
+def _restore_state(emm, ckpt: Checkpoint) -> None:
+    """Overwrite replicas, stats, accounting, RNG and staging from ``ckpt``."""
     emm.replicas = [_replica_from_dict(d) for d in ckpt.replicas]
     for name, counts in ckpt.exchange_stats.items():
         if name not in emm.amm.exchange_stats:
@@ -271,8 +447,8 @@ def restore(
     emm.exchange_core_seconds = float(acct["exchange_core_seconds"])
     emm.n_failures = int(acct["n_failures"])
     emm.n_relaunches = int(acct["n_relaunches"])
-    emm.n_retired = int(acct["n_retired"])
-    emm.n_spawned = int(acct["n_spawned"])
+    emm.n_retired = int(acct.get("n_retired", 0))
+    emm.n_spawned = int(acct.get("n_spawned", 0))
 
     emm.amm.rng.load_state(ckpt.rng["amm"])
     failure_model = emm.session.failure_model
@@ -288,17 +464,115 @@ def restore(
 
     emm.session.staging_area.restore(ckpt.staging)
 
-    # Replay the clock to the boundary.  Deterministic periodic events
-    # (fault schedule) refire harmlessly against the still-empty scheduler;
-    # anything at exactly t_now stays pending, as at the original boundary.
-    clock = emm.session.clock
+
+def _replay_clock(session, t_now: float) -> None:
+    """Replay the virtual clock to the quiet point.
+
+    Deterministic periodic events (fault schedule) refire harmlessly
+    against the still-empty scheduler; anything at exactly ``t_now``
+    stays pending, as at the original quiet point.
+    """
+    clock = session.clock
     while True:
         upcoming = [t for t, _, e in clock._heap if not e.cancelled]
-        if not upcoming or min(upcoming) >= ckpt.t_now:
+        if not upcoming or min(upcoming) >= t_now:
             break
         clock.step()
-    clock.advance_to(ckpt.t_now)
+    clock.advance_to(t_now)
+
+
+def _restore_obs(emm, obs: Optional[Dict[str, object]]) -> None:
+    """Swap the replayed observability state for the captured one.
+
+    Must run *after* :func:`_replay_clock`: the replay re-increments
+    fault counters and re-records fault events, and overwriting
+    afterwards leaves exactly the history the uninterrupted run had at
+    the quiet point.
+    """
+    if not obs:
+        return
+    if emm.metrics.enabled:
+        emm.metrics.load_state(obs.get("registry", {}))
+    tracer = emm.session.tracer
+    if tracer is not None:
+        tracer.load_state(obs.get("tracer", []))
+    fault_domain = getattr(emm.session, "fault_domain", None)
+    if fault_domain is not None:
+        fault_domain.load_events(obs.get("fault_events", []))
+
+
+def restore(
+    emm, ckpt: Checkpoint
+) -> Tuple[int, float, List[CycleTiming], List[SwapProposal]]:
+    """Overwrite ``emm``'s state from a synchronous ``ckpt``.
+
+    Must be called after the pilot is ACTIVE and before any cycle runs.
+    Returns ``(start_cycle, t_start, timings, proposals)`` for the EMM's
+    cycle loop.  The virtual clock is replayed to the checkpoint time:
+    events strictly before it fire (re-arming deterministic fault
+    schedules, re-quarantining crashed nodes), events at or after it stay
+    pending, exactly as at the original boundary.
+    """
+    _check_pattern(emm, ckpt, "synchronous")
+    if ckpt.next_cycle >= emm.config.n_cycles:
+        raise CheckpointError(
+            f"checkpoint is already complete ({ckpt.next_cycle} of "
+            f"{emm.config.n_cycles} cycles)"
+        )
+
+    _restore_state(emm, ckpt)
+    _replay_clock(emm.session, ckpt.t_now)
+    _restore_obs(emm, ckpt.obs)
 
     timings = [CycleTiming(**d) for d in ckpt.timings]
     proposals = [SwapProposal(**d) for d in ckpt.proposals]
     return ckpt.next_cycle, ckpt.t_start, timings, proposals
+
+
+def restore_async(emm, ckpt: Checkpoint) -> Dict[str, object]:
+    """Overwrite ``emm``'s state from an asynchronous (quiesce) ``ckpt``.
+
+    Returns the event-loop state block the async run loop rebuilds itself
+    from: per-replica progress (``cycles_done``, ``md_attempts``), the
+    exchange-candidate ``pool`` and ``deferred`` launch queue (both in
+    original order, which pins event sequencing), the sweep and rid
+    counters, the pending window-timer fire time, and the accumulated
+    timings/proposals.
+    """
+    _check_pattern(emm, ckpt, "asynchronous")
+    state = ckpt.async_state
+    if not isinstance(state, dict):
+        raise CheckpointError(
+            "asynchronous checkpoint has no async_state block"
+        )
+    cycles_done = {int(k): int(v) for k, v in state["cycles_done"].items()}
+    if cycles_done and all(
+        c >= emm.config.n_cycles for c in cycles_done.values()
+    ):
+        raise CheckpointError(
+            f"checkpoint is already complete (all replicas at "
+            f"{emm.config.n_cycles} cycles)"
+        )
+
+    _restore_state(emm, ckpt)
+    _replay_clock(emm.session, ckpt.t_now)
+    _restore_obs(emm, ckpt.obs)
+
+    window_next_t = state.get("window_next_t")
+    return {
+        "t_start": float(ckpt.t_start),
+        "timings": [CycleTiming(**d) for d in ckpt.timings],
+        "proposals": [SwapProposal(**d) for d in ckpt.proposals],
+        "cycles_done": cycles_done,
+        "md_attempts": {
+            int(k): int(v) for k, v in state["md_attempts"].items()
+        },
+        "pool": [int(r) for r in state["pool"]],
+        "deferred": [int(r) for r in state["deferred"]],
+        "sweep": int(state["sweep"]),
+        "rid_next": int(state["rid_next"]),
+        "n_quiesces": int(state["n_quiesces"]),
+        "window_next_t": (
+            float(window_next_t) if window_next_t is not None else None
+        ),
+    }

@@ -182,6 +182,9 @@ class FailureSpec:
     preempt_after_s: Optional[float] = None
     #: preempted pilots re-enter the batch queue instead of failing
     requeue_on_preempt: bool = True
+    #: warn the run this many seconds before the preemption: the async
+    #: pattern quiesces and checkpoints on the warning (0 = no warning)
+    preempt_warning_s: float = 0.0
     #: chance each staging operation fails transiently; 0 = off
     staging_fault_probability: float = 0.0
     #: staging retries after the first attempt before the unit fails
@@ -225,6 +228,14 @@ class FailureSpec:
         if self.preempt_after_s is not None and self.preempt_after_s <= 0:
             raise ConfigError(
                 f"preempt_after_s must be > 0, got {self.preempt_after_s}"
+            )
+        if self.preempt_warning_s < 0:
+            raise ConfigError(
+                f"preempt_warning_s must be >= 0, got {self.preempt_warning_s}"
+            )
+        if self.preempt_warning_s > 0 and self.preempt_after_s is None:
+            raise ConfigError(
+                "preempt_warning_s requires preempt_after_s to be set"
             )
         if not (0.0 <= self.staging_fault_probability <= 1.0):
             raise ConfigError(

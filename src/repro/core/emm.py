@@ -60,6 +60,15 @@ class ExecutionManagerBase:
         #: stop (with ``result.interrupted``) once this many cycles are
         #: done — the hook the kill+resume integration test uses
         self.stop_after_cycle: Optional[int] = None
+        #: async pattern: quiesce + checkpoint every N virtual seconds
+        #: (0 = never)
+        self.checkpoint_every_s = 0.0
+        #: async pattern: stop (with ``result.interrupted``) once this many
+        #: checkpoints exist (counting any the resumed-from snapshot had)
+        self.stop_after_checkpoint: Optional[int] = None
+        #: async pattern: one-shot quiesce triggers, in seconds after run
+        #: start (e.g. a preemption warning ahead of a scheduled preempt)
+        self.quiesce_rel_times: List[float] = []
         self.n_failures = 0
         self.n_relaunches = 0
         self.n_retired = 0
@@ -78,6 +87,9 @@ class ExecutionManagerBase:
         self._c_failures = self.metrics.counter("emm.failures")
         self._c_relaunches = self.metrics.counter("emm.relaunches")
         self._h_cycle_span = self.metrics.histogram("emm.cycle_seconds")
+        self._c_captured = self.metrics.counter("checkpoint.captured")
+        self._c_quiesces = self.metrics.counter("checkpoint.quiesces")
+        self._h_drain = self.metrics.histogram("checkpoint.drain_seconds")
 
     # -- helpers ---------------------------------------------------------------
 
@@ -355,6 +367,10 @@ class SynchronousEMM(ExecutionManagerBase):
                 and completed % self.checkpoint_every == 0
                 and completed < self.config.n_cycles
             ):
+                # counted before capture so the snapshot's own metric state
+                # already includes this checkpoint (a resumed run's totals
+                # then telescope to the uninterrupted run's)
+                self._c_captured.inc()
                 self.checkpoint_sink(
                     ckpt_mod.Checkpoint.capture(
                         self, completed, t_start, timings, all_proposals
@@ -383,34 +399,95 @@ class AsynchronousEMM(ExecutionManagerBase):
     the utilization gap the paper measures.
     """
 
-    def run(self) -> SimulationResult:
-        """Event-driven main loop."""
+    def run(self, resume=None) -> SimulationResult:
+        """Event-driven main loop.
+
+        With ``resume`` (an asynchronous
+        :class:`~repro.core.checkpoint.Checkpoint` taken at a quiesce
+        point), replica creation is skipped, the event loop's state is
+        rebuilt from the snapshot, and the deferred launches are
+        resubmitted in their captured order — bit-identical to the run
+        that took the snapshot and kept going.
+
+        The **quiesce protocol** provides the induced quiet points: on a
+        trigger (every ``checkpoint_every_s`` virtual seconds, or a
+        one-shot ``quiesce_rel_times`` entry such as a preemption
+        warning) the loop stops launching — new MD submissions and
+        exchange triggers are deferred, pooled replicas wait — drains
+        in-flight units and any running exchange sweep to completion,
+        captures a checkpoint at the resulting quiet point, then releases
+        the deferred launches in order.  Quiescing perturbs the timeline
+        (deferred launches start at the drain time), so bit-identity is
+        defined against an uninterrupted run *with the same checkpoint
+        cadence*, exactly as for any checkpointing system.
+        """
+        from repro.core import checkpoint as ckpt_mod
         from repro.core.adaptive import build_adaptive
 
         self._ensure_pilot_active()
-        self.replicas = self.amm.create_replicas()
+        restored = None
+        if resume is not None:
+            restored = ckpt_mod.restore_async(self, resume)
+            t_start = restored["t_start"]
+        else:
+            self.replicas = self.amm.create_replicas()
+            t_start = self.session.now
         by_rid = {r.rid: r for r in self.replicas}
-        t_start = self.session.now
 
         criterion, spawn_policy = build_adaptive(self.config.adaptive)
         adaptive = self.config.adaptive
         spawn_rng = self.amm.rng.stream("adaptive-spawn")
-        rid_counter = {"next": max(by_rid) + 1 if by_rid else 0}
+        rid_counter = {
+            "next": (
+                restored["rid_next"]
+                if restored is not None
+                else (max(by_rid) + 1 if by_rid else 0)
+            )
+        }
 
-        cycles_done: Dict[int, int] = {r.rid: 0 for r in self.replicas}
+        cycles_done: Dict[int, int] = (
+            dict(restored["cycles_done"])
+            if restored is not None
+            else {r.rid: 0 for r in self.replicas}
+        )
         #: consecutive failed attempts of each replica's current cycle,
         #: so relaunch budgets actually exhaust (reset on success/continue)
-        md_attempts: Dict[int, int] = {}
-        pool: List[int] = []  # rids awaiting exchange
+        md_attempts: Dict[int, int] = (
+            dict(restored["md_attempts"]) if restored is not None else {}
+        )
+        # rids awaiting exchange
+        pool: List[int] = list(restored["pool"]) if restored is not None else []
         inflight: Dict[int, ComputeUnit] = {}
-        all_proposals: List[SwapProposal] = []
-        timings: List[CycleTiming] = []
+        all_proposals: List[SwapProposal] = (
+            list(restored["proposals"]) if restored is not None else []
+        )
+        timings: List[CycleTiming] = (
+            list(restored["timings"]) if restored is not None else []
+        )
         n_cycles = self.config.n_cycles
         fifo_count = self.config.pattern.fifo_count
         window = self.config.pattern.window_seconds
         exchange_busy = {"flag": False}
-        sweep_counter = {"n": 0}
+        sweep_counter = {
+            "n": restored["sweep"] if restored is not None else 0
+        }
         pool_gauge = self.metrics.gauge("emm.pool_depth")
+        #: quiesce-protocol state: when ``active``, launches land in
+        #: ``deferred`` (in order) instead of being submitted
+        quiesce = {
+            "active": False,
+            "t_trigger": 0.0,
+            "deferred": (
+                list(restored["deferred"]) if restored is not None else []
+            ),
+            "n_done": restored["n_quiesces"] if restored is not None else 0,
+            "span": None,
+            "capture_event": None,
+        }
+        interrupted = {"flag": False}
+        #: handle of the pending window-timer event, captured into the
+        #: checkpoint so restore can re-arm the timer in phase
+        window_handle = {"event": None}
 
         # ``all_done`` runs after every event, so it must not rescan the
         # per-replica cycle table (quadratic at 1000 replicas).  All
@@ -437,6 +514,9 @@ class AsynchronousEMM(ExecutionManagerBase):
             )
 
         def submit_md(rep: Replica) -> None:
+            if quiesce["active"]:
+                quiesce["deferred"].append(rep.rid)
+                return
             cycle = cycles_done[rep.rid]
             desc = self.amm.md_task(rep, cycle)
             scheduler = self.pilot.scheduler
@@ -473,7 +553,10 @@ class AsynchronousEMM(ExecutionManagerBase):
             try:
                 _handle_md_final(rep, unit)
             finally:
-                maybe_drain()
+                if quiesce["active"]:
+                    maybe_capture()
+                else:
+                    maybe_drain()
 
         def _handle_md_final(rep: Replica, unit: ComputeUnit) -> None:
             del inflight[rep.rid]
@@ -541,7 +624,7 @@ class AsynchronousEMM(ExecutionManagerBase):
                 trigger_exchange()
 
         def trigger_exchange() -> None:
-            if exchange_busy["flag"] or len(pool) < 2:
+            if quiesce["active"] or exchange_busy["flag"] or len(pool) < 2:
                 return
             ready = [by_rid[rid] for rid in pool]
             pool.clear()
@@ -595,6 +678,11 @@ class AsynchronousEMM(ExecutionManagerBase):
                     for rep in ready:
                         if cycles_done[rep.rid] < n_cycles:
                             submit_md(rep)
+                    if quiesce["active"]:
+                        # the drain was waiting on this sweep; the
+                        # resubmissions above were deferred
+                        maybe_capture()
+                        return
                     # replicas that pooled during this exchange may already
                     # satisfy the FIFO criterion
                     if fifo_count is not None and len(pool) >= fifo_count:
@@ -635,30 +723,171 @@ class AsynchronousEMM(ExecutionManagerBase):
 
         def schedule_window() -> None:
             if all_done():
+                window_handle["event"] = None
                 return
-            self.session.clock.schedule(window, on_window)
+            window_handle["event"] = self.session.clock.schedule(
+                window, on_window
+            )
 
         def on_window() -> None:
-            if fifo_count is None and not exchange_busy["flag"]:
+            if (
+                fifo_count is None
+                and not exchange_busy["flag"]
+                and not quiesce["active"]
+            ):
                 if len(pool) >= 2:
                     trigger_exchange()
                 elif pool and not inflight:
                     flush_pool()
             schedule_window()
 
-        # initial task preparation, charged like the sync pattern's
-        self.session.run_for(
-            self.amm.perf.task_prep_overhead(
-                len(self.replicas), self.amm.schedule.n_dims
-            )
-        )
-        for rep in self.replicas:
-            submit_md(rep)
-        if fifo_count is None:
-            schedule_window()
+        # -- quiesce protocol ------------------------------------------------
 
-        self.session.clock.run_until(all_done)
+        def begin_quiesce() -> None:
+            """Checkpoint trigger: stop launching and start the drain."""
+            if self.checkpoint_sink is None:
+                return
+            if quiesce["active"] or interrupted["flag"] or all_done():
+                return
+            quiesce["active"] = True
+            quiesce["t_trigger"] = self.session.now
+            self._c_quiesces.inc()
+            quiesce["span"] = self.metrics.begin_span(
+                "quiesce",
+                pattern="asynchronous",
+                n_inflight=len(inflight),
+                pool_depth=len(pool),
+            )
+            maybe_capture()
+
+        def maybe_capture() -> None:
+            """Once the drain completes, arm the capture.
+
+            The capture itself is deferred by one zero-delay event: the
+            drain is detected from inside the final unit's completion
+            callback, and sibling callbacks of that same event (scheduler
+            accounting, tracer sinks) still have to run before the
+            snapshot is taken — otherwise the captured obs state would
+            be one unit-completion short of what the uninterrupted run
+            records.  Launches stay blocked until the capture fires.
+            """
+            if (
+                not quiesce["active"]
+                or inflight
+                or exchange_busy["flag"]
+                or quiesce["capture_event"] is not None
+            ):
+                return
+            quiesce["capture_event"] = self.session.clock.schedule(
+                0.0, _do_capture
+            )
+
+        def _do_capture() -> None:
+            quiesce["capture_event"] = None
+            # metrics and the span are finalized *before* the capture so
+            # the snapshot's own obs state already reflects this
+            # checkpoint — a resumed run's totals then telescope to the
+            # uninterrupted run's
+            self._h_drain.observe(self.session.now - quiesce["t_trigger"])
+            if quiesce["span"] is not None:
+                quiesce["span"].end()
+                quiesce["span"] = None
+            quiesce["active"] = False
+            quiesce["n_done"] += 1
+            self._c_captured.inc()
+            window_event = window_handle["event"]
+            window_next_t = (
+                window_event.time
+                if (
+                    fifo_count is None
+                    and window_event is not None
+                    and not window_event.cancelled
+                )
+                else None
+            )
+            self.checkpoint_sink(
+                ckpt_mod.Checkpoint.capture_async(
+                    self,
+                    t_start=t_start,
+                    timings=timings,
+                    proposals=all_proposals,
+                    async_state={
+                        "cycles_done": dict(cycles_done),
+                        "md_attempts": dict(md_attempts),
+                        "pool": list(pool),
+                        "deferred": list(quiesce["deferred"]),
+                        "sweep": sweep_counter["n"],
+                        "rid_next": rid_counter["next"],
+                        "n_quiesces": quiesce["n_done"],
+                        "window_next_t": window_next_t,
+                    },
+                )
+            )
+            if (
+                self.stop_after_checkpoint is not None
+                and quiesce["n_done"] >= self.stop_after_checkpoint
+            ):
+                interrupted["flag"] = True
+                return
+            resume_launching()
+            schedule_quiesce()
+
+        def resume_launching() -> None:
+            """Release deferred launches in captured order and re-check
+            the exchange criterion (same shape as post-exchange resubmit)."""
+            pending, quiesce["deferred"][:] = list(quiesce["deferred"]), []
+            for rid in pending:
+                if cycles_done[rid] < n_cycles:
+                    submit_md(by_rid[rid])
+            if fifo_count is not None and len(pool) >= fifo_count:
+                trigger_exchange()
+            else:
+                maybe_drain()
+
+        def schedule_quiesce() -> None:
+            if self.checkpoint_sink is not None and self.checkpoint_every_s > 0:
+                self.session.clock.schedule(
+                    self.checkpoint_every_s, begin_quiesce
+                )
+
+        if restored is None:
+            # one-shot quiesce triggers (preemption warnings), relative to
+            # run start
+            for rel in sorted(self.quiesce_rel_times):
+                self.session.clock.schedule_at(t_start + rel, begin_quiesce)
+            # initial task preparation, charged like the sync pattern's
+            self.session.run_for(
+                self.amm.perf.task_prep_overhead(
+                    len(self.replicas), self.amm.schedule.n_dims
+                )
+            )
+            for rep in self.replicas:
+                submit_md(rep)
+            if fifo_count is None:
+                schedule_window()
+            schedule_quiesce()
+        else:
+            # re-arm what was pending at the quiet point, in the same
+            # relative event order the capturing run had: window timer
+            # first (its event predates the capture), then the deferred
+            # launches, then the next periodic trigger
+            for rel in sorted(self.quiesce_rel_times):
+                if t_start + rel > self.session.now:
+                    self.session.clock.schedule_at(
+                        t_start + rel, begin_quiesce
+                    )
+            if fifo_count is None and restored["window_next_t"] is not None:
+                window_handle["event"] = self.session.clock.schedule_at(
+                    restored["window_next_t"], on_window
+                )
+            resume_launching()
+            schedule_quiesce()
+
+        self.session.clock.run_until(
+            lambda: all_done() or interrupted["flag"]
+        )
 
         result = self._build_result(timings, t_start)
         result.proposals = all_proposals
+        result.interrupted = interrupted["flag"]
         return result

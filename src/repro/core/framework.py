@@ -57,13 +57,32 @@ class RepEx:
         only; 0 disables).  Checkpoints are collected in
         :attr:`checkpoints` and, when ``checkpoint_dir`` is set, written
         as ``cycle_NNNN.json`` plus an always-current ``latest.json``.
+    checkpoint_every_s:
+        Asynchronous pattern: quiesce (stop launching, drain in-flight
+        units) and snapshot every N virtual seconds (0 disables).  On
+        disk the snapshots are ``quiesce_NNNN.json`` plus
+        ``latest.json``.
+    checkpoint_keep:
+        Retain only the newest N numbered snapshots in
+        ``checkpoint_dir`` (0 keeps all).  Pruning is
+        write-new-then-delete, so at least one loadable checkpoint exists
+        at every instant.
     resume_from:
         A :class:`~repro.core.checkpoint.Checkpoint` (or a path to one)
         to continue from; the resumed run is bit-identical to the
-        uninterrupted one.
+        uninterrupted one (for the async pattern: to the uninterrupted
+        run with the same checkpoint cadence).
     stop_after_cycle:
-        Stop cleanly after this many completed cycles (the tested way to
-        "kill" a run at a checkpoint boundary).
+        Synchronous: stop cleanly after this many completed cycles (the
+        tested way to "kill" a run at a checkpoint boundary).
+    stop_after_checkpoint:
+        Asynchronous: stop cleanly once this many quiesce checkpoints
+        exist (counting any the resumed-from snapshot already had).
+    crash_at_time:
+        Inject a :class:`~repro.pilot.events.SimulatedCrash` at this
+        virtual time — the exception propagates out of :meth:`run` with
+        no cleanup, modelling a hard kill.  Whatever checkpoints are on
+        disk by then are the recovery points.
     manifest_path:
         Stream an incrementally flushed JSONL manifest to this path
         while the run is in flight (see
@@ -80,9 +99,13 @@ class RepEx:
         session: Optional[Session] = None,
         mode: Optional[ExecutionMode] = None,
         checkpoint_every: int = 0,
+        checkpoint_every_s: float = 0.0,
         checkpoint_dir: Optional[Union[str, Path]] = None,
+        checkpoint_keep: int = 0,
         resume_from: Optional[Union[str, Path, Checkpoint]] = None,
         stop_after_cycle: Optional[int] = None,
+        stop_after_checkpoint: Optional[int] = None,
+        crash_at_time: Optional[float] = None,
         manifest_path: Optional[Union[str, Path]] = None,
     ):
         self.config = config
@@ -141,35 +164,75 @@ class RepEx:
             mode=mode or make_mode(config.effective_mode),
         )
 
-        # -- checkpoint/restart (synchronous pattern only) -------------------
+        # -- checkpoint/restart ----------------------------------------------
         if checkpoint_every < 0:
             raise ValueError(
                 f"checkpoint_every must be >= 0, got {checkpoint_every}"
             )
+        if checkpoint_every_s < 0:
+            raise ValueError(
+                f"checkpoint_every_s must be >= 0, got {checkpoint_every_s}"
+            )
+        if checkpoint_keep < 0:
+            raise ValueError(
+                f"checkpoint_keep must be >= 0, got {checkpoint_keep}"
+            )
         if resume_from is not None and not isinstance(resume_from, Checkpoint):
             resume_from = Checkpoint.load(resume_from)
-        wants_checkpointing = (
-            checkpoint_every > 0
-            or resume_from is not None
-            or stop_after_cycle is not None
-        )
-        if wants_checkpointing and not self._is_sync:
-            raise CheckpointError(
-                "checkpoint/restart is cycle-granular and only supported "
-                "by the synchronous pattern (the async pattern has no "
-                "global quiet point)"
-            )
+        if self._is_sync:
+            if checkpoint_every_s > 0 or stop_after_checkpoint is not None:
+                raise CheckpointError(
+                    "checkpoint_every_s / stop_after_checkpoint drive the "
+                    "asynchronous quiesce protocol; the synchronous "
+                    "pattern checkpoints at cycle boundaries "
+                    "(checkpoint_every)"
+                )
+        else:
+            if checkpoint_every > 0 or stop_after_cycle is not None:
+                raise CheckpointError(
+                    "cycle-granular checkpointing (checkpoint_every / "
+                    "stop_after_cycle) is synchronous-only; the "
+                    "asynchronous pattern checkpoints at quiesce points "
+                    "(checkpoint_every_s)"
+                )
+        if resume_from is not None:
+            expected = "synchronous" if self._is_sync else "asynchronous"
+            if resume_from.pattern != expected:
+                raise CheckpointError(
+                    f"checkpoint was taken by the {resume_from.pattern} "
+                    f"pattern but this run uses the {expected} pattern"
+                )
         self.checkpoint_every = int(checkpoint_every)
+        self.checkpoint_every_s = float(checkpoint_every_s)
+        self.checkpoint_keep = int(checkpoint_keep)
         self.checkpoint_dir = (
             Path(checkpoint_dir) if checkpoint_dir is not None else None
         )
         #: every checkpoint taken by the most recent :meth:`run`
         self.checkpoints: List[Checkpoint] = []
         self._resume = resume_from
+        self.crash_at_time = (
+            float(crash_at_time) if crash_at_time is not None else None
+        )
         if self._is_sync:
             self.emm.checkpoint_every = self.checkpoint_every
             self.emm.checkpoint_sink = self._on_checkpoint
             self.emm.stop_after_cycle = stop_after_cycle
+        else:
+            self.emm.checkpoint_every_s = self.checkpoint_every_s
+            self.emm.checkpoint_sink = self._on_checkpoint
+            self.emm.stop_after_checkpoint = stop_after_checkpoint
+            # a preemption warning induces one quiesce ahead of the
+            # scheduled preemption, so a fresh checkpoint exists when the
+            # batch system strikes
+            spec = config.failure
+            if (
+                spec.preempt_after_s is not None
+                and spec.preempt_warning_s > 0
+            ):
+                self.emm.quiesce_rel_times = [
+                    max(0.0, spec.preempt_after_s - spec.preempt_warning_s)
+                ]
 
         self.manifest_path = manifest_path
 
@@ -177,8 +240,35 @@ class RepEx:
         self.checkpoints.append(ckpt)
         if self.checkpoint_dir is not None:
             self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
-            ckpt.save(self.checkpoint_dir / f"cycle_{ckpt.next_cycle:04d}.json")
+            if ckpt.pattern == "asynchronous":
+                n = int(ckpt.async_state["n_quiesces"])
+                name = f"quiesce_{n:04d}.json"
+            else:
+                name = f"cycle_{ckpt.next_cycle:04d}.json"
+            ckpt.save(self.checkpoint_dir / name)
             ckpt.save(self.checkpoint_dir / "latest.json")
+            self._prune_checkpoints()
+
+    def _prune_checkpoints(self) -> None:
+        """Drop numbered snapshots beyond the newest ``checkpoint_keep``.
+
+        Runs *after* the new snapshot (and ``latest.json``) landed —
+        write-new-then-delete — so a kill at any instant leaves at least
+        one loadable checkpoint behind.
+        """
+        if not self.checkpoint_keep or self.checkpoint_dir is None:
+            return
+        numbered = sorted(
+            list(self.checkpoint_dir.glob("cycle_*.json"))
+            + list(self.checkpoint_dir.glob("quiesce_*.json"))
+        )
+        for stale in numbered[: -self.checkpoint_keep]:
+            try:
+                stale.unlink()
+            except OSError:
+                # a failed delete only leaves an extra snapshot behind;
+                # never let pruning take the run down
+                pass
 
     def run(self) -> SimulationResult:
         """Execute the simulation and tear the pilot down.
@@ -195,9 +285,11 @@ class RepEx:
                 self.tracer.add_sink(stream.on_transition)
             if self.fault_domain is not None:
                 self.fault_domain.add_sink(stream.on_fault)
+        if self.crash_at_time is not None:
+            self.session.schedule_crash(self.crash_at_time)
         try:
             # Dispatch on the live EMM instance (tests swap it in place).
-            if isinstance(self.emm, SynchronousEMM):
+            if isinstance(self.emm, (SynchronousEMM, AsynchronousEMM)):
                 result = self.emm.run(resume=self._resume)
             else:
                 result = self.emm.run()

@@ -17,6 +17,7 @@ measured on the virtual clock:
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -93,8 +94,9 @@ class SimulationResult:
     #: adaptive sampling: replicas retired early / spawned as replacements
     n_retired: int = 0
     n_spawned: int = 0
-    #: True when the run stopped early at a checkpoint boundary
-    #: (``stop_after_cycle``) rather than completing every cycle
+    #: True when the run stopped early at a checkpoint
+    #: (``stop_after_cycle`` / ``stop_after_checkpoint``) rather than
+    #: completing every cycle
     interrupted: bool = False
     #: observability artifact attached by :meth:`RepEx.run()
     #: <repro.core.framework.RepEx.run>`; None when the run bypassed the
@@ -158,6 +160,81 @@ class SimulationResult:
         """
         denom = self.pilot_cores * self.wallclock
         return self.md_core_seconds / denom if denom > 0 else 0.0
+
+    def fingerprint(self) -> str:
+        """Exact JSON digest of every observable of the run.
+
+        Two runs with equal fingerprints produced identical physics and
+        identical timelines down to full float precision — this is what
+        the crash/resume equivalence checks (``repro chaos`` resume
+        column, the integration test matrix) compare.  The manifest is
+        deliberately excluded; compare it separately with
+        :func:`repro.obs.diff.diff_manifests`.
+        """
+        return json.dumps(
+            {
+                "t": [self.t_start, self.t_end],
+                "replicas": [
+                    [
+                        rep.rid,
+                        [float(c) for c in rep.coords],
+                        dict(rep.param_indices),
+                        rep.status.value,
+                        rep.cycle,
+                        rep.n_failures,
+                        [
+                            [
+                                h.cycle,
+                                h.dimension,
+                                dict(h.param_indices),
+                                h.potential_energy,
+                                h.restraint_energy,
+                                h.torsional_energy,
+                                h.partner,
+                                h.accepted,
+                                h.failed,
+                            ]
+                            for h in rep.history
+                        ],
+                    ]
+                    for rep in self.replicas
+                ],
+                "stats": {
+                    name: [s.attempted, s.accepted]
+                    for name, s in sorted(self.exchange_stats.items())
+                },
+                "accounting": [
+                    self.md_core_seconds,
+                    self.exchange_core_seconds,
+                    self.n_failures,
+                    self.n_relaunches,
+                    self.n_retired,
+                    self.n_spawned,
+                ],
+                "proposals": [
+                    [p.rid_i, p.rid_j, p.dimension, p.accepted]
+                    for p in self.proposals
+                ],
+                "timings": [
+                    [
+                        t.cycle,
+                        t.dimension,
+                        t.t_md,
+                        t.t_ex,
+                        t.t_data,
+                        t.t_repex,
+                        t.t_rp,
+                        t.span,
+                        t.t_start,
+                        t.t_end,
+                        t.n_replicas,
+                        t.n_failed,
+                    ]
+                    for t in self.cycle_timings
+                ],
+            },
+            sort_keys=True,
+        )
 
     def full_cycle_timings(self, n_dims: int) -> List[List[CycleTiming]]:
         """Group consecutive cycles into full M-REMD cycles of ``n_dims``.

@@ -294,6 +294,51 @@ class MetricsRegistry:
             },
         }
 
+    # -- checkpointing -------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Exact JSON-safe state: instruments, raw samples, spans, seq.
+
+        Unlike :meth:`snapshot` (summary statistics for reporting), this
+        captures everything needed to continue recording mid-run without
+        any observable difference — raw histogram samples in observation
+        order, every finished span, and the span-id counter — so a
+        resumed run's manifest is byte-comparable to an uninterrupted
+        one's.
+        """
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: list(h._samples)
+                for n, h in sorted(self._histograms.items())
+            },
+            "spans": [s.to_dict() for s in self.spans],
+            "span_seq": self._span_seq,
+        }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore :meth:`state_dict` output, mutating instruments in place.
+
+        Cached instrument references held by live components stay valid
+        (the same guarantee :meth:`reset` gives), and the span-id counter
+        continues where the captured run left off.  A no-op on disabled
+        registries.
+        """
+        if not self.enabled:
+            return
+        for name, value in state.get("counters", {}).items():
+            self.counter(name).value = float(value)
+        for name, value in state.get("gauges", {}).items():
+            self.gauge(name).value = float(value)
+        for name, samples in state.get("histograms", {}).items():
+            hist = self.histogram(name)
+            hist._samples[:] = [float(s) for s in samples]
+        self.spans[:] = [
+            SpanRecord.from_dict(d) for d in state.get("spans", [])
+        ]
+        self._span_seq = int(state.get("span_seq", len(self.spans)))
+
 
 class _NullInstrument:
     """Accepts every instrument method and does nothing."""

@@ -218,6 +218,7 @@ def compare_results(
     new: Dict[str, object],
     *,
     threshold: float = DEFAULT_THRESHOLD,
+    attribute_dirs: Optional[Tuple[str, str]] = None,
 ) -> Tuple[List[str], int]:
     """Diff two result documents on events/s.
 
@@ -225,6 +226,12 @@ def compare_results(
     when its new events/s falls below ``(1 - threshold)`` times the old
     one.  Scenarios present on only one side are reported but never fail
     the gate.
+
+    ``attribute_dirs`` is an (old, new) pair of trace directories as
+    written by ``repro bench --trace-dir``; when given, every regressed
+    scenario's report is followed by a phase/critical-path attribution
+    diffed from the two ``<scenario>.manifest.jsonl`` files, so the
+    failure output says *where* the time went, not just that it did.
     """
     lines: List[str] = []
     regressions = 0
@@ -238,14 +245,60 @@ def compare_results(
         n = float(new_scenarios[name]["events_per_s"])
         change = (n - o) / o if o > 0 else 0.0
         verdict = "ok"
-        if o > 0 and n < o * (1.0 - threshold):
+        regressed = o > 0 and n < o * (1.0 - threshold)
+        if regressed:
             verdict = f"REGRESSION (> {threshold:.0%} slower)"
             regressions += 1
         lines.append(
             f"{name:<20} {o:>9.1f} -> {n:>9.1f} ev/s  "
             f"({change:+7.1%})  {verdict}"
         )
+        if regressed and attribute_dirs is not None:
+            lines += _attribute_regression(name, attribute_dirs)
     for name in new_scenarios:
         if name not in old_scenarios:
             lines.append(f"{name:<20} only in new results (skipped)")
     return lines, regressions
+
+
+def _attribute_regression(
+    name: str, attribute_dirs: Tuple[str, str]
+) -> List[str]:
+    """Phase-attribution lines for one regressed scenario.
+
+    Loads ``<scenario>.manifest.jsonl`` from the old and new trace
+    directories and runs :func:`repro.obs.diff.diff_manifests` on the
+    pair, reporting the wallclock, per-phase core-second and
+    critical-path deltas.  All-zero deltas mean the simulated behaviour
+    is unchanged, so the events/s drop is host noise or a hot-path
+    slowdown — also worth saying.  Missing manifests degrade to a hint
+    line rather than failing the compare.
+    """
+    from repro.obs.diff import diff_manifests
+    from repro.obs.manifest import ManifestError, RunManifest
+
+    slug = name.replace("/", "_")
+    manifests = []
+    for trace_dir in attribute_dirs:
+        path = Path(trace_dir) / f"{slug}.manifest.jsonl"
+        try:
+            manifests.append(RunManifest.load(path, recover=True))
+        except (OSError, ManifestError) as exc:
+            return [f"    attribution unavailable: {exc}"]
+    diff = diff_manifests(manifests[0], manifests[1])
+    shifted = [
+        d
+        for d in [diff.wallclock] + diff.phases + diff.critical_path
+        if d.changed
+    ]
+    if not shifted:
+        return [
+            "    attribution: manifests diff all-zero — the simulated "
+            "behaviour is unchanged; the slowdown is in the framework "
+            "hot paths or the measurement host"
+        ]
+    return [
+        f"    {d.name:<32} {d.old:>12.3f} -> {d.new:>12.3f}"
+        + (f"  ({d.pct:+.1%})" if d.pct is not None else "")
+        for d in shifted
+    ]

@@ -25,6 +25,16 @@ class SimulationError(RuntimeError):
     """Raised when the event loop is driven into an invalid state."""
 
 
+class SimulatedCrash(SimulationError):
+    """An injected hard kill of the run at a chosen virtual time.
+
+    Raised out of the event loop (and hence out of ``RepEx.run``) to model
+    the process dying mid-simulation — no cleanup code in the simulated
+    workload gets to run, which is exactly the point: crash/resume tests
+    recover from whatever checkpoints were already on disk.
+    """
+
+
 class Event:
     """A scheduled callback, ordered in the queue by ``(time, seq)``.
 

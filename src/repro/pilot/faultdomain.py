@@ -53,6 +53,12 @@ class FaultEvent:
         out.update(self.detail)
         return out
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultEvent":
+        """Inverse of :meth:`to_dict` (used by checkpoint restore)."""
+        detail = {k: v for k, v in data.items() if k not in ("t", "fault")}
+        return cls(t=float(data["t"]), kind=str(data["fault"]), detail=detail)
+
 
 class TransientFaultModel:
     """Transient staging failures with exponential backoff + jitter.
@@ -240,6 +246,17 @@ class FaultDomainModel:
         for sink in list(self._sinks):
             sink(event)
         return event
+
+    def load_events(self, dicts: List[Dict[str, object]]) -> None:
+        """Replace the recorded history with a checkpointed one.
+
+        Checkpoint restore replays the pre-checkpoint clock, which
+        re-records the faults that fired in the replay window; this
+        swaps that replayed history for the exact captured one (same
+        events, original ``detail`` payloads) so resumed manifests match
+        the uninterrupted run's fault log byte for byte.
+        """
+        self.events[:] = [FaultEvent.from_dict(d) for d in dicts]
 
     # -- scheduling ----------------------------------------------------------
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence
 
-from repro.pilot.events import EventQueue, SimulationError
+from repro.pilot.events import EventQueue, SimulatedCrash, SimulationError
 from repro.pilot.failures import FailureModel
 from repro.pilot.pilot import Pilot, PilotDescription, PilotState
 from repro.pilot.staging import StagingArea
@@ -121,6 +121,24 @@ class Session:
         for unit in pending:
             unit.register_callback(_on_final)
         self.clock.run_until(lambda: remaining[0] == 0)
+
+    def schedule_crash(self, at_time: float):
+        """Arm a :class:`SimulatedCrash` at virtual time ``at_time``.
+
+        The crash is an ordinary clock event whose callback raises, so it
+        propagates out of whatever loop is driving the clock — modelling
+        the process being killed mid-run for crash/resume testing.  Times
+        already in the past fire at the next event-loop step.
+        """
+        self._check_open()
+        t = max(float(at_time), self.clock.now)
+
+        def _crash() -> None:
+            raise SimulatedCrash(
+                f"simulated crash at t={self.clock.now:g}s"
+            )
+
+        return self.clock.schedule_at(t, _crash)
 
     def run_for(self, seconds: float) -> None:
         """Advance the simulation by ``seconds`` of virtual time.

@@ -263,6 +263,53 @@ class Tracer:
         metas.sort(key=lambda m: m["name"])
         return metas
 
+    # -- checkpointing --------------------------------------------------------
+
+    def state_dict(self) -> List[Dict]:
+        """JSON-safe dump of every record, in insertion (creation) order.
+
+        Uids are excluded: they come from a process-global counter and
+        would collide on restore into a fresh process.
+        """
+        return [
+            {
+                "name": rec.name,
+                "cores": rec.cores,
+                "metadata": {
+                    k: v
+                    for k, v in rec.metadata.items()
+                    if isinstance(v, (str, int, float, bool, type(None)))
+                },
+                "transitions": [[s, t] for s, t in rec.transitions],
+            }
+            for rec in self.records.values()
+        ]
+
+    def load_state(self, records: List[Dict]) -> None:
+        """Restore :meth:`state_dict` output under fresh ``ckpt.*`` uids.
+
+        Insertion order is preserved so float-summing analyses
+        (phase totals) accumulate in the same order as the uninterrupted
+        run.  Transitions are replayed through any attached sinks, so a
+        streamed manifest opened before the restore still receives the
+        pre-checkpoint events.
+        """
+        for i, item in enumerate(records):
+            uid = f"ckpt.{i:08d}"
+            rec = TraceRecord(
+                uid=uid,
+                name=str(item["name"]),
+                cores=int(item["cores"]),
+                metadata=dict(item.get("metadata", {})),
+                transitions=[
+                    (str(s), float(t)) for s, t in item["transitions"]
+                ],
+            )
+            self.records[uid] = rec
+            for state, t in rec.transitions:
+                for sink in self._sinks:
+                    sink(rec.name, state, t)
+
     # -- export ---------------------------------------------------------------
 
     def to_json(self) -> str:

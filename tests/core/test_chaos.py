@@ -1,5 +1,7 @@
 """Tests for the chaos harness (scenario matrix + report)."""
 
+import pytest
+
 from repro.core.chaos import (
     ChaosOutcome,
     builtin_scenarios,
@@ -55,6 +57,48 @@ class TestRunMatrix:
         assert outcome.ok
         assert not outcome.survived
         assert outcome.error
+
+
+class TestResumeColumn:
+    @pytest.fixture(scope="class")
+    def fast_outcomes(self):
+        return run_matrix(fast=True)
+
+    def test_every_surviving_scenario_resumes_ok(self, fast_outcomes):
+        for o in fast_outcomes:
+            if o.survived and not o.expect_failure:
+                assert o.resume == "ok", (o.name, o.resume)
+
+    def test_both_patterns_are_covered(self, fast_outcomes):
+        checked = [o.name for o in fast_outcomes if o.resume is not None]
+        assert any("/sync" in name for name in checked)
+        assert any("/async" in name for name in checked)
+
+    def test_expected_failures_are_not_resume_checked(self):
+        scenario = next(
+            s for s in builtin_scenarios(fast=False) if s.expect_failure
+        )
+        outcome = run_scenario(scenario)
+        assert outcome.resume is None
+
+    def test_no_resume_skips_the_check(self):
+        scenario = builtin_scenarios(fast=True)[0]
+        outcome = run_scenario(scenario, resume_check=False)
+        assert outcome.resume is None
+        assert outcome.ok
+
+    def test_resume_failure_fails_the_scenario(self):
+        o = ChaosOutcome(
+            name="x", survived=True, resume="FAIL: fingerprint differs"
+        )
+        assert not o.ok
+        assert ChaosOutcome(name="x", survived=True, resume="ok").ok
+
+    def test_resume_column_rendered_and_serialized(self, fast_outcomes):
+        text = render_report(fast_outcomes)
+        assert "resume" in text
+        by_name = {o.name: o.to_dict() for o in fast_outcomes}
+        assert by_name["node-crash/continue/async"]["resume"] == "ok"
 
 
 class TestReport:

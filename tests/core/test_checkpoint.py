@@ -5,7 +5,12 @@ import json
 import pytest
 
 from repro.core import RepEx
-from repro.core.checkpoint import SCHEMA_VERSION, Checkpoint, CheckpointError
+from repro.core.checkpoint import (
+    SCHEMA_VERSION,
+    SUPPORTED_VERSIONS,
+    Checkpoint,
+    CheckpointError,
+)
 from repro.core.config import PatternSpec
 from tests.conftest import small_tremd_config
 
@@ -14,6 +19,20 @@ def checkpointed_run(tmp_path, **over):
     config = small_tremd_config(n_cycles=4, **over)
     repex = RepEx(
         config, checkpoint_every=2, checkpoint_dir=tmp_path / "ckpts"
+    )
+    result = repex.run()
+    return repex, result
+
+
+def async_checkpointed_run(tmp_path, **kwargs):
+    config = small_tremd_config(
+        n_cycles=4, pattern=PatternSpec(kind="asynchronous")
+    )
+    repex = RepEx(
+        config,
+        checkpoint_every_s=150.0,
+        checkpoint_dir=tmp_path / "ckpts",
+        **kwargs,
     )
     result = repex.run()
     return repex, result
@@ -116,6 +135,10 @@ class TestValidation:
     def test_negative_checkpoint_every_rejected(self):
         with pytest.raises(ValueError, match="checkpoint_every"):
             RepEx(small_tremd_config(), checkpoint_every=-1)
+        with pytest.raises(ValueError, match="checkpoint_every_s"):
+            RepEx(small_tremd_config(), checkpoint_every_s=-1.0)
+        with pytest.raises(ValueError, match="checkpoint_keep"):
+            RepEx(small_tremd_config(), checkpoint_keep=-1)
 
     @pytest.mark.parametrize(
         "kwargs",
@@ -124,7 +147,144 @@ class TestValidation:
             {"stop_after_cycle": 1},
         ],
     )
-    def test_async_pattern_cannot_checkpoint(self, kwargs):
+    def test_async_pattern_rejects_cycle_granular_flags(self, kwargs):
         config = small_tremd_config(pattern=PatternSpec(kind="asynchronous"))
         with pytest.raises(CheckpointError, match="synchronous"):
             RepEx(config, **kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"checkpoint_every_s": 100.0},
+            {"stop_after_checkpoint": 1},
+        ],
+    )
+    def test_sync_pattern_rejects_quiesce_flags(self, kwargs):
+        with pytest.raises(CheckpointError, match="quiesce"):
+            RepEx(small_tremd_config(), **kwargs)
+
+
+class TestAsyncCheckpoint:
+    def test_quiesce_snapshots_written(self, tmp_path):
+        repex, result = async_checkpointed_run(tmp_path)
+        assert len(repex.checkpoints) >= 2
+        ckpt_dir = tmp_path / "ckpts"
+        for i, ckpt in enumerate(repex.checkpoints, start=1):
+            assert ckpt.pattern == "asynchronous"
+            assert ckpt.schema_version == SCHEMA_VERSION
+            assert ckpt.async_state is not None
+            assert (ckpt_dir / f"quiesce_{i:04d}.json").exists()
+        assert (
+            (ckpt_dir / "latest.json").read_text()
+            == (
+                ckpt_dir / f"quiesce_{len(repex.checkpoints):04d}.json"
+            ).read_text()
+        )
+
+    def test_async_state_block_is_consistent(self, tmp_path):
+        repex, _ = async_checkpointed_run(tmp_path)
+        state = repex.checkpoints[0].async_state
+        assert state["n_quiesces"] == 1
+        cycles_done = {int(k): v for k, v in state["cycles_done"].items()}
+        assert set(cycles_done) == {0, 1, 2, 3}
+        # nothing is in flight at the quiet point, so every replica is
+        # parked either in the exchange-candidate pool or the deferred
+        # launch queue (order is part of the snapshot: it pins event
+        # sequencing on resume)
+        parked = set(state["pool"]) | set(state["deferred"])
+        assert parked <= set(cycles_done)
+        assert repex.checkpoints[0].next_cycle == min(cycles_done.values())
+
+    def test_stop_after_checkpoint_interrupts(self, tmp_path):
+        repex, result = async_checkpointed_run(
+            tmp_path, stop_after_checkpoint=1
+        )
+        assert result.interrupted
+        assert len(repex.checkpoints) == 1
+
+    def test_capture_async_requires_full_state_block(self, tmp_path):
+        repex, _ = async_checkpointed_run(tmp_path)
+        ckpt = repex.checkpoints[0]
+        data = json.loads(ckpt.to_json())
+        del data["async_state"]["pool"]
+        with pytest.raises(CheckpointError, match="pool"):
+            Checkpoint.from_json(json.dumps(data))
+
+    def test_pattern_mismatch_rejected_both_ways(self, tmp_path):
+        sync_repex, _ = checkpointed_run(tmp_path / "s")
+        async_repex, _ = async_checkpointed_run(tmp_path / "a")
+        sync_ckpt = sync_repex.checkpoints[0]
+        async_ckpt = async_repex.checkpoints[0]
+        async_cfg = small_tremd_config(
+            n_cycles=4, pattern=PatternSpec(kind="asynchronous")
+        )
+        with pytest.raises(CheckpointError, match="pattern"):
+            RepEx(async_cfg, resume_from=sync_ckpt)
+        with pytest.raises(CheckpointError, match="pattern"):
+            RepEx(small_tremd_config(n_cycles=4), resume_from=async_ckpt)
+
+    def test_obs_blob_captured(self, tmp_path):
+        repex, _ = async_checkpointed_run(tmp_path)
+        obs = repex.checkpoints[0].obs
+        assert obs is not None
+        assert obs["registry"]["counters"]["checkpoint.captured"] == 1.0
+        assert obs["tracer"], "unit trace must be captured"
+
+
+class TestSchemaV1Upgrade:
+    def v1_text(self, tmp_path):
+        """A v2 sync snapshot stripped down to the v1 field set."""
+        repex, _ = checkpointed_run(tmp_path)
+        data = json.loads(repex.checkpoints[0].to_json())
+        data["schema_version"] = 1
+        for field in ("pattern", "async_state", "obs"):
+            del data[field]
+        # v1 accounting predates adaptive-sampling bookkeeping
+        del data["accounting"]["n_retired"]
+        del data["accounting"]["n_spawned"]
+        return json.dumps(data)
+
+    def test_v1_loads_as_synchronous(self, tmp_path):
+        ckpt = Checkpoint.from_json(self.v1_text(tmp_path))
+        assert ckpt.pattern == "synchronous"
+        assert ckpt.async_state is None
+        assert ckpt.obs is None
+
+    def test_v1_resumes(self, tmp_path):
+        baseline = RepEx(small_tremd_config(n_cycles=4)).run()
+        path = tmp_path / "v1.json"
+        path.write_text(self.v1_text(tmp_path))
+        resumed = RepEx(
+            small_tremd_config(n_cycles=4), resume_from=path
+        ).run()
+        # v1 has no obs blob, so only the physics is comparable
+        assert resumed.fingerprint() == baseline.fingerprint()
+
+    def test_supported_versions_documented(self):
+        assert SUPPORTED_VERSIONS == (1, 2)
+        assert SCHEMA_VERSION == 2
+
+
+class TestAtomicSave:
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        repex, _ = checkpointed_run(tmp_path)
+        assert not list((tmp_path / "ckpts").glob("*.tmp"))
+
+    def test_failed_write_preserves_existing_snapshot(
+        self, tmp_path, monkeypatch
+    ):
+        repex, _ = checkpointed_run(tmp_path)
+        target = tmp_path / "ckpts" / "latest.json"
+        before = target.read_text()
+
+        import repro.core.checkpoint as ckpt_mod
+
+        def exploding_replace(src, dst):
+            raise OSError("kill between write and rename")
+
+        monkeypatch.setattr(ckpt_mod.os, "replace", exploding_replace)
+        with pytest.raises(OSError):
+            repex.checkpoints[0].save(target)
+        # the half-written data never reached the real name
+        assert target.read_text() == before
+        Checkpoint.load(target)

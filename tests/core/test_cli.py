@@ -60,6 +60,129 @@ class TestRun:
         assert rc == 2
 
 
+@pytest.fixture
+def async_config_file(tmp_path):
+    cfg = {
+        "title": "cli-async",
+        "resource": {"name": "supermic", "cores": 4},
+        "dimensions": [
+            {
+                "kind": "temperature",
+                "n_windows": 4,
+                "min_value": 273.0,
+                "max_value": 373.0,
+            }
+        ],
+        "pattern": {"kind": "asynchronous"},
+        "n_cycles": 3,
+        "steps_per_cycle": 6000,
+        "numeric_steps": 10,
+        "seed": 1,
+    }
+    path = tmp_path / "async.json"
+    path.write_text(json.dumps(cfg))
+    return path
+
+
+class TestCrashResumeFlags:
+    def test_crash_exits_3_with_resume_hint(
+        self, async_config_file, tmp_path, capsys
+    ):
+        ckpt_dir = tmp_path / "ck"
+        rc = main(
+            [
+                "run", str(async_config_file),
+                "--checkpoint-every-s", "150",
+                "--checkpoint-dir", str(ckpt_dir),
+                "--crash-at-time", "400",
+            ]
+        )
+        assert rc == 3
+        err = capsys.readouterr().err
+        assert "crashed: simulated crash at t=400s" in err
+        assert f"--resume {ckpt_dir / 'latest.json'}" in err
+        assert (ckpt_dir / "quiesce_0001.json").exists()
+
+    def test_crash_without_checkpoint_says_so(
+        self, async_config_file, tmp_path, capsys
+    ):
+        rc = main(
+            [
+                "run", str(async_config_file),
+                "--checkpoint-every-s", "150",
+                "--checkpoint-dir", str(tmp_path / "ck"),
+                "--crash-at-time", "60",
+            ]
+        )
+        assert rc == 3
+        assert "nothing to resume" in capsys.readouterr().err
+
+    def test_crash_then_resume_completes(
+        self, async_config_file, tmp_path, capsys
+    ):
+        ckpt_dir = tmp_path / "ck"
+        flags = [
+            "--checkpoint-every-s", "150",
+            "--checkpoint-dir", str(ckpt_dir),
+        ]
+        assert main(
+            ["run", str(async_config_file)] + flags + [
+                "--crash-at-time", "400",
+            ]
+        ) == 3
+        capsys.readouterr()
+        rc = main(
+            ["run", str(async_config_file)] + flags + [
+                "--resume", str(ckpt_dir / "latest.json"),
+            ]
+        )
+        assert rc == 0
+        assert "average cycle time" in capsys.readouterr().out
+
+    def test_stop_after_checkpoint_prints_resume_hint(
+        self, async_config_file, tmp_path, capsys
+    ):
+        rc = main(
+            [
+                "run", str(async_config_file),
+                "--checkpoint-every-s", "150",
+                "--checkpoint-dir", str(tmp_path / "ck"),
+                "--stop-after-checkpoint", "1",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "--stop-after-checkpoint" in out
+        assert "resume with --resume" in out
+
+    def test_checkpoint_keep_prunes(self, config_file, tmp_path, capsys):
+        # four cycles so pruning actually has snapshots to discard
+        cfg = json.loads(config_file.read_text())
+        cfg["n_cycles"] = 4
+        long_config = tmp_path / "long.json"
+        long_config.write_text(json.dumps(cfg))
+        ckpt_dir = tmp_path / "ck"
+        rc = main(
+            [
+                "run", str(long_config),
+                "--checkpoint-every", "1",
+                "--checkpoint-dir", str(ckpt_dir),
+                "--checkpoint-keep", "1",
+            ]
+        )
+        assert rc == 0
+        numbered = [p.name for p in ckpt_dir.glob("cycle_*.json")]
+        assert numbered == ["cycle_0003.json"]
+        assert (ckpt_dir / "latest.json").exists()
+
+    def test_quiesce_flags_rejected_for_sync(self, config_file, capsys):
+        rc = main(
+            ["run", str(config_file), "--checkpoint-every-s", "100"]
+        )
+        assert rc == 2
+        assert "quiesce" in capsys.readouterr().err
+
+
 class TestCheck:
     def test_valid_config(self, config_file, capsys):
         rc = main(["check", str(config_file)])
@@ -147,6 +270,88 @@ class TestObsCommands:
             captured = capsys.readouterr()
             assert "truncated or invalid JSON dropped" in captured.err
             assert captured.out  # recovered content still prints
+
+
+class TestBenchAttribute:
+    @pytest.fixture
+    def result_pair(self, tmp_path):
+        """Synthetic bench results with one regressing scenario."""
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(
+            json.dumps({"_meta": {"schema": 1},
+                        "tremd_sync": {"events_per_s": 1000.0}})
+        )
+        new.write_text(
+            json.dumps({"_meta": {"schema": 1},
+                        "tremd_sync": {"events_per_s": 400.0}})
+        )
+        return old, new
+
+    def manifest_dirs(self, tmp_path):
+        """Two trace dirs whose manifests differ (2 vs 3 cycles)."""
+        from repro.core import RepEx
+        from tests.conftest import small_tremd_config
+
+        dirs = []
+        for label, n_cycles in (("old", 2), ("new", 3)):
+            d = tmp_path / label
+            d.mkdir()
+            result = RepEx(small_tremd_config(n_cycles=n_cycles)).run()
+            result.manifest.dump(d / "tremd_sync.manifest.jsonl")
+            dirs.append(d)
+        return dirs
+
+    def test_regression_gets_phase_attribution(
+        self, result_pair, tmp_path, capsys
+    ):
+        old, new = result_pair
+        old_dir, new_dir = self.manifest_dirs(tmp_path)
+        rc = main(
+            ["bench", "--compare", str(old), str(new),
+             "--attribute", str(old_dir), str(new_dir)]
+        )
+        assert rc == 1  # the regression still fails the gate
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "phase.md" in out
+        assert "wallclock_s" in out
+
+    def test_missing_manifest_degrades_to_hint(
+        self, result_pair, tmp_path, capsys
+    ):
+        old, new = result_pair
+        rc = main(
+            ["bench", "--compare", str(old), str(new),
+             "--attribute", str(tmp_path / "a"), str(tmp_path / "b")]
+        )
+        assert rc == 1
+        assert "attribution unavailable" in capsys.readouterr().out
+
+    def test_no_attribution_without_flag(self, result_pair, capsys):
+        old, new = result_pair
+        rc = main(["bench", "--compare", str(old), str(new)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "phase.md" not in out
+
+
+class TestChaosResumeFlag:
+    def test_no_resume_skips_the_column(self, capsys):
+        rc = main(["chaos", "--fast", "--no-resume"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "resume" in out  # the column renders...
+        assert "Chaos matrix" in out
+
+    def test_resume_verdicts_in_json_report(self, tmp_path, capsys):
+        report = tmp_path / "chaos.json"
+        rc = main(["chaos", "--fast", "-o", str(report)])
+        assert rc == 0
+        doc = json.loads(report.read_text())
+        verdicts = {o["name"]: o["resume"] for o in doc}
+        assert all(v == "ok" for v in verdicts.values()), verdicts
 
 
 class TestExampleConfigs:
