@@ -1,0 +1,78 @@
+"""Deterministic parameter-grid expansion for campaign sessions.
+
+A tenant sweeps ``grid`` — dotted config paths to value lists — over a
+``base`` :class:`~repro.core.config.SimulationConfig` dict.  Expansion is
+a Cartesian product taken in sorted key order with values in list order,
+so the i-th expanded config is a pure function of ``(base, grid)`` and
+campaigns replay exactly.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from typing import Dict, List
+
+from repro.campaign.spec import CampaignError
+
+
+def set_dotted(config: Dict, path: str, value) -> None:
+    """Set ``config["a"]["0"]["b"] = value`` for ``path`` ``"a.0.b"``.
+
+    Integer components index into lists; intermediate mappings are
+    created on demand, but list elements must already exist (a grid
+    cannot invent a third exchange dimension out of thin air).
+    """
+    parts = path.split(".")
+    if not all(parts):
+        raise CampaignError(f"bad grid path {path!r}")
+    node = config
+    for i, part in enumerate(parts[:-1]):
+        if isinstance(node, list):
+            try:
+                node = node[int(part)]
+            except (ValueError, IndexError):
+                raise CampaignError(
+                    f"grid path {path!r}: no list element {part!r}"
+                ) from None
+        elif isinstance(node, dict):
+            nxt = node.get(part)
+            if nxt is None:
+                nxt = node[part] = {}
+            node = nxt
+        else:
+            raise CampaignError(
+                f"grid path {path!r}: {'.'.join(parts[:i])!r} is a leaf"
+            )
+    leaf = parts[-1]
+    if isinstance(node, list):
+        try:
+            node[int(leaf)] = value
+        except (ValueError, IndexError):
+            raise CampaignError(
+                f"grid path {path!r}: no list element {leaf!r}"
+            ) from None
+    elif isinstance(node, dict):
+        node[leaf] = value
+    else:
+        raise CampaignError(f"grid path {path!r}: parent is a leaf")
+
+
+def expand_grid(base: Dict, grid: Dict[str, List]) -> List[Dict]:
+    """All grid points as deep-copied config dicts, in deterministic order.
+
+    Keys are iterated sorted; within a key, values keep their list
+    order.  An empty grid yields ``[deepcopy(base)]``.
+    """
+    keys = sorted(grid)
+    for key in keys:
+        values = grid[key]
+        if not isinstance(values, list) or not values:
+            raise CampaignError(f"grid[{key!r}] must be a non-empty list")
+    configs: List[Dict] = []
+    for combo in itertools.product(*(grid[k] for k in keys)):
+        config = copy.deepcopy(base)
+        for key, value in zip(keys, combo):
+            set_dotted(config, key, value)
+        configs.append(config)
+    return configs

@@ -1,0 +1,98 @@
+"""Session runners: how the arbiter executes one session's payload.
+
+The production runner builds and runs a real :class:`~repro.core.framework.RepEx`
+simulation per request, each with a **private** metrics registry and its
+own inner virtual clock, so dozens of sessions can execute inside one
+process without sharing any mutable state.  The stub runner is what the
+property tests inject: a pure function of the request with a scripted
+duration, no MD stack involved.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, Optional, Union
+
+from repro.campaign.arbiter import SessionOutcome, SessionRequest
+from repro.campaign.spec import CampaignError
+
+
+def stub_runner(
+    durations: Optional[Dict[str, float]] = None,
+    default_s: float = 100.0,
+    fail: Optional[Dict[str, bool]] = None,
+) -> Callable[[SessionRequest], SessionOutcome]:
+    """A deterministic scripted runner for tests.
+
+    ``durations`` maps session uids to virtual makespans (seconds);
+    unlisted sessions take ``default_s``.  ``fail`` marks uids whose
+    outcome reports ``ok=False``.
+    """
+    durations = dict(durations or {})
+    fail = dict(fail or {})
+
+    def run(request: SessionRequest) -> SessionOutcome:
+        return SessionOutcome(
+            duration_s=float(durations.get(request.uid, default_s)),
+            ok=not fail.get(request.uid, False),
+        )
+
+    return run
+
+
+def repex_runner(
+    manifest_dir: Optional[Union[str, Path]] = None,
+) -> Callable[[SessionRequest], SessionOutcome]:
+    """The real thing: run each payload as a full RepEx simulation.
+
+    The request payload must be a :class:`~repro.core.config.SimulationConfig`
+    or its dict form.  Each session gets a fresh
+    :class:`~repro.obs.metrics.MetricsRegistry`, so co-resident sessions
+    (and relaunched attempts of the same session) never see each other's
+    instruments; the session's virtual makespan (``result.t_end``)
+    becomes its occupancy interval on the campaign clock.
+
+    With ``manifest_dir`` set, each completed session's manifest is
+    written to ``<dir>/<tenant>/<uid>.jsonl`` — the per-tenant manifest
+    tree the campaign report links to.
+    """
+    # deferred so the arbiter/property-test layer never imports the MD stack
+    from repro.core.config import ConfigError, SimulationConfig
+    from repro.core.framework import RepEx
+    from repro.obs.metrics import MetricsRegistry
+
+    out_dir = Path(manifest_dir) if manifest_dir is not None else None
+
+    def run(request: SessionRequest) -> SessionOutcome:
+        payload = request.payload
+        if isinstance(payload, dict):
+            try:
+                config = SimulationConfig.from_dict(payload)
+            except ConfigError as exc:
+                raise CampaignError(
+                    f"session {request.uid}: bad config: {exc}"
+                ) from None
+        elif isinstance(payload, SimulationConfig):
+            config = payload
+        else:
+            raise CampaignError(
+                f"session {request.uid}: payload must be a SimulationConfig "
+                f"or dict, got {type(payload).__name__}"
+            )
+        registry = MetricsRegistry()
+        repex = RepEx(config, registry=registry)
+        result = repex.run()
+        if out_dir is not None and result.manifest is not None:
+            tenant_dir = out_dir / request.tenant
+            tenant_dir.mkdir(parents=True, exist_ok=True)
+            result.manifest.dump(tenant_dir / f"{request.uid}.jsonl")
+        return SessionOutcome(
+            duration_s=result.t_end,
+            ok=True,
+            manifest=result.manifest,
+            events_fired=repex.session.clock.n_fired,
+            peak_heap=repex.session.clock.peak_heap,
+            n_failures=result.n_failures,
+        )
+
+    return run

@@ -7,6 +7,7 @@ specified by configuration files"; this module makes that literal:
 
     $ python -m repro run examples/configs/tremd.json --manifest run.jsonl
     $ python -m repro check examples/configs/tremd.json
+    $ python -m repro campaign examples/configs/campaign.json --metrics-out metrics.txt
     $ python -m repro obs summary run.jsonl
     $ python -m repro obs timeline run.jsonl
     $ python -m repro obs export run.jsonl --format chrome -o run.trace.json
@@ -386,6 +387,93 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Run a multi-tenant campaign from a JSON campaign spec.
+
+    Exit codes: 0 all admitted sessions ran, 2 bad spec, 4 at least one
+    session was rejected by admission control (the campaign itself still
+    runs to completion).
+    """
+    from repro.campaign.service import expand_requests, run_campaign
+    from repro.campaign.spec import CampaignError, CampaignSpec
+
+    try:
+        spec = CampaignSpec.from_json(Path(args.spec).read_text())
+        requests = expand_requests(spec)
+    except (OSError, CampaignError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    by_tenant: dict = {}
+    for request in requests:
+        by_tenant[request.tenant] = by_tenant.get(request.tenant, 0) + 1
+    print(
+        f"{spec.title}: {len(requests)} sessions across "
+        f"{len(spec.tenants)} tenants on {spec.datacenter.nodes} nodes x "
+        f"{spec.datacenter.cores_per_node} cores (seed {spec.seed})"
+    )
+    if args.dry_run:
+        for request in requests:
+            config = request.payload or {}
+            print(
+                f"  {request.uid:<24} {request.tenant:<12} "
+                f"{request.cores:>5} cores  "
+                f"pattern={((config.get('pattern') or {}).get('kind', 'synchronous'))}"
+            )
+        return 0
+
+    try:
+        report = run_campaign(spec, manifest_dir=args.out)
+    except CampaignError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    rows = [
+        [
+            name,
+            summary["sessions"],
+            summary["states"].get("done", 0),
+            summary["states"].get("rejected", 0),
+            summary["states"].get("killed", 0)
+            + summary["states"].get("failed", 0),
+            summary["relaunches"],
+            f"{summary['core_seconds']:.1f}",
+        ]
+        for name, summary in report.tenants.items()
+    ]
+    print()
+    print(
+        render_table(
+            ["tenant", "sessions", "done", "rejected", "lost", "relaunches",
+             "core-seconds"],
+            rows,
+            title="Per-tenant accounting",
+        )
+    )
+    print()
+    print(f"makespan           : {report.totals['makespan_s']:10.1f} s")
+    print(f"utilization        : {100 * report.totals['utilization']:10.1f} %")
+    if report.n_rejected:
+        print(
+            f"admission control rejected {report.n_rejected} session(s)",
+            file=sys.stderr,
+        )
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    if args.out:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / "report.json").write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True)
+        )
+        print(f"report + per-tenant manifests written to {out_dir}/")
+    if args.metrics_out:
+        Path(args.metrics_out).write_text(report.openmetrics())
+        print(f"aggregated OpenMetrics written to {args.metrics_out}")
+    return 4 if report.n_rejected else 0
+
+
 def cmd_table1(args: argparse.Namespace) -> int:
     """Print the paper's Table 1 (package comparison)."""
     print(
@@ -595,6 +683,29 @@ def build_parser() -> argparse.ArgumentParser:
              "runs; not comparable to the timed numbers)",
     )
     p_bench.set_defaults(func=cmd_bench)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="run a multi-tenant session campaign from a JSON spec",
+    )
+    p_camp.add_argument("spec", help="path to the JSON campaign spec")
+    p_camp.add_argument(
+        "--out", metavar="DIR",
+        help="write report.json plus per-tenant manifest trees here",
+    )
+    p_camp.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="write the aggregated OpenMetrics exposition to this path",
+    )
+    p_camp.add_argument(
+        "--dry-run", action="store_true",
+        help="print the expanded session grid without running anything",
+    )
+    p_camp.add_argument(
+        "--json", action="store_true",
+        help="print the full JSON report to stdout",
+    )
+    p_camp.set_defaults(func=cmd_campaign)
 
     p_check = sub.add_parser("check", help="validate a JSON config")
     p_check.add_argument("config", help="path to the JSON configuration")

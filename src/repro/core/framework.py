@@ -32,7 +32,7 @@ from repro.md.engine import EngineAdapter
 from repro.md.perfmodel import PerformanceModel
 from repro.md.sandbox import Sandbox
 from repro.obs.manifest import ManifestStream, RunManifest
-from repro.obs.metrics import get_registry
+from repro.obs.metrics import get_registry, using_registry
 from repro.pilot.cluster import get_cluster
 from repro.pilot.failures import FailureModel
 from repro.pilot.faultdomain import FaultDomainModel
@@ -87,6 +87,17 @@ class RepEx:
         Stream an incrementally flushed JSONL manifest to this path
         while the run is in flight (see
         :class:`~repro.obs.manifest.ManifestStream`).
+    registry:
+        A private :class:`~repro.obs.metrics.MetricsRegistry` for this
+        run.  The whole stack is constructed — and :meth:`run` executes —
+        with it installed as the process default, so every instrument,
+        span and manifest of this run lands there and nowhere else.
+        Omitted, the process-local registry is used (the historical
+        single-run behaviour).  This is what makes a ``RepEx`` a value
+        several of which can coexist in one process: the campaign
+        arbiter gives every tenant session its own registry and the
+        sessions cannot clobber each other's metrics (``run()`` resets
+        only its own registry).
     """
 
     def __init__(
@@ -107,10 +118,50 @@ class RepEx:
         stop_after_checkpoint: Optional[int] = None,
         crash_at_time: Optional[float] = None,
         manifest_path: Optional[Union[str, Path]] = None,
+        registry=None,
     ):
         self.config = config
         self.cluster = get_cluster(config.resource.name)
 
+        # Resolve this run's registry before building anything: an
+        # injected session brings its own, an explicit ``registry`` wins,
+        # and the default remains the process-local registry.  The whole
+        # stack below is constructed with it installed so every
+        # construction-time instrument cache binds to it.
+        if registry is None:
+            registry = (
+                session.registry
+                if session is not None and session.registry is not None
+                else get_registry()
+            )
+        self.registry = registry
+
+        with using_registry(self.registry):
+            self._build(config, adapter, perf, sandbox, session, mode)
+
+        # -- checkpoint/restart ----------------------------------------------
+        self._init_checkpointing(
+            checkpoint_every,
+            checkpoint_every_s,
+            checkpoint_dir,
+            checkpoint_keep,
+            resume_from,
+            stop_after_cycle,
+            stop_after_checkpoint,
+            crash_at_time,
+        )
+        self.manifest_path = manifest_path
+
+    def _build(
+        self,
+        config: SimulationConfig,
+        adapter,
+        perf,
+        sandbox,
+        session: Optional[Session],
+        mode: Optional[ExecutionMode],
+    ) -> None:
+        """Construct the simulation stack (called under ``using_registry``)."""
         rng = RNGRegistry(config.seed)
         failure_model = None
         if config.failure.probability > 0:
@@ -121,7 +172,9 @@ class RepEx:
             )
         self.fault_domain = FaultDomainModel.from_spec(config.failure, rng)
         self.session = session or Session(
-            failure_model=failure_model, fault_domain=self.fault_domain
+            failure_model=failure_model,
+            fault_domain=self.fault_domain,
+            registry=self.registry,
         )
         if session is not None:
             if failure_model is not None:
@@ -133,7 +186,6 @@ class RepEx:
         # auto-trace every unit the session submits.  Under a NullRegistry
         # the tracer is skipped entirely, so the off-path cost is only the
         # no-op instrument calls.
-        self.registry = get_registry()
         self.registry.bind_clock(self.session.clock)
         if self.registry.enabled and self.session.tracer is None:
             self.session.tracer = Tracer()
@@ -164,7 +216,18 @@ class RepEx:
             mode=mode or make_mode(config.effective_mode),
         )
 
-        # -- checkpoint/restart ----------------------------------------------
+    def _init_checkpointing(
+        self,
+        checkpoint_every: int,
+        checkpoint_every_s: float,
+        checkpoint_dir,
+        checkpoint_keep: int,
+        resume_from,
+        stop_after_cycle: Optional[int],
+        stop_after_checkpoint: Optional[int],
+        crash_at_time: Optional[float],
+    ) -> None:
+        """Validate and wire the checkpoint/restart configuration."""
         if checkpoint_every < 0:
             raise ValueError(
                 f"checkpoint_every must be >= 0, got {checkpoint_every}"
@@ -225,7 +288,7 @@ class RepEx:
             # a preemption warning induces one quiesce ahead of the
             # scheduled preemption, so a fresh checkpoint exists when the
             # batch system strikes
-            spec = config.failure
+            spec = self.config.failure
             if (
                 spec.preempt_after_s is not None
                 and spec.preempt_warning_s > 0
@@ -233,8 +296,6 @@ class RepEx:
                 self.emm.quiesce_rel_times = [
                     max(0.0, spec.preempt_after_s - spec.preempt_warning_s)
                 ]
-
-        self.manifest_path = manifest_path
 
     def _on_checkpoint(self, ckpt: Checkpoint) -> None:
         self.checkpoints.append(ckpt)
@@ -273,9 +334,17 @@ class RepEx:
     def run(self) -> SimulationResult:
         """Execute the simulation and tear the pilot down.
 
-        The process-local metrics registry is reset at entry so the
-        manifest attached to the result reflects this run alone.
+        This run's registry (private when one was injected, the
+        process-local default otherwise) is reset at entry so the
+        manifest attached to the result reflects this run alone, and is
+        installed as the process default for the duration of the run so
+        call-site instrumentation (e.g. the Metropolis counters) lands in
+        it.
         """
+        with using_registry(self.registry):
+            return self._run()
+
+    def _run(self) -> SimulationResult:
         self.registry.reset()
         self.checkpoints.clear()
         stream = None

@@ -337,16 +337,23 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
-def openmetrics(manifest: RunManifest) -> str:
-    """The manifest's metric snapshot in OpenMetrics text exposition.
+def openmetrics_snapshot(metrics: Dict) -> str:
+    """A registry-shaped metrics dict in OpenMetrics text exposition.
 
+    ``metrics`` is the ``{"counters": ..., "gauges": ..., "histograms":
+    ...}`` snapshot a :class:`~repro.obs.metrics.MetricsRegistry`
+    produces (and a :class:`~repro.obs.manifest.RunManifest` embeds).
     Counters become ``<name>_total``, gauges plain samples, histograms
     summaries (quantiles + ``_count``/``_sum``), each with a ``# TYPE``
     line; dotted registry names map to underscores and ``{dim=...}``
     suffixes to proper label sets.  Ends with ``# EOF`` per the spec.
+
+    This is the shared rendering path for single-run manifests
+    (:func:`openmetrics`) and for campaign-level aggregations with
+    ``{tenant=...}`` labels (:mod:`repro.campaign.service`).
     """
     lines: List[str] = []
-    metrics = manifest.metrics or {}
+    metrics = metrics or {}
 
     def sample(name: str, labels: str, value: float, suffix: str = "") -> str:
         label_part = f"{{{labels}}}" if labels else ""
@@ -380,3 +387,13 @@ def openmetrics(manifest: RunManifest) -> str:
         lines.append(sample(name, labels, stats.get("total", 0.0), suffix="_sum"))
     lines.append("# EOF")
     return "\n".join(lines) + "\n"
+
+
+def openmetrics(manifest: RunManifest) -> str:
+    """The manifest's metric snapshot in OpenMetrics text exposition.
+
+    A thin wrapper over :func:`openmetrics_snapshot`; both exports are
+    pure functions of their input, so the same manifest always produces
+    the same bytes.
+    """
+    return openmetrics_snapshot(manifest.metrics or {})

@@ -18,6 +18,7 @@ import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.campaign.spec import CampaignSpec
 from repro.core.framework import RepEx
 from repro.obs.metrics import MetricsRegistry, NullRegistry, using_registry
 from repro.perf.scenarios import SCENARIOS, scenario_names
@@ -85,6 +86,11 @@ def _measure(
 ) -> Dict[str, object]:
     scenario = SCENARIOS[name]
     config = scenario.build(fast)
+    if isinstance(config, CampaignSpec):
+        return _measure_campaign(
+            scenario, config, fast=fast, profile=profile,
+            profile_top=profile_top,
+        )
     with using_registry(NullRegistry()):
         repex = RepEx(config)
         profiler = cProfile.Profile() if profile else None
@@ -114,6 +120,99 @@ def _measure(
         "events_per_s": round(events / wall, 1) if wall > 0 else 0.0,
         "peak_heap": clock.peak_heap,
         "n_failures": result.n_failures,
+    }
+
+
+def _measure_campaign(
+    scenario,
+    spec: CampaignSpec,
+    *,
+    fast: bool,
+    profile: bool,
+    profile_top: int,
+) -> Dict[str, object]:
+    """Measure a campaign scenario: the two-level DES end to end.
+
+    The arbiter is driven directly (rather than through
+    :func:`~repro.campaign.service.run_campaign`) so the outer event
+    queue's counters are readable afterwards, and every inner session
+    runs under a null registry — the same observability-off convention
+    the single-simulation measurements use.  The deterministic fields
+    aggregate both levels: ``events_fired`` sums the arbiter clock and
+    every inner clock, ``virtual_s`` is the campaign makespan, and
+    ``n_failures`` counts inner failures plus crash-induced relaunches.
+    """
+    from repro.campaign.arbiter import Arbiter, SessionOutcome
+    from repro.campaign.service import expand_requests
+    from repro.core.config import SimulationConfig
+
+    def runner(request):
+        config = SimulationConfig.from_dict(request.payload)
+        repex = RepEx(config, registry=NullRegistry())
+        result = repex.run()
+        return SessionOutcome(
+            duration_s=result.t_end,
+            ok=True,
+            events_fired=repex.session.clock.n_fired,
+            peak_heap=repex.session.clock.peak_heap,
+            n_failures=result.n_failures,
+        )
+
+    requests = expand_requests(spec)
+    arbiter = Arbiter(
+        spec.datacenter,
+        spec.tenants,
+        faults=spec.faults,
+        queue_limit=spec.queue_limit,
+        relaunch_limit=spec.relaunch_limit,
+        seed=spec.seed,
+    )
+    profiler = cProfile.Profile() if profile else None
+    start = time.perf_counter()
+    if profiler is not None:
+        profiler.enable()
+    arbiter.prepare(runner)
+    for request in requests:
+        arbiter.submit(request)
+    records = arbiter.run(runner)
+    if profiler is not None:
+        profiler.disable()
+    wall = time.perf_counter() - start
+    if profiler is not None:
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.sort_stats("tottime").print_stats(profile_top)
+        print(
+            f"--- cProfile top {profile_top} (tottime) "
+            f"for {scenario.name} ---"
+        )
+        print(stream.getvalue())
+    outcomes = [r.outcome for r in records if r.outcome is not None]
+    events = arbiter.clock.n_fired + sum(o.events_fired for o in outcomes)
+    n_replicas = 0
+    n_cycles = 0
+    for record in records:
+        payload = record.request.payload or {}
+        windows = 1
+        for dim in payload.get("dimensions", []):
+            windows *= int(dim.get("n_windows", 1))
+        n_replicas += windows
+        n_cycles += int(payload.get("n_cycles", 1))
+    peaks = [arbiter.clock.peak_heap] + [o.peak_heap for o in outcomes]
+    return {
+        "description": scenario.description,
+        "fast": fast,
+        "n_replicas": n_replicas,
+        "n_cycles": n_cycles,
+        "n_sessions": len(records),
+        "relaunches": sum(r.relaunches for r in records),
+        "wall_s": round(wall, 4),
+        "virtual_s": round(arbiter.clock.now, 3),
+        "events_fired": events,
+        "events_per_s": round(events / wall, 1) if wall > 0 else 0.0,
+        "peak_heap": max(peaks),
+        "n_failures": sum(o.n_failures for o in outcomes)
+        + sum(r.relaunches for r in records),
     }
 
 
@@ -187,10 +286,29 @@ def export_traces(
     written: List[Path] = []
     for name in selected:
         config = SCENARIOS[name].build(fast)
+        slug = name.replace("/", "_")
+        if isinstance(config, CampaignSpec):
+            # A campaign has no single manifest; write the per-session
+            # manifest tree plus the aggregated report instead.  The
+            # --compare attribution path degrades gracefully when its
+            # <slug>.manifest.jsonl is absent.
+            from repro.campaign.service import run_campaign
+
+            report = run_campaign(
+                config, manifest_dir=out / f"{slug}.sessions"
+            )
+            report_path = out / f"{slug}.report.json"
+            report_path.write_text(
+                json.dumps(report.to_dict(), indent=2, sort_keys=True)
+                + "\n"
+            )
+            written.append(report_path)
+            if echo is not None:
+                echo(f"{name:<20} campaign report -> {report_path}")
+            continue
         with using_registry(MetricsRegistry()):
             result = RepEx(config).run()
         manifest = result.manifest
-        slug = name.replace("/", "_")
         manifest_path = out / f"{slug}.manifest.jsonl"
         manifest.dump(manifest_path)
         trace_path = out / f"{slug}.trace.json"

@@ -15,6 +15,10 @@ run, not the toy MD numerics:
 - ``chaos-preempt-256``: synchronous run through a pilot preemption with
   requeue + relaunch.  Stresses event cancellation (dead-event heap
   growth) and the fault/recovery paths.
+- ``campaign-256``: a four-tenant campaign of 256 small sessions on a
+  shared 64-core datacenter with two injected node crashes.  Stresses
+  the two-level DES — the arbiter's dispatch/placement/fault loop
+  outside, hundreds of short inner simulations within one process.
 
 Every scenario sets ``numeric_steps=1`` so the virtual clock still bills
 the paper's 6000-step cycles while the wallclock measures framework
@@ -27,8 +31,14 @@ events/s are not comparable with each other.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Union
 
+from repro.campaign.spec import (
+    CampaignSpec,
+    DatacenterSpec,
+    FaultSpec,
+    TenantSpec,
+)
 from repro.core.config import (
     DimensionSpec,
     FailureSpec,
@@ -37,6 +47,9 @@ from repro.core.config import (
     SimulationConfig,
 )
 
+#: what a scenario's builder may return — one simulation or a campaign
+Buildable = Union[SimulationConfig, CampaignSpec]
+
 
 @dataclass(frozen=True)
 class Scenario:
@@ -44,7 +57,7 @@ class Scenario:
 
     name: str
     description: str
-    build: Callable[[bool], SimulationConfig]
+    build: Callable[[bool], Buildable]
 
 
 def _temperature(n_windows: int) -> DimensionSpec:
@@ -120,6 +133,57 @@ def _chaos_preempt(fast: bool) -> SimulationConfig:
     )
 
 
+def _campaign_256(fast: bool) -> CampaignSpec:
+    # 4 tenants x (2 patterns x 2 ladders) x repeat: 256 sessions full,
+    # 32 fast.  Each session is a real-but-tiny inner simulation; the
+    # quota caps give every tenant exactly a quarter of the datacenter,
+    # so the fair-share loop stays busy for the whole campaign.
+    repeat = 2 if fast else 16
+
+    def base(index: int) -> dict:
+        return {
+            "title": f"bench-campaign-{index}",
+            "dimensions": [
+                {
+                    "kind": "temperature",
+                    "n_windows": 2,
+                    "min_value": 300.0,
+                    "max_value": 330.0 + 10.0 * index,
+                }
+            ],
+            "resource": {"name": "small-cluster", "cores": 4},
+            "n_cycles": 1,
+            "steps_per_cycle": 500,
+            "numeric_steps": 1,
+            "sample_stride": 0,
+            "seed": 2016 + index,
+        }
+
+    tenants = [
+        TenantSpec(
+            name=f"group{i}",
+            weight=1.0 + (i % 2),
+            priority=i % 2,
+            quota_cores=16,
+            base=base(i),
+            grid={
+                "pattern.kind": ["synchronous", "asynchronous"],
+                "dimensions.0.n_windows": [2, 3],
+            },
+            repeat=repeat,
+        )
+        for i in range(4)
+    ]
+    return CampaignSpec(
+        title="bench-campaign",
+        seed=2016,
+        datacenter=DatacenterSpec(nodes=8, cores_per_node=8, repair_s=60.0),
+        faults=FaultSpec(node_crashes=[[20.0, 0], [75.0, 3]]),
+        tenants=tenants,
+        relaunch_limit=2,
+    )
+
+
 SCENARIOS: Dict[str, Scenario] = {
     s.name: s
     for s in (
@@ -142,6 +206,11 @@ SCENARIOS: Dict[str, Scenario] = {
             "chaos-preempt-256",
             "256-replica synchronous run through pilot preemption + requeue",
             _chaos_preempt,
+        ),
+        Scenario(
+            "campaign-256",
+            "4-tenant campaign, 256 sessions on 64 shared cores, 2 crashes",
+            _campaign_256,
         ),
     )
 }

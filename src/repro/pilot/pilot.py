@@ -86,6 +86,8 @@ class Pilot:
         staging_area: Optional[StagingArea] = None,
         failure_model: Optional[FailureModel] = None,
         fault_domain=None,
+        uid: Optional[str] = None,
+        registry=None,
     ):
         cluster = description.cluster()
         if description.cores > cluster.total_cores:
@@ -98,7 +100,14 @@ class Pilot:
                 f"pilot requests {description.gpus} GPUs but "
                 f"{cluster.name} only has {cluster.total_gpus}"
             )
-        self.uid = f"pilot.{next(_pilot_counter):04d}"
+        # Session-scoped naming when the owner passes a uid; the module
+        # counter remains as a fallback for pilots constructed bare (its
+        # numbers depend on process history, so anything reproducible —
+        # manifests, golden traces — must not embed them).
+        self.uid = uid if uid is not None else f"pilot.{next(_pilot_counter):04d}"
+        #: metrics registry the agent scheduler should record into; None
+        #: resolves the process-local default at activation time
+        self._registry = registry
         self.description = description
         self.cluster = cluster
         self._clock = clock
@@ -136,6 +145,7 @@ class Pilot:
             failure_model=self._failure_model,
             gpu_capacity=self.description.gpus,
             fault_domain=self.fault_domain,
+            registry=self._registry,
         )
         self._walltime_event = self._clock.schedule(
             self.description.walltime_minutes * 60.0, self._expire

@@ -60,6 +60,7 @@ class AgentScheduler:
         gpu_capacity: int = 0,
         fault_domain=None,
         indexed: bool = True,
+        registry=None,
     ):
         if capacity <= 0:
             raise ValueError(f"capacity must be > 0, got {capacity}")
@@ -124,8 +125,11 @@ class AgentScheduler:
         self._drained = False
         # Instruments are resolved once: the per-event cost under a
         # NullRegistry is a no-op method call, keeping the off-path
-        # observability overhead bounded.
-        registry = get_registry()
+        # observability overhead bounded.  An owner running several
+        # co-resident sessions passes its own registry; bare construction
+        # keeps the process-local default.
+        if registry is None:
+            registry = get_registry()
         self._m_submitted = registry.counter("scheduler.submitted")
         self._m_started = registry.counter("scheduler.started")
         self._m_completed = registry.counter("scheduler.completed")

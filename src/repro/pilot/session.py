@@ -8,12 +8,18 @@ Supports multiple concurrent pilots, which is how the paper's future-work
 item "RepEx can be extended to use multiple HPC resources simultaneously
 for a single REMD simulation" is realized here (see
 ``examples/multi_cluster.py``).
+
+A session is a *value*, not the process root: it can be handed an
+externally owned clock and metrics registry, so several sessions can
+coexist in one process (the campaign arbiter of ``repro.campaign`` owns
+dozens) without sharing any mutable module-level state.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, List, Optional, Sequence
 
+from repro.obs.metrics import get_registry
 from repro.pilot.events import EventQueue, SimulatedCrash, SimulationError
 from repro.pilot.failures import FailureModel
 from repro.pilot.pilot import Pilot, PilotDescription, PilotState
@@ -23,16 +29,34 @@ from repro.pilot.unit import ComputeUnit, UnitDescription
 
 
 class Session:
-    """Owns the virtual clock, the staging area, and all pilots."""
+    """Owns the virtual clock, the staging area, and all pilots.
+
+    Parameters
+    ----------
+    clock:
+        An externally owned :class:`EventQueue` to schedule on; a fresh
+        one is created when omitted (the single-session default).
+    registry:
+        The metrics registry this session's components should record
+        into.  Defaults to the process-local registry, preserving the
+        historical behaviour; a campaign passes one private registry per
+        tenant session so co-resident sessions never share instruments.
+    """
 
     def __init__(
         self,
         seed: int = 0,
         failure_model: Optional[FailureModel] = None,
         fault_domain=None,
+        *,
+        clock: Optional[EventQueue] = None,
+        registry=None,
     ):
-        self.clock = EventQueue()
-        self.staging_area = StagingArea()
+        self.clock = clock if clock is not None else EventQueue()
+        #: the registry this session's stack records into; resolved once
+        #: at construction so it is stable for the session's lifetime
+        self.registry = registry if registry is not None else get_registry()
+        self.staging_area = StagingArea(registry=self.registry)
         self.failure_model = failure_model
         #: correlated-fault injector handed to every pilot (None = off)
         self.fault_domain = fault_domain
@@ -41,6 +65,10 @@ class Session:
         #: session (set by :class:`~repro.core.framework.RepEx` when
         #: observability is enabled)
         self.tracer: Optional[Tracer] = None
+        # Session-scoped pilot naming: the first pilot of *any* session is
+        # "pilot.0000", so uids are reproducible regardless of how many
+        # sessions ran earlier in the process.
+        self._pilot_seq = 0
         self._closed = False
 
     @property
@@ -59,7 +87,10 @@ class Session:
             staging_area=self.staging_area,
             failure_model=self.failure_model,
             fault_domain=self.fault_domain,
+            uid=f"pilot.{self._pilot_seq:04d}",
+            registry=self.registry,
         )
+        self._pilot_seq += 1
         self.pilots.append(pilot)
         pilot.launch()
         return pilot

@@ -52,12 +52,13 @@ class StagingArea:
     AMM would have produced) and so tests can assert on data movement.
     """
 
-    def __init__(self):
+    def __init__(self, registry=None):
         self._files: Dict[str, float] = {}
         self.bytes_in_mb: float = 0.0
         self.bytes_out_mb: float = 0.0
         self.n_transfers: int = 0
-        registry = get_registry()
+        if registry is None:
+            registry = get_registry()
         self._m_bytes = registry.counter("staging.bytes_mb")
         self._m_transfers = registry.counter("staging.transfers")
 

@@ -1,0 +1,70 @@
+"""Tests for deterministic parameter-grid expansion."""
+
+import pytest
+
+from repro.campaign.grid import expand_grid, set_dotted
+from repro.campaign.spec import CampaignError
+
+
+class TestSetDotted:
+    def test_plain_key(self):
+        d = {}
+        set_dotted(d, "n_cycles", 4)
+        assert d == {"n_cycles": 4}
+
+    def test_nested_mapping_created_on_demand(self):
+        d = {}
+        set_dotted(d, "pattern.kind", "asynchronous")
+        assert d == {"pattern": {"kind": "asynchronous"}}
+
+    def test_list_index(self):
+        d = {"dimensions": [{"n_windows": 2}, {"n_windows": 4}]}
+        set_dotted(d, "dimensions.1.n_windows", 8)
+        assert d["dimensions"][1]["n_windows"] == 8
+        assert d["dimensions"][0]["n_windows"] == 2
+
+    def test_missing_list_element_rejected(self):
+        with pytest.raises(CampaignError, match="no list element"):
+            set_dotted({"dimensions": []}, "dimensions.0.n_windows", 8)
+
+    def test_leaf_parent_rejected(self):
+        with pytest.raises(CampaignError, match="leaf"):
+            set_dotted({"a": 3}, "a.b", 1)
+
+    def test_empty_component_rejected(self):
+        with pytest.raises(CampaignError, match="bad grid path"):
+            set_dotted({}, "a..b", 1)
+
+
+class TestExpandGrid:
+    def test_empty_grid_is_one_copy(self):
+        base = {"n_cycles": 2}
+        out = expand_grid(base, {})
+        assert out == [base]
+        assert out[0] is not base  # deep-copied
+
+    def test_cartesian_product_in_sorted_key_order(self):
+        out = expand_grid(
+            {}, {"b": [1, 2], "a": ["x", "y"]}
+        )
+        # keys iterate sorted (a before b); values keep list order
+        assert out == [
+            {"a": "x", "b": 1},
+            {"a": "x", "b": 2},
+            {"a": "y", "b": 1},
+            {"a": "y", "b": 2},
+        ]
+
+    def test_base_not_mutated(self):
+        base = {"pattern": {"kind": "synchronous"}}
+        expand_grid(base, {"pattern.kind": ["asynchronous"]})
+        assert base["pattern"]["kind"] == "synchronous"
+
+    def test_deterministic(self):
+        base = {"dimensions": [{"n_windows": 2}]}
+        grid = {"dimensions.0.n_windows": [2, 4], "seed": [1, 2, 3]}
+        assert expand_grid(base, grid) == expand_grid(base, grid)
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(CampaignError, match="non-empty list"):
+            expand_grid({}, {"a": []})

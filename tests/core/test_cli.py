@@ -363,3 +363,149 @@ class TestExampleConfigs:
 
         path = Path(__file__).parents[2] / "examples" / "configs" / name
         assert main(["check", str(path)]) == 0
+
+
+def campaign_spec(**overrides):
+    base_session = {
+        "dimensions": [
+            {
+                "kind": "temperature",
+                "n_windows": 2,
+                "min_value": 300.0,
+                "max_value": 320.0,
+            }
+        ],
+        "resource": {"name": "small-cluster", "cores": 4},
+        "n_cycles": 1,
+        "steps_per_cycle": 500,
+        "numeric_steps": 1,
+        "sample_stride": 0,
+    }
+    spec = {
+        "title": "cli-campaign",
+        "seed": 5,
+        "datacenter": {"nodes": 2, "cores_per_node": 8},
+        "tenants": [
+            {
+                "name": "alice",
+                "base": base_session,
+                "grid": {
+                    "pattern.kind": ["synchronous", "asynchronous"],
+                    "n_cycles": [1, 2],
+                },
+            },
+            {"name": "bob", "base": base_session},
+        ],
+    }
+    spec.update(overrides)
+    return spec
+
+
+@pytest.fixture
+def campaign_file(tmp_path):
+    path = tmp_path / "campaign.json"
+    path.write_text(json.dumps(campaign_spec()))
+    return path
+
+
+class TestCampaign:
+    def test_dry_run_prints_the_expanded_grid(self, campaign_file, capsys):
+        rc = main(["campaign", str(campaign_file), "--dry-run"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        # 2 patterns x 2 cycle counts for alice, plus bob's single session
+        assert "5 sessions across 2 tenants" in out
+        for uid in ("alice-0000", "alice-0003", "bob-0000"):
+            assert uid in out
+        assert "pattern=asynchronous" in out
+        assert "pattern=synchronous" in out
+
+    def test_run_prints_per_tenant_accounting(self, campaign_file, capsys):
+        rc = main(["campaign", str(campaign_file)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Per-tenant accounting" in out
+        assert "alice" in out and "bob" in out
+        assert "utilization" in out
+
+    def test_admission_rejection_exits_4(self, tmp_path, capsys):
+        # a one-node datacenter with a one-deep queue cannot admit five
+        # single-pilot sessions submitted together
+        spec = campaign_spec(
+            datacenter={"nodes": 1, "cores_per_node": 4},
+            queue_limit=1,
+        )
+        path = tmp_path / "tight.json"
+        path.write_text(json.dumps(spec))
+        rc = main(["campaign", str(path)])
+        assert rc == 4
+        assert "rejected" in capsys.readouterr().err
+
+    def test_metrics_out_parses_as_openmetrics(
+        self, campaign_file, tmp_path, capsys
+    ):
+        metrics_path = tmp_path / "metrics.txt"
+        rc = main(
+            ["campaign", str(campaign_file), "--metrics-out",
+             str(metrics_path)]
+        )
+        assert rc == 0
+        text = metrics_path.read_text()
+        assert text.endswith("# EOF\n")
+        # every sample line is `name{labels} value` with a parseable
+        # float value; every series carries a tenant label
+        import re
+
+        sample_re = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? \S+$"
+        )
+        samples = [
+            line for line in text.splitlines() if not line.startswith("#")
+        ]
+        assert samples
+        for line in samples:
+            assert sample_re.match(line), f"bad sample line: {line!r}"
+            float(line.rsplit(" ", 1)[1])
+        assert 'tenant="alice"' in text and 'tenant="bob"' in text
+
+    def test_out_writes_report_and_manifests(
+        self, campaign_file, tmp_path, capsys
+    ):
+        out_dir = tmp_path / "campaign_out"
+        rc = main(["campaign", str(campaign_file), "--out", str(out_dir)])
+        assert rc == 0
+        report = json.loads((out_dir / "report.json").read_text())
+        assert report["title"] == "cli-campaign"
+        assert {s["tenant"] for s in report["sessions"]} == {"alice", "bob"}
+        manifests = sorted(p.name for p in out_dir.rglob("*.jsonl"))
+        assert "alice-0000.jsonl" in manifests
+        assert "bob-0000.jsonl" in manifests
+
+    def test_json_flag_prints_full_report(self, campaign_file, capsys):
+        rc = main(["campaign", str(campaign_file), "--json"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        payload = out[out.index("{"):]
+        doc = json.loads(payload)
+        assert doc["title"] == "cli-campaign"
+        assert len(doc["sessions"]) == 5
+
+    def test_bad_spec_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text('{"tenants": [], "typo": 1}')
+        rc = main(["campaign", str(path)])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, capsys):
+        rc = main(["campaign", "/does/not/exist.json"])
+        assert rc == 2
+
+    def test_shipped_campaign_spec_dry_runs(self, capsys):
+        from pathlib import Path
+
+        path = (
+            Path(__file__).parents[2] / "examples" / "configs"
+            / "campaign.json"
+        )
+        assert main(["campaign", str(path), "--dry-run"]) == 0

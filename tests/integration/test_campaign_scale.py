@@ -1,0 +1,171 @@
+"""Campaign stress/soak test: hundreds of real sessions, one process.
+
+A 50-tenant campaign of 200 mixed synchronous/asynchronous RepEx
+sessions — each a real inner simulation on its own virtual clock and
+private registry — runs against a shared datacenter with injected node
+crashes.  Every manifest on disk must parse and validate, per-tenant
+accounting must sum to the datacenter totals, and the whole campaign
+must be seed-deterministic: a second run produces byte-identical
+per-tenant manifests and an identical audit log.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.campaign.service import run_campaign
+from repro.campaign.spec import (
+    CampaignSpec,
+    DatacenterSpec,
+    FaultSpec,
+    TenantSpec,
+)
+from repro.obs.manifest import RunManifest
+
+N_TENANTS = 50
+SESSIONS_PER_TENANT = 4  # 2 patterns x 2 ladder sizes
+
+
+def tiny_base(index: int) -> dict:
+    """A minimal-but-real session config (~milliseconds of wallclock)."""
+    return {
+        "title": f"soak-{index:02d}",
+        "dimensions": [
+            {
+                "kind": "temperature",
+                "n_windows": 2,
+                "min_value": 300.0,
+                "max_value": 320.0 + index,
+            }
+        ],
+        "resource": {"name": "small-cluster", "cores": 4},
+        "n_cycles": 1,
+        "steps_per_cycle": 500,
+        "numeric_steps": 1,
+        "sample_stride": 0,
+        "seed": 100 + index,
+    }
+
+
+def soak_spec() -> CampaignSpec:
+    tenants = [
+        TenantSpec(
+            name=f"tenant{i:02d}",
+            weight=1.0 + (i % 3),
+            priority=i % 2,
+            quota_cores=16,
+            quota_sessions=3,
+            base=tiny_base(i),
+            grid={
+                "pattern.kind": ["synchronous", "asynchronous"],
+                "dimensions.0.n_windows": [2, 3],
+            },
+        )
+        for i in range(N_TENANTS)
+    ]
+    return CampaignSpec(
+        title="soak",
+        seed=424242,
+        datacenter=DatacenterSpec(nodes=16, cores_per_node=8, repair_s=120.0),
+        faults=FaultSpec(
+            node_crashes=[[15.0, 0], [40.0, 3], [70.0, 7], [110.0, 0]]
+        ),
+        tenants=tenants,
+        relaunch_limit=2,
+    )
+
+
+@pytest.fixture(scope="module")
+def soak_runs(tmp_path_factory):
+    """The campaign executed twice into separate manifest trees."""
+    reports, dirs = [], []
+    for label in ("first", "second"):
+        out = tmp_path_factory.mktemp(f"soak_{label}")
+        reports.append(run_campaign(soak_spec(), manifest_dir=out))
+        dirs.append(Path(out))
+    return reports, dirs
+
+
+class TestScale:
+    def test_campaign_is_200_plus_mixed_sessions(self, soak_runs):
+        (report, _), _ = soak_runs
+        assert len(report.records) == N_TENANTS * SESSIONS_PER_TENANT >= 200
+        patterns = {
+            (r.request.payload.get("pattern") or {}).get("kind")
+            for r in report.records
+        }
+        assert patterns == {"synchronous", "asynchronous"}
+
+    def test_faults_actually_fired_and_were_survived(self, soak_runs):
+        (report, _), _ = soak_runs
+        crashes = [e for e in report.audit if e["event"] == "crash"]
+        assert crashes, "no crash event fired — fault injection inert"
+        killed = [uid for e in crashes for uid in e["killed"]]
+        assert killed, "no session was ever hit — crashes missed the load"
+        # every session still reached a final verdict, and the relaunch
+        # budget was generous enough that all of them completed
+        from repro.campaign.arbiter import SessionState
+
+        assert all(r.done for r in report.records)
+        assert all(
+            r.state is SessionState.DONE for r in report.records
+        ), {r.request.uid: r.state.value for r in report.records
+            if r.state is not SessionState.DONE}
+
+    def test_every_manifest_on_disk_validates(self, soak_runs):
+        (report, _), (out_dir, _) = soak_runs
+        paths = sorted(out_dir.rglob("*.jsonl"))
+        assert len(paths) == len(report.records)
+        for path in paths:
+            manifest = RunManifest.load(path)
+            assert not manifest.recovered
+            assert manifest.units, f"{path}: no units recorded"
+            assert manifest.metrics, f"{path}: no metric snapshot"
+
+    def test_per_tenant_accounting_sums_to_datacenter_totals(self, soak_runs):
+        (report, _), _ = soak_runs
+        tenant_total = sum(
+            summary["core_seconds"] for summary in report.tenants.values()
+        )
+        assert tenant_total == pytest.approx(
+            report.totals["busy_core_seconds"], rel=1e-9
+        )
+        # and the per-record attempt intervals recompute the same number
+        recomputed = sum(
+            record.request.cores * (end - start)
+            for record in report.records
+            for start, end in record.attempts
+        )
+        assert recomputed == pytest.approx(
+            report.totals["busy_core_seconds"], rel=1e-9
+        )
+
+    def test_rerun_is_byte_identical(self, soak_runs):
+        (first, second), (dir_a, dir_b) = soak_runs
+        assert first.audit == second.audit
+        assert first.totals == second.totals
+        files_a = sorted(p.relative_to(dir_a) for p in dir_a.rglob("*.jsonl"))
+        files_b = sorted(p.relative_to(dir_b) for p in dir_b.rglob("*.jsonl"))
+        assert files_a == files_b
+        for rel in files_a:
+            assert (dir_a / rel).read_bytes() == (dir_b / rel).read_bytes(), (
+                f"{rel}: manifests differ between identical runs"
+            )
+
+    def test_openmetrics_aggregation_covers_every_tenant(self, soak_runs):
+        (report, _), _ = soak_runs
+        text = report.openmetrics()
+        assert text.endswith("# EOF\n")
+        for i in range(N_TENANTS):
+            assert f'tenant="tenant{i:02d}"' in text
+        # inner-session metrics were summed per tenant, not dropped
+        assert "exchange_attempted_total{" in text
+
+    def test_report_serializes_to_json(self, soak_runs):
+        (report, _), _ = soak_runs
+        doc = json.loads(json.dumps(report.to_dict()))
+        assert doc["totals"]["sessions"] == len(report.records)
+        assert set(doc["tenants"]) == {
+            f"tenant{i:02d}" for i in range(N_TENANTS)
+        }
