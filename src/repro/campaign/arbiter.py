@@ -187,12 +187,23 @@ class Arbiter:
         self._owner: List[Optional[str]] = [None] * n
         self._free: List[int] = [datacenter.cores_per_node] * n
         self._quarantined: List[bool] = [False] * n
+        spec_faults = faults if faults is not None else FaultSpec()
+        #: ground truth the workload experiences but the arbiter can't see
+        self._slow_factor: List[float] = [1.0] * n
+        for node, factor in spec_faults.slow_nodes:
+            self._slow_factor[int(node)] = max(
+                self._slow_factor[int(node)], float(factor)
+            )
+        #: slow-completion evidence the arbiter *can* see, per node
+        self._slow_samples: List[int] = [0] * n
+        self._slow_threshold = spec_faults.slow_node_threshold
+        self._slow_min_samples = spec_faults.slow_min_samples
         self.records: List[SessionRecord] = []
         self._by_uid: Dict[str, SessionRecord] = {}
         self.audit: List[Dict] = []
         self.busy_core_seconds = 0.0
         self._runner: Optional[Callable[[SessionRequest], SessionOutcome]] = None
-        self._arm_faults(faults if faults is not None else FaultSpec())
+        self._arm_faults(spec_faults)
 
     # -- fault schedule -------------------------------------------------------
 
@@ -398,8 +409,12 @@ class Arbiter:
                 "runner_error", uid=record.request.uid, error=str(exc)
             )
         record.outcome = outcome
+        # A slow node stretches the session's occupancy beyond what the
+        # runner reported — the gray failure the arbiter must *infer*
+        # from completion times, never read directly.
+        dilation = max(self._slow_factor[node] for node in alloc)
         record._completion = self.clock.schedule(  # type: ignore[attr-defined]
-            outcome.duration_s, lambda r=record: self._complete(r)
+            outcome.duration_s * dilation, lambda r=record: self._complete(r)
         )
 
     # -- completion / faults --------------------------------------------------
@@ -424,6 +439,8 @@ class Arbiter:
         if record.state is not SessionState.RUNNING:
             return  # killed while the completion event was in flight
         tenant = self._tenants[record.request.tenant]
+        nodes = sorted(record.allocation)
+        observed_s = self.clock.now - record.t_start
         self._release(tenant, record)
         assert record.outcome is not None
         record.state = (
@@ -436,7 +453,39 @@ class Arbiter:
             tenant=tenant.spec.name,
             duration_s=record.outcome.duration_s,
         )
+        self._observe_slowness(record, nodes, observed_s)
         self._dispatch()
+
+    def _observe_slowness(
+        self, record: SessionRecord, nodes: List[int], observed_s: float
+    ) -> None:
+        """Straggler detection on the arbiter's own evidence.
+
+        A clean completion whose occupancy exceeded the runner-reported
+        duration by ``slow_node_threshold``x is one sample of blame
+        against every node it ran on; ``slow_min_samples`` samples
+        quarantine the node permanently — like a crash, but with no
+        repair, because slow hardware does not heal on a timer.
+        """
+        assert record.outcome is not None
+        reported_s = record.outcome.duration_s
+        if reported_s <= 0:
+            return
+        ratio = observed_s / reported_s
+        if ratio < self._slow_threshold:
+            return
+        for node in nodes:
+            if self._quarantined[node]:
+                continue
+            self._slow_samples[node] += 1
+            if self._slow_samples[node] >= self._slow_min_samples:
+                self._quarantined[node] = True
+                self._audit(
+                    "slow_quarantine",
+                    node=node,
+                    samples=self._slow_samples[node],
+                    ratio=round(ratio, 6),
+                )
 
     def _crash_node(self, node: int) -> None:
         """One node dies: kill its owner's sessions, quarantine the node.
@@ -492,6 +541,8 @@ class Arbiter:
         self._dispatch()
 
     def _repair_node(self, node: int) -> None:
+        if self._slow_samples[node] >= self._slow_min_samples:
+            return  # slow-quarantined for good; a crash repair can't revive it
         self._quarantined[node] = False
         self._audit("repair", node=node)
         self._dispatch()

@@ -64,6 +64,15 @@ class FaultSpec:
     node_crashes: List[List[float]] = field(default_factory=list)
     #: horizon (seconds) over which rate-based crashes are pre-drawn
     horizon_s: float = 24 * 3600.0
+    #: gray failures: ``[node_index, factor]`` pairs — every session that
+    #: touches the node runs ``factor``x longer than the runner reported
+    slow_nodes: List[List[float]] = field(default_factory=list)
+    #: observed/reported duration ratio at which a completed session
+    #: counts as evidence that one of its nodes is slow
+    slow_node_threshold: float = 1.5
+    #: slow completions a node must accumulate before the arbiter
+    #: quarantines it permanently (like a crashed node, but never repaired)
+    slow_min_samples: int = 2
 
     def __post_init__(self):
         if self.node_crash_rate < 0:
@@ -83,6 +92,26 @@ class FaultSpec:
                     "node_crashes entries must be [t >= 0, node >= 0], "
                     f"got {entry!r}"
                 )
+        for entry in self.slow_nodes:
+            if (
+                not isinstance(entry, (list, tuple))
+                or len(entry) != 2
+                or entry[0] < 0
+                or entry[1] <= 1.0
+            ):
+                raise CampaignError(
+                    "slow_nodes entries must be [node >= 0, factor > 1], "
+                    f"got {entry!r}"
+                )
+        if self.slow_node_threshold <= 1.0:
+            raise CampaignError(
+                "slow_node_threshold must be > 1, got "
+                f"{self.slow_node_threshold}"
+            )
+        if self.slow_min_samples < 1:
+            raise CampaignError(
+                f"slow_min_samples must be >= 1, got {self.slow_min_samples}"
+            )
 
     @property
     def enabled(self) -> bool:
@@ -184,6 +213,12 @@ class CampaignSpec:
             if crash[1] >= self.datacenter.nodes:
                 raise CampaignError(
                     f"node_crashes names node {int(crash[1])} but the "
+                    f"datacenter has only {self.datacenter.nodes} nodes"
+                )
+        for slow in self.faults.slow_nodes:
+            if slow[0] >= self.datacenter.nodes:
+                raise CampaignError(
+                    f"slow_nodes names node {int(slow[0])} but the "
                     f"datacenter has only {self.datacenter.nodes} nodes"
                 )
 

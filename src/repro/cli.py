@@ -219,11 +219,31 @@ def _load_manifest(path: str) -> Optional[RunManifest]:
     return manifest
 
 
+def _strict_violation(args: argparse.Namespace, path: str,
+                      manifest: RunManifest) -> bool:
+    """True when ``--strict`` forbids using this (recovered) manifest.
+
+    Pipelines that feed manifests into dashboards want truncation to be
+    an error, not a warning; ``--strict`` turns any recovery into exit
+    code 4 before a single degraded number is rendered.
+    """
+    if not getattr(args, "strict", False) or not manifest.recovered:
+        return False
+    print(
+        f"error: {path}: manifest needed recovery "
+        f"({len(manifest.recovered)} warning(s)) — refusing under --strict",
+        file=sys.stderr,
+    )
+    return True
+
+
 def cmd_obs_summary(args: argparse.Namespace) -> int:
     """Print a run manifest's phase decomposition and metrics."""
     manifest = _load_manifest(args.manifest)
     if manifest is None:
         return 2
+    if _strict_violation(args, args.manifest, manifest):
+        return 4
     for line in manifest.summary_lines():
         print(line)
     return 0
@@ -234,6 +254,8 @@ def cmd_obs_timeline(args: argparse.Namespace) -> int:
     manifest = _load_manifest(args.manifest)
     if manifest is None:
         return 2
+    if _strict_violation(args, args.manifest, manifest):
+        return 4
     events = manifest.timeline
     if args.limit and len(events) > args.limit:
         shown, hidden = events[: args.limit], len(events) - args.limit
@@ -253,6 +275,8 @@ def cmd_obs_export(args: argparse.Namespace) -> int:
     manifest = _load_manifest(args.manifest)
     if manifest is None:
         return 2
+    if _strict_violation(args, args.manifest, manifest):
+        return 4
     if args.format == "chrome":
         text = (
             json.dumps(chrome_trace(manifest), indent=2, sort_keys=True) + "\n"
@@ -274,6 +298,8 @@ def cmd_obs_critical_path(args: argparse.Namespace) -> int:
     manifest = _load_manifest(args.manifest)
     if manifest is None:
         return 2
+    if _strict_violation(args, args.manifest, manifest):
+        return 4
     print(render_report(manifest, max_segments=args.segments))
     return 0
 
@@ -286,6 +312,10 @@ def cmd_obs_diff(args: argparse.Namespace) -> int:
     b = _load_manifest(args.b)
     if a is None or b is None:
         return 2
+    bad_a = _strict_violation(args, args.a, a)
+    bad_b = _strict_violation(args, args.b, b)
+    if bad_a or bad_b:
+        return 4
     print(render_diff(diff_manifests(a, b), only_changed=args.only_changed))
     return 0
 
@@ -499,6 +529,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="RepEx reproduction: replica-exchange MD simulations",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "exit codes:\n"
+            "  0  success\n"
+            "  1  scenario failure: a chaos scenario did not survive, or\n"
+            "     bench --compare found a regression past the threshold\n"
+            "  2  invalid configuration, unreadable file, or bad usage\n"
+            "  3  simulated crash (run --crash-at-time); on-disk\n"
+            "     checkpoints are the recovery points\n"
+            "  4  degraded result: campaign admission control rejected\n"
+            "     sessions, or obs --strict refused a recovered manifest\n"
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -585,13 +627,21 @@ def build_parser() -> argparse.ArgumentParser:
         "obs", help="inspect run manifests (metrics, spans, timelines)"
     )
     obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    strict_parent = argparse.ArgumentParser(add_help=False)
+    strict_parent.add_argument(
+        "--strict", action="store_true",
+        help="refuse manifests that needed truncation recovery "
+             "(exit 4 instead of analyzing a degraded file)",
+    )
     p_obs_summary = obs_sub.add_parser(
-        "summary", help="print phase totals and metrics of a manifest"
+        "summary", parents=[strict_parent],
+        help="print phase totals and metrics of a manifest",
     )
     p_obs_summary.add_argument("manifest", help="path to a manifest JSONL")
     p_obs_summary.set_defaults(func=cmd_obs_summary)
     p_obs_timeline = obs_sub.add_parser(
-        "timeline", help="print the event-ordered unit timeline"
+        "timeline", parents=[strict_parent],
+        help="print the event-ordered unit timeline",
     )
     p_obs_timeline.add_argument("manifest", help="path to a manifest JSONL")
     p_obs_timeline.add_argument(
@@ -600,7 +650,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_obs_timeline.set_defaults(func=cmd_obs_timeline)
     p_obs_export = obs_sub.add_parser(
-        "export",
+        "export", parents=[strict_parent],
         help="render a manifest as Chrome trace JSON or OpenMetrics text",
     )
     p_obs_export.add_argument("manifest", help="path to a manifest JSONL")
@@ -614,7 +664,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_obs_export.set_defaults(func=cmd_obs_export)
     p_obs_cp = obs_sub.add_parser(
-        "critical-path",
+        "critical-path", parents=[strict_parent],
         help="per-cycle critical path and phase decomposition",
     )
     p_obs_cp.add_argument("manifest", help="path to a manifest JSONL")
@@ -624,7 +674,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_obs_cp.set_defaults(func=cmd_obs_critical_path)
     p_obs_diff = obs_sub.add_parser(
-        "diff", help="compare two manifests (metrics, phases, critical path)"
+        "diff", parents=[strict_parent],
+        help="compare two manifests (metrics, phases, critical path)",
     )
     p_obs_diff.add_argument("a", help="baseline manifest JSONL")
     p_obs_diff.add_argument("b", help="candidate manifest JSONL")

@@ -26,6 +26,7 @@ from repro.core.config import (
     PatternSpec,
     ResourceSpec,
     SimulationConfig,
+    WatchdogSpec,
 )
 from repro.core.framework import RepEx
 from repro.obs.metrics import MetricsRegistry, using_registry
@@ -101,12 +102,19 @@ def _config(
     cores_per_replica: int = 1,
     n_cycles: int = 3,
     seed: int = 2016,
+    watchdog: Optional[WatchdogSpec] = None,
+    barrier_deadline_s: Optional[float] = None,
 ) -> SimulationConfig:
+    kwargs: Dict[str, object] = {}
+    if watchdog is not None:
+        kwargs["watchdog"] = watchdog
     return SimulationConfig(
         title=title,
         dimensions=[DimensionSpec("temperature", n_windows, 273.0, 373.0)],
         resource=ResourceSpec("supermic", cores=cores),
-        pattern=PatternSpec(kind=pattern_kind),
+        pattern=PatternSpec(
+            kind=pattern_kind, barrier_deadline_s=barrier_deadline_s
+        ),
         n_cycles=n_cycles,
         steps_per_cycle=6000,
         numeric_steps=10,
@@ -114,6 +122,7 @@ def _config(
         cores_per_replica=cores_per_replica,
         failure=failure,
         seed=seed,
+        **kwargs,
     )
 
 
@@ -190,6 +199,56 @@ def builtin_scenarios(fast: bool = False) -> List[ChaosScenario]:
                 failure=FailureSpec(
                     policy="retire", probability=0.3, retire_after=1
                 ),
+            ),
+        ),
+        # -- gray failures: nothing crashes, things just go quiet/slow --
+        ChaosScenario(
+            # node 0's four replicas run 4x slow; the watchdog flags them
+            # against the healthy node-1 cohort and speculatively
+            # relaunches on the cores node 1 freed (deadline_factor is
+            # raised so speculation, not deadline kills, resolves them)
+            "slow-node/speculative/sync",
+            _config(
+                "chaos-slow-speculative",
+                failure=FailureSpec(
+                    policy="continue", slow_nodes=[[0, 4.0]]
+                ),
+                watchdog=WatchdogSpec(
+                    enabled=True,
+                    deadline_factor=6.0,
+                    check_interval_s=10.0,
+                    speculative=True,
+                ),
+                cores=40,
+                cores_per_replica=5,
+            ),
+        ),
+        ChaosScenario(
+            # hung attempts never complete; the watchdog's per-attempt
+            # deadline kills and relaunches them (a fresh attempt
+            # re-draws the hang, so the barrier always clears)
+            "hangs/watchdog-relaunch/sync",
+            _config(
+                "chaos-hangs",
+                failure=FailureSpec(
+                    policy="continue", hang_probability=0.15
+                ),
+                watchdog=WatchdogSpec(enabled=True),
+            ),
+        ),
+        ChaosScenario(
+            # no watchdog: the slow node's replicas miss the 60s exchange
+            # window, the barrier proceeds without them (bounded
+            # staleness), and they rejoin the next cycle
+            "slow-node/barrier-deadline/sync",
+            _config(
+                "chaos-barrier-deadline",
+                failure=FailureSpec(
+                    policy="continue", slow_nodes=[[0, 4.0]]
+                ),
+                barrier_deadline_s=60.0,
+                cores=40,
+                cores_per_replica=5,
             ),
         ),
     ]
@@ -365,7 +424,11 @@ def _fault_counters(registry: MetricsRegistry) -> Dict[str, float]:
     return {
         name: value
         for name, value in counters.items()
-        if (name.startswith("fault.") or name in _EXTRA_COUNTERS) and value
+        if value
+        and (
+            name.startswith(("fault.", "watchdog.", "emm.barrier"))
+            or name in _EXTRA_COUNTERS
+        )
     }
 
 

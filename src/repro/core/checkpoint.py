@@ -37,6 +37,7 @@ Two kinds of quiet point exist, one per execution pattern:
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from dataclasses import asdict, dataclass, field
@@ -161,6 +162,14 @@ def _capture_rng(emm) -> Dict[str, object]:
     fault_domain = getattr(emm.session, "fault_domain", None)
     if fault_domain is not None and fault_domain.staging is not None:
         rng_blob["staging"] = fault_domain.staging.rng.bit_generator.state
+    # Gray-failure streams.  The slowdown stream needs no capture: it is
+    # fully consumed at first pilot activation, which the restore replay
+    # re-runs from the seed, reproducing the same dilation map.
+    if fault_domain is not None and fault_domain._hang_rng is not None:
+        rng_blob["hangs"] = fault_domain._hang_rng.bit_generator.state
+    watchdog = getattr(emm.session, "watchdog", None)
+    if watchdog is not None and watchdog.retry.rng is not None:
+        rng_blob["watchdog_backoff"] = watchdog.retry.rng.bit_generator.state
     return rng_blob
 
 
@@ -183,6 +192,13 @@ def _capture_obs(emm) -> Optional[Dict[str, object]]:
             else []
         ),
     }
+
+
+def _capture_watchdog(emm) -> Optional[Dict[str, object]]:
+    watchdog = getattr(emm.session, "watchdog", None)
+    if watchdog is None:
+        return None
+    return watchdog.state_dict()
 
 
 def _capture_accounting(emm) -> Dict[str, float]:
@@ -222,6 +238,13 @@ class Checkpoint:
     async_state: Optional[Dict[str, object]] = None
     #: observability state (metrics/spans/trace/faults); None when obs off
     obs: Optional[Dict[str, object]] = None
+    #: watchdog supervision state (learned cohort durations); None when
+    #: the watchdog is disabled
+    watchdog_state: Optional[Dict[str, object]] = None
+    #: sha256 over the canonical JSON dump (sans this field); verified on
+    #: load so silent on-disk corruption fails loudly instead of
+    #: resuming from garbage.  None in pre-checksum snapshots.
+    checksum: Optional[str] = None
     schema_version: int = SCHEMA_VERSION
 
     # -- capture -------------------------------------------------------------
@@ -254,6 +277,7 @@ class Checkpoint:
             staging=emm.session.staging_area.snapshot(),
             pattern="synchronous",
             obs=_capture_obs(emm),
+            watchdog_state=_capture_watchdog(emm),
         )
 
     @classmethod
@@ -300,14 +324,26 @@ class Checkpoint:
             pattern="asynchronous",
             async_state=dict(async_state),
             obs=_capture_obs(emm),
+            watchdog_state=_capture_watchdog(emm),
         )
 
     # -- (de)serialization ---------------------------------------------------
 
+    @staticmethod
+    def _content_checksum(data: Dict[str, object]) -> str:
+        """sha256 of the canonical dump with the checksum field removed."""
+        blob = {k: v for k, v in data.items() if k != "checksum"}
+        return hashlib.sha256(
+            json.dumps(blob, default=_json_default, sort_keys=True).encode()
+        ).hexdigest()
+
     def to_json(self) -> str:
         """JSON text form (floats at full ``repr`` precision, so times and
-        coordinates round-trip bit-exactly)."""
-        return json.dumps(asdict(self), default=_json_default, sort_keys=True)
+        coordinates round-trip bit-exactly), stamped with the content
+        checksum."""
+        data = asdict(self)
+        data["checksum"] = self._content_checksum(data)
+        return json.dumps(data, default=_json_default, sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "Checkpoint":
@@ -335,6 +371,25 @@ class Checkpoint:
         except TypeError as exc:
             raise CheckpointError(f"malformed checkpoint: {exc}") from None
         ckpt.validate()
+        # Verified last: structural damage gets its specific error above;
+        # the checksum catches the silent kind — a flipped bit in a
+        # coordinate or RNG word that still parses and validates.  Only
+        # current-schema files are checked: the v1 upgrade path rewrites
+        # fields, so any hash it carried can no longer match.
+        if version == SCHEMA_VERSION and ckpt.checksum is not None:
+            expected = cls._content_checksum(data)
+            if ckpt.checksum != expected:
+                recorded = (
+                    f"{ckpt.checksum[:12]}…"
+                    if isinstance(ckpt.checksum, str)
+                    else repr(ckpt.checksum)
+                )
+                raise CheckpointError(
+                    f"checkpoint content checksum mismatch (recorded "
+                    f"{recorded}, content hashes to "
+                    f"{expected[:12]}…) — the file was corrupted after it "
+                    f"was written"
+                )
         return ckpt
 
     def validate(self) -> None:
@@ -408,12 +463,22 @@ class Checkpoint:
 
     @classmethod
     def load(cls, path) -> "Checkpoint":
-        """Read a checkpoint from ``path``."""
+        """Read a checkpoint from ``path``.
+
+        Truncated, bit-flipped or otherwise mangled files fail here with
+        a ``corrupt checkpoint at <path>`` error naming the file, rather
+        than surfacing as a confusing failure deep inside restore.
+        """
         try:
             text = Path(path).read_text()
         except OSError as exc:
             raise CheckpointError(f"cannot read checkpoint: {exc}") from None
-        return cls.from_json(text)
+        try:
+            return cls.from_json(text)
+        except CheckpointError as exc:
+            raise CheckpointError(
+                f"corrupt checkpoint at {path}: {exc}"
+            ) from None
 
 
 def _check_pattern(emm, ckpt: Checkpoint, expected: str) -> None:
@@ -461,6 +526,20 @@ def _restore_state(emm, ckpt: Checkpoint) -> None:
         and fault_domain.staging is not None
     ):
         fault_domain.staging.rng.bit_generator.state = ckpt.rng["staging"]
+    if (
+        "hangs" in ckpt.rng
+        and fault_domain is not None
+        and fault_domain._hang_rng is not None
+    ):
+        fault_domain._hang_rng.bit_generator.state = ckpt.rng["hangs"]
+    watchdog = getattr(emm.session, "watchdog", None)
+    if watchdog is not None:
+        if "watchdog_backoff" in ckpt.rng and watchdog.retry.rng is not None:
+            watchdog.retry.rng.bit_generator.state = ckpt.rng[
+                "watchdog_backoff"
+            ]
+        if ckpt.watchdog_state is not None:
+            watchdog.load_state(ckpt.watchdog_state)
 
     emm.session.staging_area.restore(ckpt.staging)
 

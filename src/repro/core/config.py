@@ -142,6 +142,11 @@ class PatternSpec:
     window_seconds: float = 60.0
     #: async only: alternatively trigger when this many replicas are ready
     fifo_count: Optional[int] = None
+    #: sync only: bound the MD barrier — when this many virtual seconds
+    #: pass after the cycle's MD submission, the exchange sweep proceeds
+    #: over the replicas that have arrived and late arrivals skip that
+    #: exchange window (bounded staleness; None = rigid global barrier)
+    barrier_deadline_s: Optional[float] = None
 
     def __post_init__(self):
         if self.kind not in ("synchronous", "asynchronous"):
@@ -157,6 +162,17 @@ class PatternSpec:
             raise ConfigError(
                 f"fifo_count must be >= 2, got {self.fifo_count}"
             )
+        if self.barrier_deadline_s is not None:
+            if self.barrier_deadline_s <= 0:
+                raise ConfigError(
+                    f"barrier_deadline_s must be > 0, "
+                    f"got {self.barrier_deadline_s}"
+                )
+            if self.kind != "synchronous":
+                raise ConfigError(
+                    "barrier_deadline_s applies to the synchronous barrier "
+                    "only (the asynchronous pattern has no global barrier)"
+                )
 
 
 @dataclass
@@ -191,6 +207,17 @@ class FailureSpec:
     staging_max_retries: int = 4
     #: base of the exponential staging backoff (seconds)
     staging_backoff_s: float = 0.5
+    #: gray failures — explicit slow nodes as [node_index, factor] pairs:
+    #: every execution and staging operation placed on that node runs
+    #: ``factor`` times longer (factor > 1), silently
+    slow_nodes: List[List[float]] = field(default_factory=list)
+    #: chance each node is independently drawn slow at pilot activation
+    slow_node_probability: float = 0.0
+    #: dilation factor applied to randomly drawn slow nodes
+    slow_factor: float = 1.0
+    #: chance each MD execution hangs forever (never completes on its
+    #: own); detection/recovery requires the watchdog
+    hang_probability: float = 0.0
 
     def __post_init__(self):
         if not (0.0 <= self.probability <= 1.0):
@@ -251,6 +278,45 @@ class FailureSpec:
             raise ConfigError(
                 f"staging_backoff_s must be > 0, got {self.staging_backoff_s}"
             )
+        for entry in self.slow_nodes:
+            if (
+                not isinstance(entry, (list, tuple))
+                or len(entry) != 2
+                or entry[0] < 0
+                or entry[1] <= 1
+            ):
+                raise ConfigError(
+                    "slow_nodes entries must be [node >= 0, factor > 1], "
+                    f"got {entry!r}"
+                )
+        if not (0.0 <= self.slow_node_probability <= 1.0):
+            raise ConfigError(
+                "slow_node_probability must be in [0,1], got "
+                f"{self.slow_node_probability}"
+            )
+        if self.slow_factor < 1:
+            raise ConfigError(
+                f"slow_factor must be >= 1, got {self.slow_factor}"
+            )
+        if self.slow_node_probability > 0 and self.slow_factor == 1:
+            raise ConfigError(
+                "slow_node_probability > 0 needs slow_factor > 1 "
+                "(a factor of 1 is not a slowdown)"
+            )
+        if not (0.0 <= self.hang_probability <= 1.0):
+            raise ConfigError(
+                f"hang_probability must be in [0,1], got "
+                f"{self.hang_probability}"
+            )
+
+    @property
+    def wants_gray_faults(self) -> bool:
+        """True when any slowdown or hang injection is enabled."""
+        return (
+            bool(self.slow_nodes)
+            or self.slow_node_probability > 0
+            or self.hang_probability > 0
+        )
 
     @property
     def wants_fault_domain(self) -> bool:
@@ -260,7 +326,90 @@ class FailureSpec:
             or bool(self.node_crashes)
             or self.preempt_after_s is not None
             or self.staging_fault_probability > 0
+            or self.wants_gray_faults
         )
+
+
+@dataclass
+class WatchdogSpec:
+    """The gray-failure watchdog: virtual-time supervision of executions.
+
+    The watchdog runs on the DES clock inside the agent scheduler.  It
+    arms a per-unit deadline at ``deadline_factor`` times the perf
+    model's expected runtime (hung or pathologically slow attempts are
+    killed and relaunched with exponential backoff, bounded by
+    ``max_retries``), and on a ``check_interval_s`` heartbeat scores
+    still-running units against the cohort's running median of completed
+    execution times — tail stragglers optionally get a *speculative*
+    duplicate launch whose first finisher wins (exactly-once completion;
+    the loser is cancelled).  Everything it does is observable as
+    ``watchdog.*`` counters and fault-domain events.
+    """
+
+    enabled: bool = False
+    #: deadline = deadline_factor x expected runtime (perf model)
+    deadline_factor: float = 3.0
+    #: floor on the per-unit deadline (seconds)
+    min_deadline_s: float = 1.0
+    #: heartbeat cadence of the straggler scan (virtual seconds)
+    check_interval_s: float = 30.0
+    #: a running unit is a straggler when its elapsed execution time
+    #: exceeds this multiple of the cohort's running median
+    straggler_factor: float = 2.0
+    #: completed executions required before straggler scoring starts
+    min_cohort: int = 3
+    #: deadline-triggered kill-and-relaunch attempts per unit before the
+    #: unit fails for good (and the EMM failure policy takes over)
+    max_retries: int = 2
+    #: exponential relaunch backoff: base, cap and jitter fraction
+    backoff_base_s: float = 5.0
+    backoff_cap_s: float = 120.0
+    backoff_jitter: float = 0.25
+    #: launch a speculative duplicate for detected stragglers
+    speculative: bool = False
+
+    def __post_init__(self):
+        if self.deadline_factor <= 1:
+            raise ConfigError(
+                f"deadline_factor must be > 1, got {self.deadline_factor}"
+            )
+        if self.min_deadline_s < 0:
+            raise ConfigError(
+                f"min_deadline_s must be >= 0, got {self.min_deadline_s}"
+            )
+        if self.check_interval_s <= 0:
+            raise ConfigError(
+                f"check_interval_s must be > 0, got {self.check_interval_s}"
+            )
+        if self.straggler_factor <= 1:
+            raise ConfigError(
+                f"straggler_factor must be > 1, got {self.straggler_factor}"
+            )
+        if self.min_cohort < 1:
+            raise ConfigError(
+                f"min_cohort must be >= 1, got {self.min_cohort}"
+            )
+        if self.max_retries < 0:
+            raise ConfigError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_base_s <= 0:
+            raise ConfigError(
+                f"backoff_base_s must be > 0, got {self.backoff_base_s}"
+            )
+        if self.backoff_cap_s < self.backoff_base_s:
+            raise ConfigError(
+                f"backoff_cap_s must be >= backoff_base_s, "
+                f"got {self.backoff_cap_s}"
+            )
+        if not (0.0 <= self.backoff_jitter <= 1.0):
+            raise ConfigError(
+                f"backoff_jitter must be in [0,1], got {self.backoff_jitter}"
+            )
+        if self.speculative and not self.enabled:
+            raise ConfigError(
+                "watchdog speculative launches require enabled=true"
+            )
 
 
 @dataclass
@@ -273,6 +422,7 @@ class SimulationConfig:
     dimensions: List[DimensionSpec] = field(default_factory=list)
     pattern: PatternSpec = field(default_factory=PatternSpec)
     failure: FailureSpec = field(default_factory=FailureSpec)
+    watchdog: WatchdogSpec = field(default_factory=WatchdogSpec)
     adaptive: AdaptiveSpec = field(default_factory=AdaptiveSpec)
     #: MD steps *billed* per cycle (what the paper's timings are based on)
     steps_per_cycle: int = 6000
@@ -348,6 +498,21 @@ class SimulationConfig:
         if self.sample_stride < 0:
             raise ConfigError(
                 f"sample_stride must be >= 0, got {self.sample_stride}"
+            )
+        if self.failure.hang_probability > 0 and not self.watchdog.enabled:
+            raise ConfigError(
+                "hang_probability > 0 requires watchdog.enabled: a hung "
+                "unit never completes on its own, so without the watchdog "
+                "the run would deadlock"
+            )
+        if (
+            self.pattern.barrier_deadline_s is not None
+            and self.effective_mode != "I"
+        ):
+            raise ConfigError(
+                "barrier_deadline_s requires execution mode I (mode II "
+                "already serializes the cycle into waves with their own "
+                "internal barriers)"
             )
         if self.adaptive.enabled and self.pattern.kind != "asynchronous":
             raise ConfigError(
@@ -434,6 +599,7 @@ class SimulationConfig:
         resource = pop_sub("resource", ResourceSpec, ResourceSpec)
         pattern = pop_sub("pattern", PatternSpec, PatternSpec)
         failure = pop_sub("failure", FailureSpec, FailureSpec)
+        watchdog = pop_sub("watchdog", WatchdogSpec, WatchdogSpec)
         adaptive = pop_sub("adaptive", AdaptiveSpec, AdaptiveSpec)
 
         raw_dims = data.pop("dimensions", [])
@@ -472,6 +638,7 @@ class SimulationConfig:
             resource=resource,
             pattern=pattern,
             failure=failure,
+            watchdog=watchdog,
             adaptive=adaptive,
             dimensions=dims,
             **{k: v for k, v in data.items() if k in known},

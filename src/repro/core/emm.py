@@ -90,6 +90,14 @@ class ExecutionManagerBase:
         self._c_captured = self.metrics.counter("checkpoint.captured")
         self._c_quiesces = self.metrics.counter("checkpoint.quiesces")
         self._h_drain = self.metrics.histogram("checkpoint.drain_seconds")
+        # Registered only when the deadline-bounded barrier is on: zero
+        # counters still appear in metric snapshots, and the default
+        # (rigid-barrier) manifest must not change.
+        if config.pattern.barrier_deadline_s is not None:
+            self._c_deadline_fires = self.metrics.counter(
+                "emm.barrier_deadline_fires"
+            )
+            self._c_barrier_late = self.metrics.counter("emm.barrier_late")
 
     # -- helpers ---------------------------------------------------------------
 
@@ -123,7 +131,20 @@ class ExecutionManagerBase:
         unit_of = {
             u.description.metadata["rid"]: u for u in units
         }
+        self._apply_md_recovery(cycle, replicas, unit_of)
+        return unit_of
 
+    def _apply_md_recovery(
+        self,
+        cycle: int,
+        replicas: Sequence[Replica],
+        unit_of: Dict[int, ComputeUnit],
+    ) -> None:
+        """Apply the fault policy to failed units in ``unit_of`` (in place).
+
+        Every unit in ``unit_of`` must be final; relaunched replicas get
+        their new unit written back into the dict.
+        """
         attempt = 1
         while True:
             failed = [
@@ -166,7 +187,73 @@ class ExecutionManagerBase:
             for u in redo_units:
                 unit_of[u.description.metadata["rid"]] = u
             attempt += 1
-        return unit_of
+
+    def _wait_barrier(self, units: Sequence[ComputeUnit], deadline_s: float) -> None:
+        """Drive the clock until all ``units`` finish or ``deadline_s`` passes.
+
+        The deadline is measured from now (phase submission).  On return
+        some units may still be in flight — the caller decides what to do
+        with the stragglers.
+        """
+        pending = [u for u in units if not u.done]
+        if not pending:
+            return
+        remaining = [len(pending)]
+
+        def _on_final(unit: ComputeUnit, _state) -> None:
+            if unit.done:
+                remaining[0] -= 1
+
+        for unit in pending:
+            unit.register_callback(_on_final)
+        fired = {"flag": False}
+
+        def _fire() -> None:
+            fired["flag"] = True
+
+        timer = self.session.clock.schedule(deadline_s, _fire)
+        self.session.clock.run_until(
+            lambda: remaining[0] == 0 or fired["flag"]
+        )
+        if not fired["flag"]:
+            timer.cancel()
+
+    def _run_md_bounded(
+        self, cycle: int, replicas: Sequence[Replica], deadline_s: float
+    ):
+        """Deadline-bounded MD barrier (sync pattern, Mode I only).
+
+        Submits the full fan-out, waits at most ``deadline_s`` virtual
+        seconds, and returns ``(unit_of, late_rids)``.  Late units are
+        still in flight: the caller runs the exchange over the arrived
+        replicas (graceful degradation — a straggler or hang no longer
+        stalls the whole ensemble) and collects the stragglers after the
+        window closes.  Fault-policy recovery applies only to replicas
+        that arrived within the window.
+        """
+        descs = [self.amm.md_task(r, cycle) for r in replicas]
+        units = self.session.submit_units(self.pilot, descs)
+        self._wait_barrier(units, deadline_s)
+        unit_of = {u.description.metadata["rid"]: u for u in units}
+        late_rids = [rid for rid in sorted(unit_of) if not unit_of[rid].done]
+        late = set(late_rids)
+        arrived = [r for r in replicas if r.rid not in late]
+        arrived_of = {r.rid: unit_of[r.rid] for r in arrived}
+        self._account_md(list(arrived_of.values()))
+        if late_rids:
+            self._c_deadline_fires.inc()
+            self._c_barrier_late.inc(len(late_rids))
+            fd = self.session.fault_domain
+            if fd is not None:
+                fd.record(
+                    self.session.now,
+                    "barrier_deadline",
+                    cycle=cycle,
+                    n_late=len(late_rids),
+                )
+        self._apply_md_recovery(cycle, arrived, arrived_of)
+        unit_of.update(arrived_of)
+        return unit_of, late_rids
 
     def _run_exchange(
         self,
@@ -294,12 +381,22 @@ class SynchronousEMM(ExecutionManagerBase):
             md_span = self.metrics.begin_span(
                 "md", parent=cycle_span, cycle=cycle, n_replicas=len(active)
             )
-            unit_of = self._run_md_with_recovery(cycle, active)
+            deadline_s = self.config.pattern.barrier_deadline_s
+            if deadline_s is None:
+                unit_of = self._run_md_with_recovery(cycle, active)
+                on_time: List[Replica] = active
+                late_rids: List[int] = []
+            else:
+                unit_of, late_rids = self._run_md_bounded(
+                    cycle, active, deadline_s
+                )
+                late = set(late_rids)
+                on_time = [r for r in active if r.rid not in late]
             md_end = self.session.now
             md_span.end()
 
             n_failed = 0
-            for rep in active:
+            for rep in on_time:
                 ok = self.amm.process_md_output(
                     rep,
                     unit_of[rep.rid],
@@ -313,7 +410,7 @@ class SynchronousEMM(ExecutionManagerBase):
             if dimension is not None:
                 healthy = [
                     r
-                    for r in active
+                    for r in on_time
                     if r.status is ReplicaStatus.ACTIVE
                     and not (r.history and r.history[-1].failed)
                 ]
@@ -330,6 +427,36 @@ class SynchronousEMM(ExecutionManagerBase):
                 self._c_sweeps.inc()
                 all_proposals.extend(proposals)
             ex_end = self.session.now
+
+            if late_rids:
+                # Bounded staleness: the stragglers ran straight through
+                # the exchange window; collect them now so the next cycle
+                # starts from a consistent ensemble.  A late *failure*
+                # degrades RELAUNCH to CONTINUE — its exchange window is
+                # already gone, so it keeps pre-cycle coordinates and
+                # rejoins next cycle (RETIRE still retires).
+                by_rid = {r.rid: r for r in active}
+                late_units = [unit_of[rid] for rid in late_rids]
+                self.session.wait_units(late_units)
+                self._account_md(late_units)
+                for rid in late_rids:
+                    rep = by_rid[rid]
+                    unit = unit_of[rid]
+                    if not unit.succeeded:
+                        self.n_failures += 1
+                        self._c_failures.inc()
+                        action = self.policy.on_failure(rep, 1)
+                        if action is FaultAction.RETIRE:
+                            rep.status = ReplicaStatus.RETIRED
+                            self.n_retired += 1
+                    ok = self.amm.process_md_output(
+                        rep,
+                        unit,
+                        cycle,
+                        dimension.name if dimension else None,
+                    )
+                    if not ok:
+                        n_failed += 1
 
             md_units = [unit_of[r.rid] for r in active]
             t_md = max((u.execution_time for u in md_units), default=0.0)
@@ -354,6 +481,7 @@ class SynchronousEMM(ExecutionManagerBase):
                     t_end=self.session.now,
                     n_replicas=len(active),
                     n_failed=n_failed,
+                    n_late=len(late_rids),
                 )
             )
             cycle_span.end()

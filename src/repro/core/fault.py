@@ -98,6 +98,76 @@ class RetirePolicy(FaultPolicy):
         return FaultAction.RETIRE
 
 
+class WatchdogRetryPolicy:
+    """Kill-and-relaunch policy for watchdog deadline verdicts.
+
+    When the :class:`~repro.pilot.watchdog.Watchdog` declares an
+    execution attempt dead (hung, or slower than the phase deadline), the
+    verdict feeds this policy: relaunch with exponential backoff plus
+    seeded jitter while bounded attempts remain, then give up — the unit
+    fails for good and the EMM's :class:`FaultPolicy` takes over.
+
+    ``attempt`` is 1-based (the attempt that just missed its deadline).
+    """
+
+    def __init__(
+        self,
+        max_retries: int = 2,
+        backoff_base_s: float = 5.0,
+        backoff_cap_s: float = 120.0,
+        jitter: float = 0.25,
+        rng=None,
+    ):
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff_base_s <= 0:
+            raise ValueError(
+                f"backoff_base_s must be > 0, got {backoff_base_s}"
+            )
+        if backoff_cap_s < backoff_base_s:
+            raise ValueError(
+                f"backoff_cap_s ({backoff_cap_s}) < backoff_base_s "
+                f"({backoff_base_s})"
+            )
+        if not (0.0 <= jitter <= 1.0):
+            raise ValueError(f"jitter must be in [0, 1], got {jitter}")
+        self.max_retries = int(max_retries)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self.jitter = float(jitter)
+        self.rng = rng
+
+    @classmethod
+    def from_spec(cls, spec, rng=None) -> "WatchdogRetryPolicy":
+        """Build from a :class:`~repro.core.config.WatchdogSpec`."""
+        return cls(
+            max_retries=spec.max_retries,
+            backoff_base_s=spec.backoff_base_s,
+            backoff_cap_s=spec.backoff_cap_s,
+            jitter=spec.backoff_jitter,
+            rng=rng,
+        )
+
+    def should_relaunch(self, attempt: int) -> bool:
+        """Whether attempt ``attempt + 1`` is still within budget."""
+        return attempt <= self.max_retries
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before the relaunch after ``attempt`` missed its deadline.
+
+        Doubles per attempt, scaled by ``1 + jitter * U(0, 1)`` from the
+        seeded stream (so two same-seeded runs relaunch at identical
+        virtual times), and capped.  Consumes no RNG when jitter is 0 or
+        no stream is wired.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        delay = self.backoff_base_s * (2.0 ** (attempt - 1))
+        if self.jitter > 0 and self.rng is not None:
+            delay *= 1.0 + self.jitter * float(self.rng.random())
+        return min(delay, self.backoff_cap_s)
+
+
 def policy_from_spec(spec: FailureSpec) -> FaultPolicy:
     """Build the policy requested by a :class:`FailureSpec`."""
     if spec.policy == "continue":

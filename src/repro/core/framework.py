@@ -39,6 +39,7 @@ from repro.pilot.faultdomain import FaultDomainModel
 from repro.pilot.pilot import PilotDescription
 from repro.pilot.session import Session
 from repro.pilot.trace import Tracer
+from repro.pilot.watchdog import Watchdog
 from repro.utils.rng import RNGRegistry
 
 
@@ -181,6 +182,20 @@ class RepEx:
                 self.session.failure_model = failure_model
             if self.fault_domain is not None:
                 self.session.fault_domain = self.fault_domain
+        self.watchdog = None
+        if config.watchdog.enabled:
+            self.watchdog = Watchdog(
+                spec=config.watchdog,
+                clock=self.session.clock,
+                rng=(
+                    rng.stream("watchdog-backoff")
+                    if config.watchdog.backoff_jitter > 0
+                    else None
+                ),
+                fault_domain=self.fault_domain,
+                registry=self.registry,
+            )
+            self.session.watchdog = self.watchdog
 
         # Observability: bind the registry to this run's virtual clock and
         # auto-trace every unit the session submits.  Under a NullRegistry

@@ -46,6 +46,10 @@ class CycleTiming:
     #: with the number of waves in Mode II — the "MD time" of the paper's
     #: strong-scaling Fig. 10
     t_md_span: float = 0.0
+    #: sync barrier deadline: replicas that missed this cycle's exchange
+    #: window and rejoined after it (bounded staleness; 0 with the
+    #: default rigid barrier)
+    n_late: int = 0
 
     @property
     def tc(self) -> float:

@@ -7,6 +7,10 @@ run, not the toy MD numerics:
 - ``1d-sync-1024``: the paper's weak-scaling shape, 1024 T-REMD replicas
   on 1024 cores, synchronous barrier.  Stresses the per-cycle fan-out
   (placement + staging pipeline) and the barrier wait predicate.
+- ``1d-sync-1024-straggler``: the same shape with one 4x-slow node, the
+  gray-failure watchdog (speculative relaunch) and a deadline-bounded
+  barrier.  Stresses per-attempt deadline events, the straggler scan,
+  and the late-replica collection path.
 - ``mremd-3d-256``: 3-dimensional TUU (4x8x8) on Stampede.  Stresses the
   multi-group exchange sweep and the round-robin dimension schedule.
 - ``async-fifo-512``: 512 replicas on half as many cores with the FIFO
@@ -45,6 +49,7 @@ from repro.core.config import (
     PatternSpec,
     ResourceSpec,
     SimulationConfig,
+    WatchdogSpec,
 )
 
 #: what a scenario's builder may return — one simulation or a campaign
@@ -73,6 +78,30 @@ def _sync_1d(fast: bool) -> SimulationConfig:
         title="bench-1d-sync",
         dimensions=[_temperature(n)],
         resource=ResourceSpec(name="supermic", cores=n),
+        n_cycles=2,
+        numeric_steps=1,
+        seed=2016,
+    )
+
+
+def _sync_1d_straggler(fast: bool) -> SimulationConfig:
+    # The weak-scaling shape under gray failure: one 4x-slow node (20
+    # replicas on SuperMIC), the watchdog's heartbeat scan + speculative
+    # duplicates racing the stragglers, and a 300s barrier deadline so
+    # the exchange proceeds over the ~n-20 on-time replicas while the
+    # late ones rejoin next cycle.  Stresses the deadline-event churn
+    # (one armed/cancelled per execution), the straggler scan at cohort
+    # scale, and the bounded-barrier late-collection path.
+    n = 128 if fast else 1024
+    return SimulationConfig(
+        title="bench-1d-sync-straggler",
+        dimensions=[_temperature(n)],
+        resource=ResourceSpec(name="supermic", cores=n),
+        pattern=PatternSpec(kind="synchronous", barrier_deadline_s=300.0),
+        failure=FailureSpec(policy="continue", slow_nodes=[[0, 4.0]]),
+        watchdog=WatchdogSpec(
+            enabled=True, deadline_factor=6.0, speculative=True
+        ),
         n_cycles=2,
         numeric_steps=1,
         seed=2016,
@@ -191,6 +220,12 @@ SCENARIOS: Dict[str, Scenario] = {
             "1d-sync-1024",
             "1024-replica synchronous T-REMD on 1024 cores (SuperMIC)",
             _sync_1d,
+        ),
+        Scenario(
+            "1d-sync-1024-straggler",
+            "1024-replica sync T-REMD with a 4x-slow node, watchdog "
+            "speculation and a 300s barrier deadline",
+            _sync_1d_straggler,
         ),
         Scenario(
             "mremd-3d-256",

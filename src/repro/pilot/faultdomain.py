@@ -18,6 +18,14 @@ level and injects them on the discrete-event clock:
   either re-enters the batch queue (requeue) or fails outright.
 * **staging** — a :class:`TransientFaultModel` consulted per staging
   operation; the scheduler retries with exponential backoff + jitter.
+* **slowdown** (gray) — nodes marked slow, explicitly or by a seeded
+  per-node draw at first activation, silently dilate every execution and
+  staging operation placed on them by a multiplicative factor.  Nothing
+  errors; only the watchdog's deadlines and straggler scoring notice.
+* **hang** (gray) — a seeded per-execution draw that makes a unit never
+  complete on its own; the watchdog's deadline kill-and-relaunch is the
+  only way out, which is why configuration validation refuses hangs
+  without a watchdog.
 
 All draws come from seeded, named RNG streams, so a fault schedule is a
 deterministic function of the configuration — which is what makes
@@ -168,6 +176,12 @@ class FaultDomainModel:
         requeue: bool = True,
         staging: Optional[TransientFaultModel] = None,
         schedule_rng: Optional[np.random.Generator] = None,
+        slow_nodes: Optional[List[Tuple[int, float]]] = None,
+        slow_node_probability: float = 0.0,
+        slow_factor: float = 1.0,
+        hang_probability: float = 0.0,
+        slowdown_rng: Optional[np.random.Generator] = None,
+        hang_rng: Optional[np.random.Generator] = None,
     ):
         if node_crash_rate < 0:
             raise ValueError(
@@ -193,6 +207,31 @@ class FaultDomainModel:
         self._schedule_rng = (
             schedule_rng if schedule_rng is not None else np.random.default_rng(0)
         )
+        self.slow_nodes = [
+            (int(node), float(factor)) for node, factor in (slow_nodes or [])
+        ]
+        for node, factor in self.slow_nodes:
+            if node < 0 or factor <= 1:
+                raise ValueError(
+                    f"slow_nodes entries must be (node >= 0, factor > 1), "
+                    f"got ({node}, {factor})"
+                )
+        if not (0.0 <= slow_node_probability <= 1.0):
+            raise ValueError(
+                f"slow_node_probability must be in [0, 1], "
+                f"got {slow_node_probability}"
+            )
+        if not (0.0 <= hang_probability <= 1.0):
+            raise ValueError(
+                f"hang_probability must be in [0, 1], got {hang_probability}"
+            )
+        self.slow_node_probability = float(slow_node_probability)
+        self.slow_factor = float(slow_factor)
+        self.hang_probability = float(hang_probability)
+        self._slowdown_rng = slowdown_rng
+        self._hang_rng = hang_rng
+        #: node index -> dilation factor, resolved at first activation
+        self.node_dilation: Dict[int, float] = {}
         #: every injected fault, in firing order (exported to manifests)
         self.events: List[FaultEvent] = []
         self._sinks: List[Callable[[FaultEvent], None]] = []
@@ -201,6 +240,18 @@ class FaultDomainModel:
         self._c_crashes = registry.counter("fault.node_crashes")
         self._c_killed = registry.counter("fault.units_killed")
         self._c_preempt = registry.counter("fault.preemptions")
+        if self.wants_gray:
+            self._c_slow = registry.counter("fault.slow_nodes")
+            self._c_hangs = registry.counter("fault.hangs")
+
+    @property
+    def wants_gray(self) -> bool:
+        """True when any slowdown or hang injection is configured."""
+        return (
+            bool(self.slow_nodes)
+            or self.slow_node_probability > 0
+            or self.hang_probability > 0
+        )
 
     @classmethod
     def from_spec(cls, spec, rng_registry) -> Optional["FaultDomainModel"]:
@@ -223,6 +274,12 @@ class FaultDomainModel:
                 max_retries=spec.staging_max_retries,
                 backoff_base_s=spec.staging_backoff_s,
             )
+        slowdown_rng = None
+        if spec.slow_node_probability > 0:
+            slowdown_rng = rng_registry.stream("slowdown-nodes")
+        hang_rng = None
+        if spec.hang_probability > 0:
+            hang_rng = rng_registry.stream("hang-faults")
         return cls(
             node_crashes=[tuple(e) for e in spec.node_crashes],
             node_crash_rate=spec.node_crash_rate,
@@ -230,6 +287,12 @@ class FaultDomainModel:
             requeue=spec.requeue_on_preempt,
             staging=staging,
             schedule_rng=rng_registry.stream("fault-schedule"),
+            slow_nodes=[tuple(e) for e in spec.slow_nodes],
+            slow_node_probability=spec.slow_node_probability,
+            slow_factor=spec.slow_factor,
+            hang_probability=spec.hang_probability,
+            slowdown_rng=slowdown_rng,
+            hang_rng=hang_rng,
         )
 
     # -- event recording -----------------------------------------------------
@@ -294,6 +357,8 @@ class FaultDomainModel:
         self._armed = True
         assert pilot.scheduler is not None
         n_nodes = pilot.scheduler.n_nodes
+        if self.wants_gray:
+            self._resolve_slow_nodes(n_nodes, clock)
         horizon = pilot.description.walltime_minutes * 60.0
         for delay, node in self.build_schedule(n_nodes, horizon):
             clock.schedule(
@@ -305,6 +370,66 @@ class FaultDomainModel:
                 self.preempt_after_s,
                 lambda: self._fire_preempt(pilot, clock),
             )
+
+    # -- gray failures -------------------------------------------------------
+
+    def _resolve_slow_nodes(self, n_nodes: int, clock) -> None:
+        """Fix each node's dilation factor at first activation.
+
+        Explicit ``slow_nodes`` entries win; the remaining nodes each get
+        one Bernoulli draw at ``slow_node_probability`` (from the
+        dedicated ``slowdown-nodes`` stream, so enabling slowdowns never
+        perturbs the crash schedule).  Re-running this after a checkpoint
+        restore reproduces the same dilation map — the draws are a pure
+        function of the seed.
+        """
+        self.node_dilation = {}
+        for node, factor in self.slow_nodes:
+            if node < n_nodes:
+                self.node_dilation[node] = max(
+                    factor, self.node_dilation.get(node, 1.0)
+                )
+        if self.slow_node_probability > 0 and self._slowdown_rng is not None:
+            draws = self._slowdown_rng.random(n_nodes)
+            for node in range(n_nodes):
+                if node in self.node_dilation:
+                    continue
+                if draws[node] < self.slow_node_probability:
+                    self.node_dilation[node] = self.slow_factor
+        for node in sorted(self.node_dilation):
+            self._c_slow.inc()
+            self.record(
+                clock.now,
+                "slowdown",
+                node=node,
+                factor=self.node_dilation[node],
+            )
+
+    def dilation_for(self, nodes) -> float:
+        """Runtime dilation for a unit placed on ``nodes`` (max factor)."""
+        if not self.node_dilation:
+            return 1.0
+        factor = 1.0
+        for node in nodes:
+            f = self.node_dilation.get(node)
+            if f is not None and f > factor:
+                factor = f
+        return factor
+
+    def draw_hang(self) -> bool:
+        """Whether the next execution hangs (never completes on its own).
+
+        Consumes no RNG state when hangs are disabled, so the default
+        configuration is bit-for-bit invisible to the rest of the run.
+        """
+        if self.hang_probability <= 0.0 or self._hang_rng is None:
+            return False
+        return bool(self._hang_rng.random() < self.hang_probability)
+
+    def record_hang(self, t: float, unit: str, attempt: int) -> None:
+        """Count + record one injected hang (called by the scheduler)."""
+        self._c_hangs.inc()
+        self.record(t, "hang", unit=unit, attempt=attempt)
 
     def _fire_crash(self, pilot, clock, node: int) -> None:
         from repro.pilot.pilot import PilotState

@@ -86,6 +86,7 @@ class Pilot:
         staging_area: Optional[StagingArea] = None,
         failure_model: Optional[FailureModel] = None,
         fault_domain=None,
+        watchdog=None,
         uid: Optional[str] = None,
         registry=None,
     ):
@@ -119,6 +120,9 @@ class Pilot:
         #: correlated-fault injector (node crashes, preemption, staging
         #: transients); None when faults are disabled
         self.fault_domain = fault_domain
+        #: gray-failure supervisor re-attached to every fresh agent
+        #: scheduler (so a requeued pilot stays supervised); None = off
+        self.watchdog = watchdog
         self._pre_active_queue: List[ComputeUnit] = []
         self._callbacks: List[Callable[["Pilot", PilotState], None]] = []
         self._walltime_event = None
@@ -145,6 +149,7 @@ class Pilot:
             failure_model=self._failure_model,
             gpu_capacity=self.description.gpus,
             fault_domain=self.fault_domain,
+            watchdog=self.watchdog,
             registry=self._registry,
         )
         self._walltime_event = self._clock.schedule(

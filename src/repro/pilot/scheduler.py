@@ -59,6 +59,7 @@ class AgentScheduler:
         failure_model: Optional[FailureModel] = None,
         gpu_capacity: int = 0,
         fault_domain=None,
+        watchdog=None,
         indexed: bool = True,
         registry=None,
     ):
@@ -77,6 +78,17 @@ class AgentScheduler:
         #: fault-domain model (node crashes / staging transients); None when
         #: correlated faults are disabled
         self.fault_domain = fault_domain
+        #: gray-failure supervisor; None when the watchdog is disabled.
+        #: When present, every execution attempt is tracked in
+        #: ``_attempts`` (unit -> pending completion event) and stragglers
+        #: may get a speculative duplicate in ``_shadows``; both dicts stay
+        #: empty (and cost nothing) without a watchdog.
+        self.watchdog = watchdog
+        self._attempts: Dict[ComputeUnit, object] = {}
+        #: unit -> (completion event, placement) of its speculative copy
+        self._shadows: Dict[ComputeUnit, tuple] = {}
+        if watchdog is not None:
+            watchdog.attach(self)
         self._queue: Deque[ComputeUnit] = deque()
         self._running: Set[ComputeUnit] = set()
         # Node map: the pilot's cores are carved into nodes of
@@ -261,6 +273,17 @@ class AgentScheduler:
         for unit in victims:
             self._fail(unit, UnitFailure(f"node {node} crashed"))
             failed += 1
+        # Speculative copies resident on the crashed node die with it (the
+        # primary keeps running); their surviving cores rejoin the pool.
+        if self._shadows:
+            doomed = [
+                u for u, (_e, pl) in self._shadows.items() if node in pl
+            ]
+            for unit in doomed:
+                self._cancel_shadow(unit)
+                self.watchdog.on_shadow_killed(unit)
+            if doomed:
+                self._try_schedule()
         # Queued units larger than the surviving capacity can never start.
         still_waiting: Deque[ComputeUnit] = deque()
         new_min: float = math.inf
@@ -349,7 +372,18 @@ class AgentScheduler:
 
     def _place(self, unit: ComputeUnit) -> None:
         """First-fit the unit's cores over healthy nodes (may span nodes)."""
-        need = unit.description.cores
+        placement = self._take_cores(unit.description.cores)
+        self._placement[unit] = placement
+        self.free_cores -= unit.description.cores
+        self.free_gpus -= unit.description.gpus
+
+    def _take_cores(self, need: int) -> Dict[int, int]:
+        """Carve ``need`` cores out of the node map (first-fit prefix).
+
+        Mutates the per-node free counts and the sorted free-node index
+        but *not* the ``free_cores`` total — callers settle that (and any
+        GPU accounting) themselves.
+        """
         placement: Dict[int, int] = {}
         if self._indexed:
             free_nodes = self._free_nodes
@@ -379,11 +413,9 @@ class AgentScheduler:
                 placement[node] = take
                 need -= take
         assert need == 0, "free_cores disagreed with the node map"
-        self._placement[unit] = placement
-        self.free_cores -= unit.description.cores
-        self.free_gpus -= unit.description.gpus
+        return placement
 
-    def _staging_time(self, directives) -> float:
+    def _staging_time(self, directives, unit: Optional[ComputeUnit] = None) -> float:
         # The filesystem model is resolved once per unit, not once per
         # directive — MD units carry several directives each.
         fs = self._cluster.filesystem
@@ -395,7 +427,16 @@ class AgentScheduler:
                 total += fs.transfer_time(
                     d.size_mb, concurrent=self._staging_in_flight
                 )
+        if total > 0 and unit is not None:
+            total *= self._dilation(unit)
         return total
+
+    def _dilation(self, unit: ComputeUnit) -> float:
+        """Gray-failure runtime dilation for ``unit``'s placement (>= 1)."""
+        fd = self.fault_domain
+        if fd is None or not fd.node_dilation:
+            return 1.0
+        return fd.dilation_for(self._placement.get(unit, ()))
 
     def _staging_model(self):
         if self.fault_domain is None:
@@ -416,7 +457,7 @@ class AgentScheduler:
         unit fails for good.  The transient model is resolved once per
         unit and threaded through the retry chain.
         """
-        delay = self._staging_time(directives)
+        delay = self._staging_time(directives, unit)
         self._staging_in_flight += len(directives)
         if model is None:
             model = self._staging_model()
@@ -516,7 +557,9 @@ class AgentScheduler:
 
         # Run the real numerics now; the *result* is available when the unit
         # completes on the virtual clock.  A raising work callable fails the
-        # unit exactly like an injected fault.
+        # unit exactly like an injected fault.  Run-once semantics survive
+        # watchdog relaunches: a killed attempt restarts the clock, never
+        # the numerics.
         if unit.description.work is not None:
             try:
                 unit.result = unit.description.work()
@@ -526,14 +569,147 @@ class AgentScheduler:
                 )
                 return
 
+        self._start_attempt(unit, attempt=1)
+
+    def _start_attempt(self, unit: ComputeUnit, attempt: int) -> None:
+        """One execution attempt: schedule its completion candidate.
+
+        The gray fault domain may dilate the nominal duration (slow
+        nodes) or hang the attempt outright — a hung attempt schedules
+        *no* completion event, so only a watchdog deadline kill can end
+        it.  With gray faults and the watchdog both off this reduces to
+        exactly one completion event at the nominal duration, the
+        pre-watchdog behaviour byte for byte.
+        """
+        duration = unit.description.duration
+        hung = False
+        fd = self.fault_domain
+        if fd is not None and fd.wants_gray:
+            duration *= self._dilation(unit)
+            if fd.draw_hang():
+                hung = True
+                fd.record_hang(self._clock.now, unit.description.name, attempt)
+        event = None
+        if not hung:
+            event = self._clock.schedule(
+                duration, lambda: self._finish_execution(unit)
+            )
+        if self.watchdog is not None:
+            self._attempts[unit] = event
+            self.watchdog.on_execution_start(
+                unit,
+                expected=unit.description.duration,
+                attempt=attempt,
+                hung=hung,
+            )
+
+    def _finish_execution(self, unit: ComputeUnit, shadow: bool = False) -> None:
+        """A completion candidate fired; first one wins, exactly once.
+
+        ``shadow`` marks the speculative copy.  The loser's event is
+        cancelled (and for a losing shadow its cores are freed), so the
+        DONE transition, the completion counter and the output staging
+        all happen exactly once per unit no matter how many candidates
+        raced.
+        """
+        if unit.done:
+            return
+        if self.watchdog is not None:
+            primary = self._attempts.pop(unit, None)
+            if shadow and primary is not None:
+                primary.cancel()
+            if self._cancel_shadow(unit, keep_event=shadow):
+                self._try_schedule()
+            self.watchdog.on_execution_finish(unit, from_shadow=shadow)
+        self._begin_staging_out(unit)
+
+    # -- watchdog recovery API ----------------------------------------------
+
+    def relaunch_execution(self, unit: ComputeUnit, delay: float, attempt: int) -> None:
+        """Kill the current attempt and start attempt ``attempt`` later.
+
+        The watchdog's deadline verdict: the pending completion candidate
+        (if any — hung attempts have none) is cancelled, the unit stays
+        EXECUTING on its cores, and a fresh attempt begins after the
+        backoff ``delay`` — re-drawing the hang fault, so a relaunch can
+        hang again and burn another bounded attempt.
+        """
+        event = self._attempts.pop(unit, None)
+        if event is not None:
+            event.cancel()
         self._clock.schedule(
-            duration,
-            lambda: None if unit.done else self._begin_staging_out(unit),
+            delay,
+            lambda: None if unit.done else self._start_attempt(unit, attempt),
         )
+
+    def fail_execution(self, unit: ComputeUnit, reason: str) -> None:
+        """Watchdog escalation: the unit fails for good (retries exhausted)."""
+        self._fail(unit, UnitFailure(reason))
+
+    def launch_speculative(self, unit: ComputeUnit) -> bool:
+        """Place a speculative duplicate of ``unit``'s execution.
+
+        The copy takes real cores (first-fit, like any placement), is
+        charged a launcher delay plus the duplicate's own dilated
+        runtime, and races the original: whichever completion candidate
+        fires first finishes the unit via :meth:`_finish_execution`.
+        Returns False (no copy) when the unit is not supervised-running
+        or the pilot lacks free cores right now.
+        """
+        desc = unit.description
+        if unit.done or unit not in self._attempts or unit in self._shadows:
+            return False
+        if desc.cores > self.free_cores or desc.gpus > self.free_gpus:
+            return False
+        placement = self._take_cores(desc.cores)
+        self.free_cores -= desc.cores
+        self.free_gpus -= desc.gpus
+        delay = self._cluster.launcher.launch_delay(
+            self._launch_pending, cores=desc.cores
+        )
+        duration = desc.duration
+        fd = self.fault_domain
+        if fd is not None and fd.node_dilation:
+            duration *= fd.dilation_for(placement)
+        event = self._clock.schedule(
+            delay + duration,
+            lambda: self._finish_execution(unit, shadow=True),
+        )
+        self._shadows[unit] = (event, placement)
+        self._update_occupancy()
+        return True
+
+    def _cancel_shadow(self, unit: ComputeUnit, keep_event: bool = False) -> bool:
+        """Retire a unit's speculative copy and free its cores.
+
+        ``keep_event`` skips cancelling the shadow's completion event
+        (set when that event is the one currently firing).  Cores on
+        quarantined nodes stay gone, mirroring :meth:`_release`.
+        """
+        entry = self._shadows.pop(unit, None)
+        if entry is None:
+            return False
+        event, placement = entry
+        if not keep_event:
+            event.cancel()
+        for node, taken in placement.items():
+            if node not in self._quarantined:
+                if self._indexed and self._node_free[node] == 0:
+                    bisect.insort(self._free_nodes, node)
+                self._node_free[node] += taken
+                self.free_cores += taken
+        self.free_gpus += unit.description.gpus
+        return True
 
     def _fail(self, unit: ComputeUnit, exc: BaseException) -> None:
         if unit.done:  # already finished (e.g. crash raced a failure event)
             return
+        if self.watchdog is not None:
+            event = self._attempts.pop(unit, None)
+            if event is not None:
+                event.cancel()
+            self._cancel_shadow(unit)
+            self.watchdog.on_unit_final(unit)
         unit.exception = exc
         unit.advance(UnitState.FAILED, self._clock.now)
         self._m_failed.inc()

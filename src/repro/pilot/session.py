@@ -48,6 +48,7 @@ class Session:
         seed: int = 0,
         failure_model: Optional[FailureModel] = None,
         fault_domain=None,
+        watchdog=None,
         *,
         clock: Optional[EventQueue] = None,
         registry=None,
@@ -60,6 +61,8 @@ class Session:
         self.failure_model = failure_model
         #: correlated-fault injector handed to every pilot (None = off)
         self.fault_domain = fault_domain
+        #: gray-failure watchdog handed to every pilot (None = off)
+        self.watchdog = watchdog
         self.pilots: List[Pilot] = []
         #: optional tracer auto-watching every unit submitted through this
         #: session (set by :class:`~repro.core.framework.RepEx` when
@@ -87,6 +90,7 @@ class Session:
             staging_area=self.staging_area,
             failure_model=self.failure_model,
             fault_domain=self.fault_domain,
+            watchdog=self.watchdog,
             uid=f"pilot.{self._pilot_seq:04d}",
             registry=self.registry,
         )

@@ -1,0 +1,320 @@
+"""Gray-failure supervision: virtual-time deadlines and straggler scoring.
+
+Fail-stop faults (:mod:`repro.pilot.faultdomain`) announce themselves — a
+crashed node fails its units in one event.  *Gray* failures do not: a
+slow node silently dilates runtimes and a hung task simply never
+completes.  Without supervision a synchronous exchange barrier waits
+forever on them.  The :class:`Watchdog` is that supervision, running
+entirely on the discrete-event clock:
+
+* **Deadlines** — every execution attempt gets a completion deadline of
+  ``max(min_deadline_s, deadline_factor * expected_runtime)``, where the
+  expected runtime comes from the performance model (the unit's nominal
+  duration).  A missed deadline is a *verdict*: the attempt is declared
+  dead (hung or hopelessly slow) and fed to the
+  :class:`~repro.core.fault.WatchdogRetryPolicy` — kill-and-relaunch
+  with exponential backoff + jitter while bounded attempts remain, then
+  escalation (the unit fails for good and the EMM's fault policy takes
+  over).
+* **Straggler scoring** — a periodic heartbeat tick compares each
+  running attempt's elapsed time against the cohort: the lower median of
+  recently *completed* execution durations.  An attempt running longer
+  than ``straggler_factor`` times the median is scored a straggler;
+  with ``speculative`` enabled the scheduler places a duplicate copy on
+  different cores and the two race — first completion wins, the loser
+  is cancelled, and the unit completes exactly once
+  (:meth:`AgentScheduler._finish_execution
+  <repro.pilot.scheduler.AgentScheduler._finish_execution>`).
+
+Everything is deterministic: deadlines and ticks are virtual-time
+events, backoff jitter comes from the seeded ``watchdog-backoff``
+stream, and a disabled watchdog (the default) is simply absent — the
+scheduler schedules exactly the events it always did, so golden traces
+and benchmark event counts are byte-identical.
+
+Verdicts are observable: ``watchdog.*`` counters, the
+``watchdog.watched`` gauge, and ``watchdog_kill`` / ``watchdog_relaunch``
+/ ``watchdog_escalation`` / ``straggler`` / ``speculative_*`` events in
+the fault log (and therefore in manifests and Chrome traces).
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.core.fault import WatchdogRetryPolicy
+from repro.obs.metrics import get_registry
+
+#: Completed-duration samples kept for the straggler cohort median.
+_HISTORY_CAP = 256
+
+
+class Watchdog:
+    """Supervises execution attempts against virtual-time deadlines.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`~repro.core.config.WatchdogSpec` (deadline/straggler/
+        retry knobs).
+    clock:
+        The simulation :class:`~repro.pilot.events.EventQueue`.
+    rng:
+        Seeded generator for backoff jitter (the ``watchdog-backoff``
+        stream); None disables jitter draws.
+    fault_domain:
+        Optional :class:`~repro.pilot.faultdomain.FaultDomainModel`;
+        when present, watchdog verdicts are recorded as fault events so
+        they reach manifests and traces.
+    """
+
+    def __init__(
+        self,
+        spec,
+        clock,
+        rng=None,
+        fault_domain=None,
+        registry=None,
+    ):
+        self.spec = spec
+        self._clock = clock
+        self.fault_domain = fault_domain
+        self.retry = WatchdogRetryPolicy.from_spec(spec, rng=rng)
+        self._scheduler = None
+        #: unit -> supervision entry (expected, attempt, t_start, hung,
+        #: straggler, speculated, deadline_event)
+        self._watched: Dict[object, Dict[str, object]] = {}
+        #: completed execution durations, insertion order (bounded)
+        self._history: Deque[float] = deque()
+        #: the same samples kept sorted, for the cohort median
+        self._sorted: List[float] = []
+        self._tick_armed = False
+        if registry is None:
+            registry = get_registry()
+        self._c_checks = registry.counter("watchdog.checks")
+        self._c_kills = registry.counter("watchdog.deadline_kills")
+        self._c_relaunches = registry.counter("watchdog.relaunches")
+        self._c_escalations = registry.counter("watchdog.escalations")
+        self._c_stragglers = registry.counter("watchdog.stragglers")
+        self._c_spec_launches = registry.counter(
+            "watchdog.speculative_launches"
+        )
+        self._c_spec_wins = registry.counter("watchdog.speculative_wins")
+        self._c_spec_losses = registry.counter("watchdog.speculative_losses")
+        self._g_watched = registry.gauge("watchdog.watched")
+
+    # -- wiring --------------------------------------------------------------
+
+    def attach(self, scheduler) -> None:
+        """Bind to a scheduler (latest wins — a requeued pilot re-attaches)."""
+        self._scheduler = scheduler
+
+    @property
+    def n_watched(self) -> int:
+        """Execution attempts currently under supervision."""
+        return len(self._watched)
+
+    def _record(self, kind: str, **detail) -> None:
+        if self.fault_domain is not None:
+            self.fault_domain.record(self._clock.now, kind, **detail)
+
+    def _deadline_for(self, expected: float) -> float:
+        return max(
+            self.spec.min_deadline_s, self.spec.deadline_factor * expected
+        )
+
+    # -- scheduler callbacks -------------------------------------------------
+
+    def on_execution_start(
+        self, unit, expected: float, attempt: int, hung: bool
+    ) -> None:
+        """An execution attempt began; arm its deadline and the heartbeat."""
+        entry = self._watched.get(unit)
+        if entry is None:
+            entry = {"straggler": False, "speculated": False}
+            self._watched[unit] = entry
+            self._g_watched.set(len(self._watched))
+        elif entry.get("deadline_event") is not None:
+            entry["deadline_event"].cancel()
+        entry["expected"] = expected
+        entry["attempt"] = attempt
+        entry["t_start"] = self._clock.now
+        entry["hung"] = hung
+        entry["deadline_event"] = self._clock.schedule(
+            self._deadline_for(expected),
+            lambda: self._on_deadline(unit, attempt),
+        )
+        if not self._tick_armed:
+            self._tick_armed = True
+            self._clock.schedule(self.spec.check_interval_s, self._tick)
+
+    def on_execution_finish(self, unit, from_shadow: bool = False) -> None:
+        """The unit's execution completed (exactly once); stand down."""
+        entry = self._watched.pop(unit, None)
+        if entry is None:
+            return
+        self._g_watched.set(len(self._watched))
+        if entry.get("deadline_event") is not None:
+            entry["deadline_event"].cancel()
+        elapsed = self._clock.now - entry["t_start"]
+        self._observe(elapsed)
+        if entry["speculated"]:
+            if from_shadow:
+                self._c_spec_wins.inc()
+                self._record(
+                    "speculative_win",
+                    unit=unit.description.name,
+                    elapsed=round(elapsed, 6),
+                )
+            else:
+                self._c_spec_losses.inc()
+                self._record(
+                    "speculative_loss", unit=unit.description.name
+                )
+
+    def on_unit_final(self, unit) -> None:
+        """The unit failed/was killed outside the watchdog; stand down."""
+        entry = self._watched.pop(unit, None)
+        if entry is None:
+            return
+        self._g_watched.set(len(self._watched))
+        if entry.get("deadline_event") is not None:
+            entry["deadline_event"].cancel()
+
+    def on_shadow_killed(self, unit) -> None:
+        """The unit's speculative copy died (node crash); primary races on."""
+        entry = self._watched.get(unit)
+        self._c_spec_losses.inc()
+        self._record(
+            "speculative_loss", unit=unit.description.name, crashed=True
+        )
+        if entry is None:
+            return
+        entry["speculated"] = False
+        if entry.get("deadline_event") is None:
+            # The deadline was consumed by a speculated-skip; re-arm so
+            # the primary (possibly hung) stays supervised.
+            attempt = entry["attempt"]
+            entry["deadline_event"] = self._clock.schedule(
+                self._deadline_for(entry["expected"]),
+                lambda: self._on_deadline(unit, attempt),
+            )
+
+    # -- verdicts ------------------------------------------------------------
+
+    def _on_deadline(self, unit, attempt: int) -> None:
+        """Attempt ``attempt`` missed its completion deadline."""
+        entry = self._watched.get(unit)
+        if entry is None or entry["attempt"] != attempt or unit.done:
+            return  # stale deadline; the attempt already resolved
+        entry["deadline_event"] = None
+        if entry["speculated"]:
+            # A duplicate is racing this attempt; the race *is* the
+            # recovery.  Re-arm so supervision survives a shadow that is
+            # itself slow or later crashes.
+            entry["deadline_event"] = self._clock.schedule(
+                self._deadline_for(entry["expected"]),
+                lambda: self._on_deadline(unit, attempt),
+            )
+            return
+        self._c_kills.inc()
+        self._record(
+            "watchdog_kill",
+            unit=unit.description.name,
+            attempt=attempt,
+            hung=bool(entry["hung"]),
+        )
+        if not self.retry.should_relaunch(attempt):
+            self._c_escalations.inc()
+            self._record(
+                "watchdog_escalation",
+                unit=unit.description.name,
+                attempts=attempt,
+            )
+            self._watched.pop(unit, None)
+            self._g_watched.set(len(self._watched))
+            self._scheduler.fail_execution(
+                unit,
+                f"watchdog: no completion within deadline after "
+                f"{attempt} attempt(s)",
+            )
+            return
+        delay = self.retry.backoff(attempt)
+        self._c_relaunches.inc()
+        self._record(
+            "watchdog_relaunch",
+            unit=unit.description.name,
+            attempt=attempt,
+            backoff_s=round(delay, 6),
+        )
+        self._scheduler.relaunch_execution(unit, delay, attempt + 1)
+
+    # -- heartbeat -----------------------------------------------------------
+
+    def _observe(self, duration: float) -> None:
+        self._history.append(duration)
+        bisect.insort(self._sorted, duration)
+        if len(self._history) > _HISTORY_CAP:
+            old = self._history.popleft()
+            del self._sorted[bisect.bisect_left(self._sorted, old)]
+
+    def _cohort_median(self) -> Optional[float]:
+        """Lower median of completed durations; None below ``min_cohort``."""
+        n = len(self._sorted)
+        if n < self.spec.min_cohort:
+            return None
+        return self._sorted[(n - 1) // 2]
+
+    def _tick(self) -> None:
+        """Periodic heartbeat: score stragglers, maybe speculate."""
+        if not self._watched:
+            # Nothing supervised; disarm — the next execution start
+            # re-arms, so an idle watchdog costs no events.
+            self._tick_armed = False
+            return
+        self._c_checks.inc()
+        median = self._cohort_median()
+        if median is not None:
+            threshold = self.spec.straggler_factor * median
+            now = self._clock.now
+            for unit, entry in list(self._watched.items()):
+                if now - entry["t_start"] <= threshold:
+                    continue
+                if not entry["straggler"]:
+                    entry["straggler"] = True
+                    self._c_stragglers.inc()
+                    self._record(
+                        "straggler",
+                        unit=unit.description.name,
+                        elapsed=round(now - entry["t_start"], 6),
+                        threshold=round(threshold, 6),
+                    )
+                if self.spec.speculative and not entry["speculated"]:
+                    # No capacity right now is not a verdict — the next
+                    # tick retries the launch.
+                    if self._scheduler.launch_speculative(unit):
+                        entry["speculated"] = True
+                        self._c_spec_launches.inc()
+                        self._record(
+                            "speculative_launch",
+                            unit=unit.description.name,
+                        )
+        self._clock.schedule(self.spec.check_interval_s, self._tick)
+
+    # -- checkpoint ----------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serializable supervision state (the cohort history).
+
+        Per-unit entries are *not* captured: a checkpoint is taken at a
+        quiesced barrier, when nothing is executing — only the learned
+        cohort durations survive the restart.
+        """
+        return {"history": [float(d) for d in self._history]}
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        """Restore :meth:`state_dict` output."""
+        self._history = deque(float(d) for d in state.get("history", []))
+        self._sorted = sorted(self._history)

@@ -282,6 +282,71 @@ class TestFaults:
         assert arb.busy_core_seconds == pytest.approx(240.0)
 
 
+class TestSlowNodes:
+    """Gray degradation: inferred slow-node quarantine."""
+
+    def slow_arbiter(self, n_sessions=8, **fault_over):
+        faults = dict(
+            slow_nodes=[[0, 4.0]],
+            slow_node_threshold=1.5,
+            slow_min_samples=2,
+        )
+        faults.update(fault_over)
+        arb = Arbiter(
+            DatacenterSpec(nodes=2, cores_per_node=8, repair_s=50.0),
+            [TenantSpec(name="a")],
+            faults=FaultSpec(**faults),
+        )
+        for i in range(n_sessions):
+            arb.submit(req(f"a-{i}", cores=8))
+        return arb
+
+    def test_completion_dilated_by_slow_node(self):
+        arb = self.slow_arbiter(n_sessions=1)
+        arb.run(stub_runner(default_s=50.0))
+        record = arb.records[0]
+        # placed on (4x-slow) node 0: occupies 200 s, reports 50 s
+        assert record.attempts == [[0.0, 200.0]]
+        assert record.state is SessionState.DONE
+        assert record.outcome.duration_s == pytest.approx(50.0)
+
+    def test_quarantined_after_min_samples_and_never_repaired(self):
+        arb = self.slow_arbiter()
+        arb.run(stub_runner(default_s=50.0))
+        assert all(r.state is SessionState.DONE for r in arb.records)
+        (event,) = audit_events(arb, "slow_quarantine")
+        assert event["node"] == 0
+        assert event["samples"] == 2
+        assert event["ratio"] == pytest.approx(4.0)
+        # permanent: no repair ever fires for a slow quarantine
+        assert audit_events(arb, "repair") == []
+        # every attempt started after the quarantine ran at full speed,
+        # i.e. landed on the healthy node
+        for record in arb.records:
+            for t0, t1 in record.attempts:
+                if t0 >= event["t"]:
+                    assert t1 - t0 == pytest.approx(50.0)
+
+    def test_below_threshold_never_samples(self):
+        arb = self.slow_arbiter(
+            n_sessions=4, slow_nodes=[[0, 1.2]], slow_node_threshold=1.5
+        )
+        arb.run(stub_runner(default_s=50.0))
+        assert audit_events(arb, "slow_quarantine") == []
+        assert arb._slow_samples == [0, 0]
+
+    def test_crash_repair_cannot_revive_slow_quarantine(self):
+        arb = self.slow_arbiter(n_sessions=0)
+        arb._slow_samples[0] = 2
+        arb._quarantined[0] = True
+        arb._repair_node(0)
+        assert arb._quarantined[0] is True
+        # an ordinary crash quarantine still heals
+        arb._quarantined[1] = True
+        arb._repair_node(1)
+        assert arb._quarantined[1] is False
+
+
 class TestAccounting:
     def test_tenant_usage_sums_to_datacenter_busy(self):
         arb = make_arbiter(nodes=2)

@@ -16,7 +16,7 @@ class TestScenarios:
         fast = {s.name for s in builtin_scenarios(fast=True)}
         full = {s.name for s in builtin_scenarios(fast=False)}
         assert fast < full
-        assert len(fast) == 6
+        assert len(fast) == 9
 
     def test_names_are_unique(self):
         names = [s.name for s in builtin_scenarios(fast=False)]
@@ -32,7 +32,7 @@ class TestScenarios:
 class TestRunMatrix:
     def test_fast_matrix_all_behave_as_designed(self):
         outcomes = run_matrix(fast=True)
-        assert len(outcomes) == 6
+        assert len(outcomes) == 9
         assert all(o.ok for o in outcomes), [
             (o.name, o.error) for o in outcomes if not o.ok
         ]
@@ -47,6 +47,15 @@ class TestRunMatrix:
         assert staging.fault_counters["staging.retries"] > 0
         retire = by_name["unit-failures/retire/sync"]
         assert retire.n_retired > 0
+        slow = by_name["slow-node/speculative/sync"]
+        assert slow.fault_counters["fault.slow_nodes"] == 1
+        assert slow.fault_counters["watchdog.speculative_launches"] > 0
+        hangs = by_name["hangs/watchdog-relaunch/sync"]
+        assert hangs.fault_counters["fault.hangs"] > 0
+        assert hangs.fault_counters["watchdog.relaunches"] > 0
+        barrier = by_name["slow-node/barrier-deadline/sync"]
+        assert barrier.fault_counters["emm.barrier_deadline_fires"] > 0
+        assert barrier.fault_counters["emm.barrier_late"] > 0
 
     def test_scenario_death_is_data_not_crash(self):
         # an expect_failure scenario returns an outcome with the error text

@@ -164,6 +164,54 @@ class TestValidation:
             RepEx(small_tremd_config(), **kwargs)
 
 
+class TestContentChecksum:
+    """Silent corruption — bit flips that still parse — must not load."""
+
+    def test_every_snapshot_carries_a_checksum(self, tmp_path):
+        repex, _ = checkpointed_run(tmp_path)
+        data = json.loads(repex.checkpoints[0].to_json())
+        assert data["checksum"] == Checkpoint._content_checksum(data)
+
+    def test_bit_flip_in_a_value_is_rejected(self, tmp_path):
+        repex, _ = checkpointed_run(tmp_path)
+        data = json.loads(repex.checkpoints[0].to_json())
+        # structurally valid, physically wrong: exactly what a flipped
+        # bit on disk looks like after it survives the JSON parser
+        data["accounting"]["n_failures"] += 1
+        with pytest.raises(CheckpointError, match="checksum mismatch"):
+            Checkpoint.from_json(json.dumps(data))
+
+    def test_corrupted_file_error_names_the_path(self, tmp_path):
+        repex, _ = checkpointed_run(tmp_path)
+        path = tmp_path / "ckpts" / "latest.json"
+        data = json.loads(path.read_text())
+        data["next_cycle"] += 1
+        path.write_text(json.dumps(data))
+        with pytest.raises(
+            CheckpointError, match=rf"corrupt checkpoint at {path}"
+        ):
+            Checkpoint.load(path)
+
+    def test_truncated_file_error_names_the_path(self, tmp_path):
+        repex, _ = checkpointed_run(tmp_path)
+        path = tmp_path / "ckpts" / "latest.json"
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(
+            CheckpointError, match=rf"corrupt checkpoint at {path}"
+        ):
+            Checkpoint.load(path)
+
+    def test_checksumless_v2_file_still_loads(self, tmp_path):
+        # snapshots written before the checksum existed have no field to
+        # verify; they load on trust like they always did
+        repex, _ = checkpointed_run(tmp_path)
+        data = json.loads(repex.checkpoints[0].to_json())
+        del data["checksum"]
+        ckpt = Checkpoint.from_json(json.dumps(data))
+        assert ckpt.checksum is None
+
+
 class TestAsyncCheckpoint:
     def test_quiesce_snapshots_written(self, tmp_path):
         repex, result = async_checkpointed_run(tmp_path)

@@ -271,6 +271,32 @@ class TestObsCommands:
             assert "truncated or invalid JSON dropped" in captured.err
             assert captured.out  # recovered content still prints
 
+    def test_strict_refuses_recovered_manifest(
+        self, manifest_file, tmp_path, capsys
+    ):
+        """``--strict`` turns lenient recovery into exit 4 on every
+        obs command."""
+        lines = manifest_file.read_text().splitlines(True)
+        cut = tmp_path / "truncated.jsonl"
+        cut.write_text("".join(lines[:-2]) + lines[-2][: len(lines[-2]) // 2])
+        for command in (
+            ["obs", "summary", "--strict", str(cut)],
+            ["obs", "timeline", "--strict", str(cut)],
+            ["obs", "export", "--strict", str(cut)],
+            ["obs", "critical-path", "--strict", str(cut)],
+            ["obs", "diff", "--strict", str(manifest_file), str(cut)],
+        ):
+            assert main(command) == 4, command
+            err = capsys.readouterr().err
+            assert "refusing under --strict" in err
+            assert str(cut) in err
+
+    def test_strict_on_clean_manifest_is_silent(self, manifest_file, capsys):
+        assert main(["obs", "summary", "--strict", str(manifest_file)]) == 0
+        captured = capsys.readouterr()
+        assert "refusing" not in captured.err
+        assert captured.out
+
 
 class TestBenchAttribute:
     @pytest.fixture

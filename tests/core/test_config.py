@@ -12,6 +12,7 @@ from repro.core.config import (
     PatternSpec,
     ResourceSpec,
     SimulationConfig,
+    WatchdogSpec,
 )
 
 
@@ -83,6 +84,73 @@ class TestSubSpecs:
     def test_failure_policy_validated(self):
         with pytest.raises(ConfigError):
             FailureSpec(policy="pray")
+
+
+class TestGraySpecs:
+    def test_slow_nodes_entry_shape(self):
+        for bad in ([[0]], [[0, 2.0, 3.0]], [[-1, 2.0]], [[0, 1.0]], [[0, 0.5]]):
+            with pytest.raises(ConfigError, match="slow_nodes"):
+                FailureSpec(slow_nodes=bad)
+        FailureSpec(slow_nodes=[[0, 2.0], [3, 1.5]])  # valid
+
+    def test_random_slowdowns_need_a_real_factor(self):
+        with pytest.raises(ConfigError, match="slow_factor"):
+            FailureSpec(slow_node_probability=0.2, slow_factor=1.0)
+        FailureSpec(slow_node_probability=0.2, slow_factor=3.0)
+
+    def test_hang_probability_bounds(self):
+        with pytest.raises(ConfigError, match="hang_probability"):
+            FailureSpec(hang_probability=1.5)
+
+    def test_hangs_require_the_watchdog(self):
+        with pytest.raises(ConfigError, match="deadlock"):
+            minimal(failure=FailureSpec(hang_probability=0.1))
+        minimal(
+            failure=FailureSpec(hang_probability=0.1),
+            watchdog=WatchdogSpec(enabled=True),
+        )
+
+    def test_watchdog_factor_bounds(self):
+        with pytest.raises(ConfigError, match="deadline_factor"):
+            WatchdogSpec(deadline_factor=1.0)
+        with pytest.raises(ConfigError, match="straggler_factor"):
+            WatchdogSpec(straggler_factor=1.0)
+        with pytest.raises(ConfigError, match="backoff_cap_s"):
+            WatchdogSpec(backoff_base_s=10.0, backoff_cap_s=5.0)
+        with pytest.raises(ConfigError, match="backoff_jitter"):
+            WatchdogSpec(backoff_jitter=1.5)
+
+    def test_speculation_requires_enabled_watchdog(self):
+        with pytest.raises(ConfigError, match="enabled"):
+            WatchdogSpec(speculative=True)
+
+    def test_barrier_deadline_sync_mode_i_only(self):
+        with pytest.raises(ConfigError, match="barrier_deadline_s"):
+            PatternSpec(kind="synchronous", barrier_deadline_s=0.0)
+        with pytest.raises(ConfigError, match="asynchronous"):
+            PatternSpec(kind="asynchronous", barrier_deadline_s=60.0)
+        with pytest.raises(ConfigError, match="mode I"):
+            minimal(
+                pattern=PatternSpec(
+                    kind="synchronous", barrier_deadline_s=60.0
+                ),
+                resource=ResourceSpec("supermic", cores=2),
+            )
+
+    def test_gray_specs_roundtrip_through_dict(self):
+        cfg = minimal(
+            pattern=PatternSpec(kind="synchronous", barrier_deadline_s=60.0),
+            failure=FailureSpec(
+                policy="continue", slow_nodes=[[0, 4.0]], hang_probability=0.1
+            ),
+            watchdog=WatchdogSpec(
+                enabled=True, deadline_factor=6.0, speculative=True
+            ),
+        )
+        back = SimulationConfig.from_dict(cfg.to_dict())
+        assert back.pattern.barrier_deadline_s == 60.0
+        assert back.failure.slow_nodes == [[0, 4.0]]
+        assert back.watchdog == cfg.watchdog
 
 
 class TestSimulationConfig:

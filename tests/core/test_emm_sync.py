@@ -7,9 +7,11 @@ from repro.core import RepEx
 from repro.core.config import (
     DimensionSpec,
     FailureSpec,
+    PatternSpec,
     ResourceSpec,
 )
 from repro.core.replica import ReplicaStatus
+from repro.obs.metrics import MetricsRegistry, using_registry
 
 from tests.conftest import small_tremd_config
 
@@ -186,3 +188,93 @@ class TestFaultHandling:
         res = RepEx(small_tremd_config()).run()
         assert res.n_failures == 0
         assert res.n_relaunches == 0
+
+
+class TestBarrierDeadline:
+    """Deadline-bounded barriers: exchange over the on-time cohort."""
+
+    def _straggler_config(self, **over):
+        # 8 replicas at 5 cores each on SuperMIC's 20-core nodes: node 0
+        # carries four replicas and is 4x slow, so those four miss a
+        # 60s barrier (5-core MD lands around 35s, theirs near 140s)
+        defaults = dict(
+            dimensions=[DimensionSpec("temperature", 8, 273.0, 373.0)],
+            resource=ResourceSpec("supermic", cores=40),
+            cores_per_replica=5,
+            pattern=PatternSpec(
+                kind="synchronous", barrier_deadline_s=60.0
+            ),
+            failure=FailureSpec(policy="continue", slow_nodes=[[0, 4.0]]),
+            n_cycles=2,
+            numeric_steps=10,
+        )
+        defaults.update(over)
+        return small_tremd_config(**defaults)
+
+    def test_late_replicas_counted_per_cycle(self):
+        res = RepEx(self._straggler_config()).run()
+        assert [c.n_late for c in res.cycle_timings] == [4, 4]
+
+    def test_barrier_does_not_stall_on_stragglers(self):
+        bounded = RepEx(self._straggler_config()).run()
+        rigid = RepEx(
+            self._straggler_config(
+                pattern=PatternSpec(kind="synchronous")
+            )
+        ).run()
+        # the bounded run's exchange happens at the deadline, not after
+        # the 4x-slow units; cycle 0's exchange window opens earlier
+        assert (
+            bounded.cycle_timings[0].t_md_span
+            < rigid.cycle_timings[0].t_md_span
+        )
+        # ...but the cycle still waits for the late collection, so the
+        # ensemble is consistent before cycle 1 starts
+        assert all(len(r.history) == 2 for r in bounded.replicas)
+
+    def test_late_replicas_skip_the_exchange_window(self):
+        bounded = RepEx(self._straggler_config()).run()
+        rigid = RepEx(
+            self._straggler_config(
+                pattern=PatternSpec(kind="synchronous")
+            )
+        ).run()
+        # only the 4 on-time replicas enter each sweep (vs all 8)
+        assert (
+            bounded.exchange_stats["temperature"].attempted
+            < rigid.exchange_stats["temperature"].attempted
+        )
+        # the ladder stays fully occupied regardless
+        windows = sorted(r.window("temperature") for r in bounded.replicas)
+        assert windows == list(range(8))
+
+    def test_counters_match_late_totals(self):
+        with using_registry(MetricsRegistry()) as registry:
+            res = RepEx(self._straggler_config()).run()
+            counters = registry.snapshot()["counters"]
+        assert counters["emm.barrier_deadline_fires"] == 2
+        assert counters["emm.barrier_late"] == sum(
+            c.n_late for c in res.cycle_timings
+        )
+
+    def test_generous_deadline_never_fires(self):
+        with using_registry(MetricsRegistry()) as registry:
+            res = RepEx(
+                self._straggler_config(
+                    pattern=PatternSpec(
+                        kind="synchronous", barrier_deadline_s=10_000.0
+                    )
+                )
+            ).run()
+            counters = registry.snapshot()["counters"]
+        assert all(c.n_late == 0 for c in res.cycle_timings)
+        assert counters["emm.barrier_deadline_fires"] == 0
+
+    def test_default_runs_register_no_barrier_counters(self):
+        # the rigid barrier must not even register the counters — zero
+        # values show up in snapshots and would perturb golden manifests
+        with using_registry(MetricsRegistry()) as registry:
+            res = RepEx(small_tremd_config()).run()
+            counters = registry.snapshot()["counters"]
+        assert all(c.n_late == 0 for c in res.cycle_timings)
+        assert not any(k.startswith("emm.barrier") for k in counters)

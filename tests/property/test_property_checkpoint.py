@@ -151,6 +151,9 @@ def test_required_blocks_raise_with_clear_messages(kind):
 def test_wrong_config_hash_is_rejected_at_restore(tmp_path):
     data = json.loads(checkpoint_text("sync"))
     data["config_hash"] = "0" * len(data["config_hash"])
+    # a genuinely foreign checkpoint is internally consistent: re-stamp
+    # the content checksum so tamper detection doesn't fire first
+    data["checksum"] = Checkpoint._content_checksum(data)
     path = tmp_path / "foreign.json"
     path.write_text(json.dumps(data))
     resumed = RepEx(small_tremd_config(), resume_from=path)
