@@ -25,7 +25,7 @@ from repro.campaign.arbiter import (
 )
 from repro.campaign.grid import expand_grid
 from repro.campaign.spec import CampaignSpec
-from repro.obs.export import openmetrics_snapshot
+from repro.obs.export import format_label, openmetrics_snapshot
 
 #: fallback when a session config omits the resource section entirely
 #: (matches :class:`repro.core.config.ResourceSpec`'s default)
@@ -121,10 +121,16 @@ class CampaignReport:
 
 
 def _with_tenant_label(name: str, tenant: str) -> str:
-    """Append a ``tenant`` label to a registry metric name."""
+    """Append a ``tenant`` label to a registry metric name.
+
+    Tenant names containing label metacharacters (``,``, ``=``, ``}``,
+    quotes) are quoted and escaped so the resulting series name stays
+    parseable; plain names render bare exactly as before.
+    """
+    label = format_label("tenant", tenant)
     if name.endswith("}"):
-        return f"{name[:-1]},tenant={tenant}}}"
-    return f"{name}{{tenant={tenant}}}"
+        return f"{name[:-1]},{label}}}"
+    return f"{name}{{{label}}}"
 
 
 def _aggregate_metrics(
@@ -146,7 +152,10 @@ def _aggregate_metrics(
         tenant = record.request.tenant
         state = record.state.value.lower()
         bump(
-            f"campaign.sessions{{state={state},tenant={tenant}}}", 1
+            "campaign.sessions{"
+            f"{format_label('state', state)},{format_label('tenant', tenant)}"
+            "}",
+            1,
         )
         bump(_with_tenant_label("campaign.relaunches", tenant),
              record.relaunches)
@@ -171,11 +180,24 @@ def _aggregate_metrics(
     return {"counters": counters, "gauges": gauges, "histograms": {}}
 
 
+def live_metrics(spec: CampaignSpec, arbiter: Arbiter) -> Dict[str, Dict]:
+    """Registry-shaped snapshot of a campaign that may still be in flight.
+
+    The same aggregation :func:`run_campaign` embeds in its final report,
+    evaluated over whatever the arbiter has recorded so far — sessions
+    without an outcome yet simply contribute nothing.  Because the two
+    share one code path, a live ``/metrics`` scrape taken after the last
+    session completes is byte-identical to the end-of-run exposition.
+    """
+    return _aggregate_metrics(spec, list(arbiter.records), arbiter)
+
+
 def run_campaign(
     spec: CampaignSpec,
     *,
     runner: Optional[Callable[[SessionRequest], SessionOutcome]] = None,
     manifest_dir: Optional[Union[str, Path]] = None,
+    on_arbiter: Optional[Callable[[Arbiter], None]] = None,
 ) -> CampaignReport:
     """Expand, arbitrate and execute one campaign; return its report.
 
@@ -183,7 +205,11 @@ def run_campaign(
     same audit log, the same per-tenant manifests on disk, and the same
     OpenMetrics bytes.  ``runner`` defaults to the real
     :func:`~repro.campaign.runner.repex_runner`; property and scale
-    tests inject stubs.
+    tests inject stubs.  ``on_arbiter`` (if given) is called with the
+    freshly built arbiter before any session is submitted — the
+    telemetry CLI uses it to attach an audit sink and a live
+    :func:`live_metrics` snapshot without the service depending on the
+    HTTP layer.
     """
     if runner is None:
         from repro.campaign.runner import repex_runner
@@ -197,6 +223,8 @@ def run_campaign(
         relaunch_limit=spec.relaunch_limit,
         seed=spec.seed,
     )
+    if on_arbiter is not None:
+        on_arbiter(arbiter)
     # Install the runner before submission so sessions start (and free
     # queue slots) while the backlog is still being admitted.
     arbiter.prepare(runner)

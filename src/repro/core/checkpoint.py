@@ -183,7 +183,7 @@ def _capture_obs(emm) -> Optional[Dict[str, object]]:
         return None
     tracer = emm.session.tracer
     fault_domain = getattr(emm.session, "fault_domain", None)
-    return {
+    blob = {
         "registry": emm.metrics.state_dict(),
         "tracer": tracer.state_dict() if tracer is not None else [],
         "fault_events": (
@@ -192,6 +192,10 @@ def _capture_obs(emm) -> Optional[Dict[str, object]]:
             else []
         ),
     }
+    ladder = getattr(emm, "ladder", None)
+    if ladder is not None:
+        blob["ladder"] = ladder.state_dict()
+    return blob
 
 
 def _capture_watchdog(emm) -> Optional[Dict[str, object]]:
@@ -578,6 +582,11 @@ def _restore_obs(emm, obs: Optional[Dict[str, object]]) -> None:
     fault_domain = getattr(emm.session, "fault_domain", None)
     if fault_domain is not None:
         fault_domain.load_events(obs.get("fault_events", []))
+    ladder = getattr(emm, "ladder", None)
+    # tolerant .get(): pre-v3 checkpoints have no ladder blob and resume
+    # with fresh walk state rather than failing
+    if ladder is not None and obs.get("ladder") is not None:
+        ladder.load_state(obs["ladder"])
 
 
 def restore(

@@ -29,6 +29,8 @@ from repro.core.execution_modes import ExecutionMode, make_mode
 from repro.core.fault import FaultAction, FaultPolicy, policy_from_spec
 from repro.core.replica import Replica, ReplicaStatus
 from repro.core.results import CycleTiming, SimulationResult
+from repro.obs import hostprof
+from repro.obs.ladder import LadderTracker
 from repro.obs.metrics import get_registry
 from repro.pilot.pilot import Pilot, PilotState
 from repro.pilot.session import Session
@@ -98,6 +100,19 @@ class ExecutionManagerBase:
                 "emm.barrier_deadline_fires"
             )
             self._c_barrier_late = self.metrics.counter("emm.barrier_late")
+        # Exchange-dynamics tracking (ladder occupancy, round-trip times)
+        # is registry-gated: a NullRegistry run creates no tracker, so
+        # benchmark scenarios and golden traces see zero new work.
+        self.ladder: Optional[LadderTracker] = None
+        if self.metrics.enabled:
+            self.ladder = LadderTracker(
+                {d.name: d.n_windows for d in amm.dimensions},
+                registry=self.metrics,
+            )
+        #: optional :class:`~repro.obs.alerts.AlertManager`, evaluated at
+        #: cycle ends (sync) and sweep completions (async); installed by
+        #: the framework facade when alert rules are configured
+        self.alerts = None
 
     # -- helpers ---------------------------------------------------------------
 
@@ -306,6 +321,11 @@ class ExecutionManagerBase:
         return proposals
 
     def _build_result(self, timings: List[CycleTiming], t_start: float) -> SimulationResult:
+        if self.ladder is not None:
+            # close the occupancy integral at the run's end; checkpoints
+            # are always captured before this point, so an interrupted
+            # run's snapshot never contains finalized dwell
+            self.ladder.finalize(self.session.now)
         return SimulationResult(
             title=self.config.title,
             type_string=self.config.type_string,
@@ -352,6 +372,9 @@ class SynchronousEMM(ExecutionManagerBase):
             t_start = self.session.now
             timings = []
             all_proposals = []
+            if self.ladder is not None:
+                self.ladder.reset()
+                self.ladder.observe_all(t_start, self.replicas)
         interrupted = False
 
         for cycle in range(start_cycle, self.config.n_cycles):
@@ -396,15 +419,16 @@ class SynchronousEMM(ExecutionManagerBase):
             md_span.end()
 
             n_failed = 0
-            for rep in on_time:
-                ok = self.amm.process_md_output(
-                    rep,
-                    unit_of[rep.rid],
-                    cycle,
-                    dimension.name if dimension else None,
-                )
-                if not ok:
-                    n_failed += 1
+            with hostprof.section("emm"):
+                for rep in on_time:
+                    ok = self.amm.process_md_output(
+                        rep,
+                        unit_of[rep.rid],
+                        cycle,
+                        dimension.name if dimension else None,
+                    )
+                    if not ok:
+                        n_failed += 1
 
             proposals: List[SwapProposal] = []
             if dimension is not None:
@@ -426,6 +450,11 @@ class SynchronousEMM(ExecutionManagerBase):
                     )
                 self._c_sweeps.inc()
                 all_proposals.extend(proposals)
+                if self.ladder is not None:
+                    # windows only move at applied swaps, so observing the
+                    # participants right after the sweep keeps the
+                    # piecewise-constant occupancy integral exact
+                    self.ladder.observe_all(self.session.now, healthy)
             ex_end = self.session.now
 
             if late_rids:
@@ -487,6 +516,8 @@ class SynchronousEMM(ExecutionManagerBase):
             cycle_span.end()
             self._c_cycles.inc()
             self._h_cycle_span.observe(self.session.now - cycle_start)
+            if self.alerts is not None:
+                self.alerts.evaluate(self.session.now)
 
             completed = cycle + 1
             if (
@@ -560,6 +591,9 @@ class AsynchronousEMM(ExecutionManagerBase):
         else:
             self.replicas = self.amm.create_replicas()
             t_start = self.session.now
+            if self.ladder is not None:
+                self.ladder.reset()
+                self.ladder.observe_all(t_start, self.replicas)
         by_rid = {r.rid: r for r in self.replicas}
 
         criterion, spawn_policy = build_adaptive(self.config.adaptive)
@@ -792,8 +826,13 @@ class AsynchronousEMM(ExecutionManagerBase):
                 proposals = (
                     list(u.result) if u.succeeded and u.result else []
                 )
-                self.amm.apply_proposals(ready, dimension, proposals)
+                with hostprof.section("emm"):
+                    self.amm.apply_proposals(ready, dimension, proposals)
                 all_proposals.extend(proposals)
+                if self.ladder is not None:
+                    self.ladder.observe_all(self.session.now, ready)
+                if self.alerts is not None:
+                    self.alerts.evaluate(self.session.now)
                 # RepEx task preparation for the resubmitted MD phases is
                 # charged here, exactly as the sync pattern charges it per
                 # cycle; replicas idle during preparation.

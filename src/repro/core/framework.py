@@ -31,7 +31,9 @@ from repro.core.results import SimulationResult
 from repro.md.engine import EngineAdapter
 from repro.md.perfmodel import PerformanceModel
 from repro.md.sandbox import Sandbox
+from repro.obs.alerts import AlertManager, AlertRule
 from repro.obs.manifest import ManifestStream, RunManifest
+from repro.obs.stream import EventBus
 from repro.obs.metrics import get_registry, using_registry
 from repro.pilot.cluster import get_cluster
 from repro.pilot.failures import FailureModel
@@ -88,6 +90,16 @@ class RepEx:
         Stream an incrementally flushed JSONL manifest to this path
         while the run is in flight (see
         :class:`~repro.obs.manifest.ManifestStream`).
+    alert_rules:
+        A list of :class:`~repro.obs.alerts.AlertRule` to evaluate at
+        cycle/sweep boundaries on the virtual clock; firing/resolved
+        transitions land in the manifest (and on the event bus).  None
+        (the default) skips alert evaluation entirely.
+    event_bus:
+        A live :class:`~repro.obs.stream.EventBus` receiving every unit
+        transition, fault event and alert transition as it happens —
+        the feed behind ``--serve-metrics`` and ``repro obs tail``.
+        None (the default) publishes nothing.
     registry:
         A private :class:`~repro.obs.metrics.MetricsRegistry` for this
         run.  The whole stack is constructed — and :meth:`run` executes —
@@ -120,6 +132,8 @@ class RepEx:
         crash_at_time: Optional[float] = None,
         manifest_path: Optional[Union[str, Path]] = None,
         registry=None,
+        alert_rules: Optional[List[AlertRule]] = None,
+        event_bus: Optional[EventBus] = None,
     ):
         self.config = config
         self.cluster = get_cluster(config.resource.name)
@@ -152,6 +166,9 @@ class RepEx:
             crash_at_time,
         )
         self.manifest_path = manifest_path
+        self.event_bus = event_bus
+        if alert_rules:
+            self.emm.alerts = AlertManager(alert_rules, self.registry)
 
     def _build(
         self,
@@ -369,6 +386,33 @@ class RepEx:
                 self.tracer.add_sink(stream.on_transition)
             if self.fault_domain is not None:
                 self.fault_domain.add_sink(stream.on_fault)
+        alerts = getattr(self.emm, "alerts", None)
+        if alerts is not None and stream is not None:
+            alerts.add_sink(stream.on_alert)
+        bus = self.event_bus
+        if bus is not None:
+            if self.tracer is not None:
+                self.tracer.add_sink(
+                    lambda unit, state, t: bus.publish(
+                        {
+                            "kind": "event",
+                            "t": round(t, 6),
+                            "unit": unit,
+                            "state": state,
+                        }
+                    )
+                )
+            if self.fault_domain is not None:
+                self.fault_domain.add_sink(
+                    lambda e: bus.publish({"kind": "fault", **e.to_dict()})
+                )
+            if alerts is not None:
+                alerts.add_sink(
+                    lambda rec: bus.publish({"kind": "alert", **rec})
+                )
+            bus.publish(
+                {"kind": "run", "state": "started", "title": self.config.title}
+            )
         if self.crash_at_time is not None:
             self.session.schedule_crash(self.crash_at_time)
         try:
@@ -384,6 +428,7 @@ class RepEx:
             raise
         finally:
             self.pilot.cancel()
+        ladder = getattr(self.emm, "ladder", None)
         result.manifest = RunManifest.from_run(
             self.config,
             result,
@@ -394,9 +439,20 @@ class RepEx:
                 if self.fault_domain is not None
                 else None
             ),
+            ladder=ladder.records() if ladder is not None else None,
+            alerts=list(alerts.transitions) if alerts is not None else None,
         )
         if stream is not None:
             stream.finalize(result.manifest)
+        if bus is not None:
+            bus.publish(
+                {
+                    "kind": "run",
+                    "state": "finished",
+                    "title": self.config.title,
+                    "t": result.t_end,
+                }
+            )
         return result
 
 

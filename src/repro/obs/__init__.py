@@ -17,7 +17,18 @@ them as first-class data rather than ad-hoc prints:
 * :mod:`repro.obs.critical_path` — per-cycle critical-path and Fig.-5
   phase-decomposition analytics,
 * :mod:`repro.obs.diff` — run-to-run manifest comparison for perf- and
-  chaos-regression triage.
+  chaos-regression triage,
+* :mod:`repro.obs.stream` — in-process event bus fanning manifest
+  records out to bounded-queue subscribers (the live telemetry plane),
+* :mod:`repro.obs.server` — background-thread HTTP server exposing
+  ``/metrics``, ``/healthz``, ``/runs`` and ``/events`` while a run or
+  campaign is in flight,
+* :mod:`repro.obs.ladder` — per-replica ladder occupancy and round-trip
+  time tracking (exchange dynamics),
+* :mod:`repro.obs.alerts` — declarative threshold alert rules evaluated
+  on the virtual clock,
+* :mod:`repro.obs.hostprof` — host-time (wall-clock) self-time
+  attribution per subsystem for ``repro bench --profile``.
 
 See ``docs/OBSERVABILITY.md`` for the metric-name and span taxonomy.
 """
@@ -29,12 +40,23 @@ from repro.obs.critical_path import (
     decomposition,
     render_report,
 )
+from repro.obs.alerts import (
+    AlertError,
+    AlertManager,
+    AlertRule,
+    default_rules,
+    load_rules,
+)
 from repro.obs.diff import Delta, ManifestDiff, diff_manifests, render_diff
 from repro.obs.export import (
     chrome_trace,
+    escape_label_value,
+    format_label,
     openmetrics,
     validate_chrome_trace,
+    validate_openmetrics,
 )
+from repro.obs.ladder import LadderTracker
 from repro.obs.manifest import (
     ManifestError,
     ManifestStream,
@@ -56,13 +78,19 @@ from repro.obs.metrics import (
     using_registry,
 )
 from repro.obs.spans import Span, SpanRecord
+from repro.obs.stream import EventBus, Subscription
 
 __all__ = [
+    "AlertError",
+    "AlertManager",
+    "AlertRule",
     "Counter",
     "CyclePath",
     "Delta",
+    "EventBus",
     "Gauge",
     "Histogram",
+    "LadderTracker",
     "ManifestDiff",
     "ManifestError",
     "ManifestStream",
@@ -74,12 +102,17 @@ __all__ = [
     "Segment",
     "Span",
     "SpanRecord",
+    "Subscription",
     "chrome_trace",
     "config_hash",
     "critical_paths",
     "decomposition",
+    "default_rules",
     "diff_manifests",
+    "escape_label_value",
+    "format_label",
     "get_registry",
+    "load_rules",
     "null_registry",
     "openmetrics",
     "phase_totals",
@@ -88,4 +121,5 @@ __all__ = [
     "set_registry",
     "using_registry",
     "validate_chrome_trace",
+    "validate_openmetrics",
 ]

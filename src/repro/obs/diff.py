@@ -64,6 +64,9 @@ class ManifestDiff:
     counters: List[Delta] = field(default_factory=list)
     acceptance: List[Delta] = field(default_factory=list)
     critical_path: List[Delta] = field(default_factory=list)
+    #: per-dimension exchange dynamics (round trips, mean RTT) from the
+    #: v3 ``ladder`` records; empty when neither manifest carries them
+    ladder: List[Delta] = field(default_factory=list)
     fault_events: Optional[Delta] = None
 
     def changed(self) -> List[Delta]:
@@ -75,7 +78,7 @@ class ManifestDiff:
         """All compared quantities, flat."""
         deltas = [self.wallclock, self.utilization]
         deltas += self.phases + self.counters + self.acceptance
-        deltas += self.critical_path
+        deltas += self.critical_path + self.ladder
         if self.fault_events is not None:
             deltas.append(self.fault_events)
         return deltas
@@ -113,6 +116,21 @@ def _critical_path_totals(manifest: RunManifest) -> Dict[str, float]:
     return totals
 
 
+def _ladder_stats(manifest: RunManifest) -> Dict[str, float]:
+    """Flatten the v3 ladder records into comparable scalars.
+
+    Manifests written before schema v3 have no ladder records; the dict
+    is empty then and ``_paired`` treats every quantity as 0 on that
+    side, so old-vs-new diffs stay well defined.
+    """
+    stats: Dict[str, float] = {}
+    for rec in manifest.ladder or []:
+        dim = rec.get("dimension", "?")
+        stats[f"round_trips.{dim}"] = float(rec.get("round_trips", 0))
+        stats[f"mean_rtt_s.{dim}"] = float(rec.get("mean_rtt_s", 0.0))
+    return stats
+
+
 def _paired(
     a: Dict[str, float], b: Dict[str, float], prefix: str = ""
 ) -> List[Delta]:
@@ -143,6 +161,7 @@ def diff_manifests(a: RunManifest, b: RunManifest) -> ManifestDiff:
             _critical_path_totals(b),
             prefix="critical_path.",
         ),
+        ladder=_paired(_ladder_stats(a), _ladder_stats(b), prefix="rtt."),
         fault_events=Delta(
             "fault_events", len(a.fault_events), len(b.fault_events)
         ),

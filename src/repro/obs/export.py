@@ -309,26 +309,123 @@ def validate_chrome_trace(doc: Dict) -> int:
 
 # -- OpenMetrics --------------------------------------------------------------
 
-_LABELLED_RE = re.compile(r"^(?P<base>[^{]+)\{(?P<labels>.*)\}$")
+_LABELLED_RE = re.compile(r"^(?P<base>[^{]+)\{(?P<labels>.*)\}$", re.DOTALL)
 _SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the OpenMetrics text exposition rules.
+
+    Backslash, double-quote and newline are the three characters the
+    spec requires escaping inside a quoted label value; anything else
+    passes through verbatim.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def unescape_label_value(value: str) -> str:
+    """Invert :func:`escape_label_value` (exposition -> raw value)."""
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        ch = value[i]
+        if ch == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append({"\\": "\\", '"': '"', "n": "\n"}.get(nxt, nxt))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def split_label_pairs(labels: str) -> List[Tuple[str, str]]:
+    """Parse a label-set body into ``(key, raw value)`` pairs.
+
+    Handles both registry-style unquoted values (``dim=temperature``)
+    and exposition-style quoted values with escapes
+    (``tenant="acme \\"west\\""``); commas inside quoted values do not
+    split pairs.  Registry names never quote, so an unquoted value
+    cannot itself contain ``,`` or ``=`` — tenants/scenarios with such
+    characters arrive via campaign labelling which this parser and
+    :func:`escape_label_value` round-trip correctly once quoted.
+    """
+    pairs: List[Tuple[str, str]] = []
+    i, n = 0, len(labels)
+    while i < n:
+        eq = labels.find("=", i)
+        if eq < 0:
+            break
+        key = labels[i:eq].strip().lstrip(",").strip()
+        j = eq + 1
+        while j < n and labels[j] in " \t":
+            j += 1
+        if j < n and labels[j] == '"':
+            # quoted value: scan to the closing unescaped quote
+            j += 1
+            buf: List[str] = []
+            while j < n:
+                ch = labels[j]
+                if ch == "\\" and j + 1 < n:
+                    buf.append(ch)
+                    buf.append(labels[j + 1])
+                    j += 2
+                    continue
+                if ch == '"':
+                    break
+                buf.append(ch)
+                j += 1
+            value = unescape_label_value("".join(buf))
+            i = j + 1
+        else:
+            end = labels.find(",", j)
+            if end < 0:
+                end = n
+            value = labels[j:end].strip()
+            i = end
+        if key:
+            pairs.append((key, value))
+        # skip the pair separator
+        while i < n and labels[i] in ", \t":
+            i += 1
+    return pairs
+
+
+_SIMPLE_VALUE_RE = re.compile(r"^[^\s\",=\\{}]+$")
+
+
+def format_label(key: str, value) -> str:
+    """Render one ``key=value`` pair for a registry metric name.
+
+    Simple values stay bare (``dim=temperature``, matching the existing
+    registry naming convention everywhere); values containing ``"``,
+    ``\\``, newlines, commas, equals or braces are quoted and escaped so
+    :func:`split_label_pairs` recovers them exactly.
+    """
+    value = str(value)
+    if _SIMPLE_VALUE_RE.match(value):
+        return f"{key}={value}"
+    return f'{key}="{escape_label_value(value)}"'
 
 
 def _metric_name(name: str) -> Tuple[str, str]:
     """Split a registry metric name into (exposition name, label string).
 
     ``exchange.attempted{dim=temperature}`` becomes
-    ``("exchange_attempted", 'dim="temperature"')``.
+    ``("exchange_attempted", 'dim="temperature"')``.  Label values are
+    escaped for the exposition, so tenant/scenario names containing
+    ``"``, ``\\`` or newlines survive the round trip.
     """
     labels = ""
     m = _LABELLED_RE.match(name)
     if m:
         name = m.group("base")
-        pairs = []
-        for part in m.group("labels").split(","):
-            if "=" in part:
-                key, value = part.split("=", 1)
-                value = value.strip().strip('"')
-                pairs.append(f'{key.strip()}="{value}"')
+        pairs = [
+            f'{key}="{escape_label_value(value)}"'
+            for key, value in split_label_pairs(m.group("labels"))
+        ]
         labels = ",".join(pairs)
     return _SANITIZE_RE.sub("_", name.strip()), labels
 
@@ -397,3 +494,76 @@ def openmetrics(manifest: RunManifest) -> str:
     the same bytes.
     """
     return openmetrics_snapshot(manifest.metrics or {})
+
+
+_EXPOSITION_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_VALID_TYPES = frozenset(
+    {"counter", "gauge", "summary", "histogram", "unknown", "info", "stateset"}
+)
+
+
+def validate_openmetrics(text: str) -> int:
+    """Validate an OpenMetrics text exposition (the ``/metrics`` payload).
+
+    Checks the structural rules consumers depend on: every ``# TYPE``
+    line declares a valid name and type, every sample line has a valid
+    metric name, a parseable (possibly quoted/escaped) label set and a
+    float value, and the exposition terminates with ``# EOF``.  Returns
+    the number of sample lines; raises ``ValueError`` listing every
+    problem otherwise.  This is the OpenMetrics counterpart of
+    :func:`validate_chrome_trace`, used by ``repro obs validate``.
+    """
+    problems: List[str] = []
+    samples = 0
+    lines = text.splitlines()
+    if not lines or lines[-1].strip() != "# EOF":
+        problems.append("exposition does not end with '# EOF'")
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            problems.append(f"line {lineno}: blank line in exposition")
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) < 4:
+                    problems.append(f"line {lineno}: malformed TYPE line")
+                elif not _EXPOSITION_NAME_RE.match(parts[2]):
+                    problems.append(
+                        f"line {lineno}: bad metric name {parts[2]!r}"
+                    )
+                elif parts[3] not in _VALID_TYPES:
+                    problems.append(
+                        f"line {lineno}: unknown metric type {parts[3]!r}"
+                    )
+            continue
+        # sample line: name[{labels}] value
+        m = re.match(r"^(?P<name>[^\s{]+)(\{(?P<labels>.*)\})?\s+(?P<value>\S+)\s*$", line)
+        if not m:
+            problems.append(f"line {lineno}: unparsable sample line")
+            continue
+        if not _EXPOSITION_NAME_RE.match(m.group("name")):
+            problems.append(
+                f"line {lineno}: bad metric name {m.group('name')!r}"
+            )
+        labels = m.group("labels")
+        if labels:
+            # every pair must be key="..." with balanced quoting
+            if not re.match(
+                r'^[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"'
+                r'(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*$',
+                labels,
+            ):
+                problems.append(f"line {lineno}: malformed label set")
+        try:
+            float(m.group("value"))
+        except ValueError:
+            problems.append(
+                f"line {lineno}: non-numeric value {m.group('value')!r}"
+            )
+        samples += 1
+    if problems:
+        raise ValueError(
+            f"{len(problems)} exposition violation(s): "
+            + "; ".join(problems[:10])
+        )
+    return samples

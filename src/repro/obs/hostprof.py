@@ -1,0 +1,205 @@
+"""Host-time (wall-clock) profiling hooks, per subsystem.
+
+Everything else in ``repro.obs`` measures *virtual* time — the simulated
+seconds the DES advances.  This module measures the other axis: where the
+*host* CPU actually goes while the simulator runs, attributed to coarse
+subsystems (scheduler placement, staging bookkeeping, exchange math, MD
+work, EMM orchestration).  That attribution is what turns a
+``repro bench --compare`` regression into a diagnosis: "events/s dropped
+because scheduler self-time doubled" is actionable where a flat cProfile
+dump is not.
+
+Probes are ``with hostprof.section("scheduler"):`` blocks at a handful of
+call sites.  Attribution is **self-time**: a section nested inside
+another charges its own elapsed time to itself, not to its parent, so
+the per-subsystem totals are disjoint and sum to at most the measured
+wallclock.  The remainder (event-loop dispatch, everything unprobed)
+reports as ``unattributed``.
+
+The profiler is off by default and costs one module-global load plus a
+no-op context manager per probe when disabled — nothing on the virtual
+clock ever depends on it, so enabling it cannot change simulation
+results, only wallclock.  ``repro bench --profile`` enables it around
+the measured run and prints the table next to the cProfile hotspots.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+__all__ = [
+    "HostProfiler",
+    "active",
+    "disable",
+    "enable",
+    "report",
+    "section",
+    "totals",
+]
+
+
+class _NullSection:
+    """Shared no-op context manager returned while profiling is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSection":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SECTION = _NullSection()
+
+
+class HostProfiler:
+    """Accumulates host-clock self-time per named section.
+
+    One instance owns a stack of open sections; entering a section
+    charges the host time elapsed since the last stack change to the
+    previously open section (if any), so nested probes subtract cleanly
+    from their parents.  Re-entrant use of the same name just nests.
+    """
+
+    __slots__ = ("totals", "counts", "_stack", "_mark")
+
+    def __init__(self):
+        self.totals: Dict[str, float] = {}
+        self.counts: Dict[str, int] = {}
+        self._stack: List[str] = []
+        self._mark = 0.0
+
+    # -- probe machinery ----------------------------------------------------
+
+    def _charge(self, now: float) -> None:
+        if self._stack:
+            name = self._stack[-1]
+            self.totals[name] = self.totals.get(name, 0.0) + (now - self._mark)
+
+    def push(self, name: str) -> None:
+        """Open ``name``; elapsed time so far goes to the enclosing section."""
+        now = time.perf_counter()
+        self._charge(now)
+        self._stack.append(name)
+        self.counts[name] = self.counts.get(name, 0) + 1
+        self._mark = now
+
+    def pop(self) -> None:
+        """Close the innermost section, charging its elapsed self-time."""
+        now = time.perf_counter()
+        self._charge(now)
+        if self._stack:
+            self._stack.pop()
+        self._mark = now
+
+    class _Section:
+        __slots__ = ("_prof", "_name")
+
+        def __init__(self, prof: "HostProfiler", name: str):
+            self._prof = prof
+            self._name = name
+
+        def __enter__(self):
+            self._prof.push(self._name)
+            return self
+
+        def __exit__(self, *exc) -> bool:
+            self._prof.pop()
+            return False
+
+    def section(self, name: str) -> "HostProfiler._Section":
+        """Context manager charging the block's self-time to ``name``."""
+        return HostProfiler._Section(self, name)
+
+    # -- reporting ----------------------------------------------------------
+
+    def rows(
+        self, total_s: Optional[float] = None
+    ) -> List[Tuple[str, float, int]]:
+        """``(section, seconds, entries)`` rows, largest first.
+
+        With ``total_s`` (the externally measured wallclock), a final
+        ``unattributed`` row carries whatever the probes did not cover.
+        """
+        rows = sorted(
+            ((n, t, self.counts.get(n, 0)) for n, t in self.totals.items()),
+            key=lambda r: (-r[1], r[0]),
+        )
+        if total_s is not None:
+            rest = total_s - sum(t for _, t, _ in rows)
+            rows.append(("unattributed", max(0.0, rest), 0))
+        return rows
+
+    def report(self, total_s: Optional[float] = None) -> str:
+        """Human-readable attribution table."""
+        rows = self.rows(total_s)
+        if not rows:
+            return "(no host-time sections recorded)"
+        base = total_s if total_s else sum(t for _, t, _ in rows)
+        lines = ["host-time attribution (wall-clock self-time):"]
+        for name, seconds, count in rows:
+            pct = 100.0 * seconds / base if base > 0 else 0.0
+            entries = f"{count:>8d}" if count else "       -"
+            lines.append(
+                f"  {name:<16} {seconds:10.4f} s  {pct:5.1f} %  "
+                f"entries {entries}"
+            )
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Drop all accumulated totals and any open stack."""
+        self.totals.clear()
+        self.counts.clear()
+        self._stack.clear()
+        self._mark = 0.0
+
+
+# -- process-local probe target ----------------------------------------------
+
+_profiler: Optional[HostProfiler] = None
+
+
+def enable(profiler: Optional[HostProfiler] = None) -> HostProfiler:
+    """Install ``profiler`` (a fresh one by default) as the probe target."""
+    global _profiler
+    _profiler = profiler if profiler is not None else HostProfiler()
+    return _profiler
+
+
+def disable() -> Optional[HostProfiler]:
+    """Turn probing back into a no-op; returns the retired profiler."""
+    global _profiler
+    previous, _profiler = _profiler, None
+    return previous
+
+
+def active() -> Optional[HostProfiler]:
+    """The installed profiler, or None when profiling is off."""
+    return _profiler
+
+
+def section(name: str):
+    """A context manager probing ``name`` — no-op unless :func:`enable` ran.
+
+    This is the call-site API; the disabled cost is one global read and
+    a shared no-op context manager, so probes may sit on warm (not
+    per-event-hot) paths.
+    """
+    prof = _profiler
+    if prof is None:
+        return _NULL_SECTION
+    return prof.section(name)
+
+
+def totals() -> Dict[str, float]:
+    """Current per-section totals ({} when profiling is off)."""
+    return dict(_profiler.totals) if _profiler is not None else {}
+
+
+def report(total_s: Optional[float] = None) -> str:
+    """The installed profiler's table (empty marker string when off)."""
+    if _profiler is None:
+        return "(host profiling is off)"
+    return _profiler.report(total_s)

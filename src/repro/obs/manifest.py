@@ -33,7 +33,10 @@ from repro.pilot.unit import UnitState
 #: v2: adds per-unit ``unit`` metadata records and optional
 #:     ``span_id``/``parent_id``/``unit`` fields on span records; v1
 #:     manifests still load (the additions are strictly optional).
-SCHEMA_VERSION = 2
+#: v3: adds per-dimension ``ladder`` records (occupancy, up/down
+#:     walkers, round-trip times) and ``alert`` transition records;
+#:     both are strictly optional, so v2/v1 manifests still load.
+SCHEMA_VERSION = 3
 
 #: Unit metadata phases folded into the manifest's ``exchange`` bucket.
 _EXCHANGE_PHASES = frozenset({"exchange", "single_point"})
@@ -116,6 +119,14 @@ class RunManifest:
     #: per-unit metadata (name/cores/phase/rid/cycle/final_state) from
     #: :meth:`Tracer.unit_meta`; empty in pre-v2 manifests
     units: List[Dict] = field(default_factory=list)
+    #: per-dimension exchange-dynamics records (occupancy, walkers,
+    #: round-trip times) from
+    #: :meth:`LadderTracker.records() <repro.obs.ladder.LadderTracker.records>`;
+    #: empty in pre-v3 manifests and under a null registry
+    ladder: List[Dict] = field(default_factory=list)
+    #: alert firing/resolved transition records from
+    #: :class:`~repro.obs.alerts.AlertManager`; empty when no rules ran
+    alerts: List[Dict] = field(default_factory=list)
     #: True when this manifest was loaded from an unfinalised stream
     #: (the run died before :meth:`ManifestStream.finalize`)
     partial: bool = False
@@ -134,6 +145,8 @@ class RunManifest:
         tracer: Optional[Tracer],
         registry: MetricsRegistry,
         fault_events: Optional[List[Dict]] = None,
+        ladder: Optional[List[Dict]] = None,
+        alerts: Optional[List[Dict]] = None,
     ) -> "RunManifest":
         """Assemble the manifest for a finished run.
 
@@ -141,7 +154,9 @@ class RunManifest:
         SimulationResult) so this module stays import-light; ``tracer``
         may be None under a null registry, which yields an identity-only
         manifest.  ``fault_events`` is the fault domain's event list in
-        dict form, when fault injection was active.
+        dict form, when fault injection was active; ``ladder`` and
+        ``alerts`` are the v3 exchange-dynamics and alert-transition
+        record lists, when those subsystems ran.
         """
         manifest = cls(
             title=result.title,
@@ -164,6 +179,10 @@ class RunManifest:
             manifest.units = tracer.unit_meta()
         if fault_events:
             manifest.fault_events = list(fault_events)
+        if ladder:
+            manifest.ladder = list(ladder)
+        if alerts:
+            manifest.alerts = list(alerts)
         return manifest
 
     # -- derived -------------------------------------------------------------
@@ -220,6 +239,14 @@ class RunManifest:
             record = {"kind": "fault"}
             record.update(event)
             lines.append(json.dumps(record, sort_keys=True))
+        for entry in self.ladder:
+            record = {"kind": "ladder"}
+            record.update(entry)
+            lines.append(json.dumps(record, sort_keys=True))
+        for entry in self.alerts:
+            record = {"kind": "alert"}
+            record.update(entry)
+            lines.append(json.dumps(record, sort_keys=True))
         for t, unit, state in self.timeline:
             lines.append(
                 json.dumps(
@@ -247,6 +274,8 @@ class RunManifest:
         timeline: List[List] = []
         fault_events: List[Dict] = []
         units: List[Dict] = []
+        ladder: List[Dict] = []
+        alerts: List[Dict] = []
         warnings: List[str] = []
         for lineno, line in enumerate(text.splitlines(), start=1):
             line = line.strip()
@@ -278,6 +307,10 @@ class RunManifest:
                 )
             elif kind == "unit":
                 units.append({k: v for k, v in record.items() if k != "kind"})
+            elif kind == "ladder":
+                ladder.append({k: v for k, v in record.items() if k != "kind"})
+            elif kind == "alert":
+                alerts.append({k: v for k, v in record.items() if k != "kind"})
             else:
                 if recover:
                     warnings.append(
@@ -307,6 +340,8 @@ class RunManifest:
             n_units=header.get("n_units", 0),
             fault_events=fault_events,
             units=units,
+            ladder=ladder,
+            alerts=alerts,
             partial=header.get("partial", False) or bool(warnings),
             recovered=warnings,
             schema_version=header.get("schema_version", SCHEMA_VERSION),
@@ -346,6 +381,25 @@ class RunManifest:
             lines.append("counters:")
             for name, value in counters.items():
                 lines.append(f"  {name:<28} {value:14.1f}")
+        if self.ladder:
+            lines.append("exchange dynamics (per dimension):")
+            for rec in self.ladder:
+                walkers = rec.get("walkers", {})
+                lines.append(
+                    f"  {rec.get('dimension', '?'):<14} "
+                    f"round trips {rec.get('round_trips', 0):>5}  "
+                    f"mean RTT {rec.get('mean_rtt_s', 0.0):12.1f} s  "
+                    f"up/down walkers {walkers.get('up', 0)}/"
+                    f"{walkers.get('down', 0)}"
+                )
+        if self.alerts:
+            n_firing = sum(
+                1 for a in self.alerts if a.get("state") == "firing"
+            ) - sum(1 for a in self.alerts if a.get("state") == "resolved")
+            lines.append(
+                f"alerts: {len(self.alerts)} transitions, "
+                f"{max(0, n_firing)} still firing at end of run"
+            )
         lines.append(
             f"spans: {len(self.spans)}, timeline events: "
             f"{len(self.timeline)}, units: {self.n_units}"
@@ -357,6 +411,34 @@ class RunManifest:
         if self.partial:
             lines.append("PARTIAL: the run did not finalize this manifest")
         return lines
+
+    def to_summary_dict(self) -> Dict:
+        """Machine-readable summary (``repro obs summary --format json``).
+
+        Recovery warnings are *not* part of this dict — the CLI routes
+        them to stderr so piped JSON stays clean.
+        """
+        return {
+            "title": self.title,
+            "config_hash": self.config_hash,
+            "pattern": self.pattern,
+            "execution_mode": self.execution_mode,
+            "n_replicas": self.n_replicas,
+            "pilot_cores": self.pilot_cores,
+            "seed": self.seed,
+            "schema_version": self.schema_version,
+            "wallclock_s": self.wallclock,
+            "utilization": self.utilization,
+            "phase_totals": dict(self.phase_totals),
+            "counters": dict(self.metrics.get("counters", {})),
+            "ladder": [dict(rec) for rec in self.ladder],
+            "alerts": [dict(rec) for rec in self.alerts],
+            "n_spans": len(self.spans),
+            "n_timeline_events": len(self.timeline),
+            "n_units": self.n_units,
+            "n_fault_events": len(self.fault_events),
+            "partial": self.partial,
+        }
 
 
 class ManifestStream:
@@ -380,6 +462,7 @@ class ManifestStream:
         self.path = Path(path)
         self._fh = self.path.open("w")
         self._closed = False
+        self._n_alerts_streamed = 0
         self._write(
             {
                 "kind": "run",
@@ -421,6 +504,17 @@ class ManifestStream:
         record.update(event.to_dict())
         self._write(record)
 
+    def on_alert(self, transition: Dict) -> None:
+        """Alert-manager sink: flush one alert transition line.
+
+        Streamed transitions are counted so :meth:`finalize` appends
+        only the remainder, never duplicates.
+        """
+        record = {"kind": "alert"}
+        record.update(transition)
+        self._write(record)
+        self._n_alerts_streamed += 1
+
     # -- lifecycle -----------------------------------------------------------
 
     def finalize(self, manifest: RunManifest) -> None:
@@ -439,6 +533,14 @@ class ManifestStream:
         for unit in manifest.units:
             record = {"kind": "unit"}
             record.update(unit)
+            self._write(record)
+        for entry in manifest.ladder:
+            record = {"kind": "ladder"}
+            record.update(entry)
+            self._write(record)
+        for entry in manifest.alerts[self._n_alerts_streamed:]:
+            record = {"kind": "alert"}
+            record.update(entry)
             self._write(record)
         self._write(
             {

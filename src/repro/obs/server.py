@@ -1,0 +1,257 @@
+"""Background-thread HTTP server exposing live run telemetry.
+
+``repro run --serve-metrics PORT`` and ``repro campaign --serve-metrics
+PORT`` start one of these next to the DES.  The simulator itself is
+single-threaded and unaware of the server; the server *reads* — a
+metrics snapshot callable, a runs-summary callable, an optional
+:class:`~repro.obs.stream.EventBus` — and never writes, so it cannot
+perturb the virtual clock or the seeded RNG streams.  All new knobs
+default off: no ``--serve-metrics``, no server, byte-identical runs.
+
+Endpoints:
+
+``GET /metrics``
+    Live OpenMetrics text exposition (the same
+    :func:`~repro.obs.export.openmetrics_snapshot` rendering used for
+    end-of-run file exports, so shared counters match exactly).
+``GET /healthz``
+    JSON liveness: status, host uptime, virtual time, event-bus
+    fan-out/drop statistics.
+``GET /runs``
+    JSON array of run/session summaries (per-tenant for campaigns).
+``GET /events``
+    NDJSON stream of live bus records (``?limit=N`` to close after N
+    records, ``?timeout_s=S`` idle timeout, default 30).  Powers
+    ``repro obs tail http://...``.
+
+Snapshot callables run on handler threads while the DES mutates the
+registry on the main thread; dict iteration can therefore raise
+``RuntimeError``.  The server retries a few times and otherwise serves
+the last good exposition — staleness is acceptable, a 500 is not.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, List, Optional
+from urllib.parse import parse_qs, urlparse
+
+from repro.obs.export import openmetrics_snapshot
+from repro.obs.stream import EventBus
+
+__all__ = ["MetricsServer", "TelemetrySource"]
+
+#: content type the OpenMetrics spec assigns to the text exposition
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+
+class TelemetrySource:
+    """What the server is allowed to read.
+
+    ``snapshot`` returns a registry-shaped metrics dict
+    (``{"counters": ..., "gauges": ..., "histograms": ...}``);
+    ``runs`` returns a JSON-safe list of run summaries; ``health``
+    returns extra JSON-safe health fields (e.g. virtual time).  Any of
+    them may be None (the endpoint serves an empty default) or may be
+    swapped after construction — the CLI rebinds ``snapshot`` once the
+    campaign arbiter exists.
+    """
+
+    def __init__(
+        self,
+        snapshot: Optional[Callable[[], Dict]] = None,
+        runs: Optional[Callable[[], List[Dict]]] = None,
+        health: Optional[Callable[[], Dict]] = None,
+        bus: Optional[EventBus] = None,
+    ):
+        self.snapshot = snapshot
+        self.runs = runs
+        self.health = health
+        self.bus = bus
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+
+    # the default handler logs every request to stderr; the CLI owns
+    # stdout/stderr formatting, so keep the server silent
+    def log_message(self, fmt, *args):  # noqa: D102
+        pass
+
+    @property
+    def source(self) -> TelemetrySource:
+        return self.server.source  # type: ignore[attr-defined]
+
+    def _send(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, payload, status: int = 200) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+        self._send(status, body, "application/json")
+
+    def do_GET(self):  # noqa: N802 - http.server API
+        parsed = urlparse(self.path)
+        route = parsed.path.rstrip("/") or "/"
+        try:
+            if route == "/metrics":
+                self._serve_metrics()
+            elif route == "/healthz":
+                self._serve_healthz()
+            elif route == "/runs":
+                self._serve_runs()
+            elif route == "/events":
+                self._serve_events(parse_qs(parsed.query))
+            else:
+                self._send_json({"error": f"no such route {route!r}"}, 404)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+    # -- endpoints -----------------------------------------------------------
+
+    def _serve_metrics(self) -> None:
+        server = self.server  # type: ignore[assignment]
+        text = None
+        if self.source.snapshot is not None:
+            for _ in range(3):
+                try:
+                    text = openmetrics_snapshot(self.source.snapshot())
+                    break
+                except RuntimeError:
+                    # registry mutated mid-iteration; retry, then fall
+                    # back to the last good exposition
+                    continue
+        if text is None:
+            text = server.last_exposition  # type: ignore[attr-defined]
+        else:
+            server.last_exposition = text  # type: ignore[attr-defined]
+        self._send(200, text.encode(), OPENMETRICS_CONTENT_TYPE)
+
+    def _serve_healthz(self) -> None:
+        server = self.server  # type: ignore[assignment]
+        payload = {
+            "status": "ok",
+            "uptime_host_s": round(
+                time.monotonic() - server.started_mono, 3  # type: ignore[attr-defined]
+            ),
+        }
+        if self.source.health is not None:
+            try:
+                payload.update(self.source.health())
+            except RuntimeError:
+                payload["status"] = "busy"
+        if self.source.bus is not None:
+            payload["bus"] = self.source.bus.stats()
+        self._send_json(payload)
+
+    def _serve_runs(self) -> None:
+        runs: List[Dict] = []
+        if self.source.runs is not None:
+            for _ in range(3):
+                try:
+                    runs = self.source.runs()
+                    break
+                except RuntimeError:
+                    continue
+        self._send_json(runs)
+
+    def _serve_events(self, query: Dict[str, List[str]]) -> None:
+        bus = self.source.bus
+        if bus is None:
+            self._send_json({"error": "no event bus attached"}, 404)
+            return
+        limit = int(query.get("limit", ["0"])[0]) or None
+        timeout_s = float(query.get("timeout_s", ["30"])[0])
+        sub = bus.subscribe(name=f"http:{self.client_address[0]}")
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        # stream of unknown length: close delimits the body
+        self.send_header("Connection", "close")
+        self.end_headers()
+        sent = 0
+        try:
+            while not sub.closed or sub.pending:
+                record = sub.pop(timeout=timeout_s)
+                if record is None:
+                    if sub.closed and not sub.pending:
+                        continue  # drain check in loop condition
+                    break  # idle timeout
+                self.wfile.write(
+                    (json.dumps(record, sort_keys=True) + "\n").encode()
+                )
+                self.wfile.flush()
+                sent += 1
+                if limit is not None and sent >= limit:
+                    break
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+        finally:
+            sub.close()
+
+
+class MetricsServer:
+    """Owns the listening socket and its daemon serve thread.
+
+    ``port=0`` binds an ephemeral port (tests); :meth:`start` returns
+    the actual port.  The serve thread is a daemon, so a crashing run
+    never hangs on telemetry teardown, but :meth:`stop` shuts down
+    cleanly when reached.
+    """
+
+    def __init__(
+        self,
+        source: TelemetrySource,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.source = source
+        self.host = host
+        self.port = port
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> int:
+        """Bind, spawn the serve thread, return the bound port."""
+        httpd = ThreadingHTTPServer((self.host, self.port), _Handler)
+        httpd.daemon_threads = True
+        httpd.source = self.source  # type: ignore[attr-defined]
+        httpd.last_exposition = "# EOF\n"  # type: ignore[attr-defined]
+        httpd.started_mono = time.monotonic()  # type: ignore[attr-defined]
+        self._httpd = httpd
+        self.port = httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def stop(self) -> None:
+        """Stop serving and release the socket; idempotent."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,212 @@
+"""In-process event bus: fan-out of live run records to pluggable sinks.
+
+PR 2 gave manifests incremental streaming (``ManifestStream`` writes each
+record to disk the moment it happens).  This module generalises that to a
+process-local pub/sub bus so the *same* records — unit transitions, fault
+events, alert transitions, campaign audit entries — can also feed live
+consumers: the HTTP ``/events`` endpoint, ``repro obs tail``, tests.
+
+Design constraints, in order:
+
+1. **The DES must never block on a consumer.**  ``publish`` does a
+   bounded amount of work per subscriber: append to a bounded queue or
+   increment that subscriber's drop counter.  No waiting, ever.
+2. **Slow sinks lose data, visibly.**  When a subscriber's queue is
+   full the *newest* record is dropped for that subscriber only, and
+   its ``dropped`` counter records the loss.  Other subscribers are
+   unaffected; the run itself is unaffected.
+3. **Thread-safe.**  The DES publishes from the main thread while HTTP
+   handler threads drain subscriptions concurrently.
+
+The bus carries plain dicts (the same JSON-safe shapes the manifest
+writes).  It is entirely opt-in: no bus exists unless ``--serve-metrics``
+or an explicit ``event_bus=`` wires one up, so default runs are
+byte-identical with or without this module imported.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["EventBus", "Subscription"]
+
+
+class Subscription:
+    """One consumer's bounded view of the bus.
+
+    Records are popped oldest-first.  When the queue is full at publish
+    time the new record is counted in ``dropped`` and discarded — the
+    consumer keeps a contiguous prefix of what it has not yet drained,
+    which is the useful invariant for tailing (you know exactly where
+    the gap is: after the last record you read).
+    """
+
+    def __init__(self, bus: "EventBus", maxlen: int, name: str):
+        self.bus = bus
+        self.name = name
+        self.maxlen = maxlen
+        self.dropped = 0
+        self.delivered = 0
+        self._queue: deque = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    # -- publisher side (called under the bus lock) -------------------------
+
+    def _offer(self, record: Dict) -> bool:
+        with self._cond:
+            if self._closed:
+                return False
+            if len(self._queue) >= self.maxlen:
+                self.dropped += 1
+                return False
+            self._queue.append(record)
+            self.delivered += 1
+            self._cond.notify()
+            return True
+
+    # -- consumer side ------------------------------------------------------
+
+    def pop(self, timeout: Optional[float] = None) -> Optional[Dict]:
+        """Oldest pending record; blocks up to ``timeout`` host seconds.
+
+        Returns None on timeout or once the subscription is closed and
+        drained.  Only consumer threads should block here — never the
+        DES thread.
+        """
+        with self._cond:
+            if not self._queue and not self._closed:
+                self._cond.wait(timeout)
+            if self._queue:
+                return self._queue.popleft()
+            return None
+
+    def drain(self) -> List[Dict]:
+        """All pending records, without blocking."""
+        with self._cond:
+            items = list(self._queue)
+            self._queue.clear()
+            return items
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def pending(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    def close(self) -> None:
+        """Detach from the bus; wakes any blocked ``pop``."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+        self.bus._detach(self)
+
+
+class EventBus:
+    """Fan-out hub for live run records.
+
+    ``publish`` is safe to call from the DES hot path: per subscriber it
+    is one lock acquisition and either an append or a counter bump.
+    Callback sinks registered via :meth:`attach` run inline on the
+    publishing thread and are intended for cheap, trusted consumers
+    (e.g. forwarding into another bus); anything that can be slow should
+    use :meth:`subscribe` and drain from its own thread.
+    """
+
+    def __init__(self, default_maxlen: int = 1024):
+        self.default_maxlen = default_maxlen
+        self.published = 0
+        self._lock = threading.Lock()
+        self._subs: List[Subscription] = []
+        self._callbacks: List[Callable[[Dict], None]] = []
+        self._closed = False
+
+    def subscribe(
+        self, maxlen: Optional[int] = None, name: str = ""
+    ) -> Subscription:
+        """A new bounded queue receiving every record published from now on."""
+        sub = Subscription(self, maxlen or self.default_maxlen, name)
+        with self._lock:
+            if self._closed:
+                sub._closed = True
+            else:
+                self._subs.append(sub)
+        return sub
+
+    def attach(self, callback: Callable[[Dict], None]) -> None:
+        """Register an inline sink invoked synchronously on publish."""
+        with self._lock:
+            self._callbacks.append(callback)
+
+    def publish(self, record: Dict) -> int:
+        """Offer ``record`` to every subscriber; returns how many accepted.
+
+        Never blocks and never raises on a full queue; a failing inline
+        callback is dropped from the bus rather than allowed to kill
+        the run.
+        """
+        with self._lock:
+            if self._closed:
+                return 0
+            self.published += 1
+            subs = list(self._subs)
+            callbacks = list(self._callbacks)
+        accepted = 0
+        for sub in subs:
+            if sub._offer(record):
+                accepted += 1
+        for cb in callbacks:
+            try:
+                cb(record)
+                accepted += 1
+            except Exception:
+                with self._lock:
+                    if cb in self._callbacks:
+                        self._callbacks.remove(cb)
+        return accepted
+
+    def _detach(self, sub: Subscription) -> None:
+        with self._lock:
+            if sub in self._subs:
+                self._subs.remove(sub)
+
+    def stats(self) -> Dict:
+        """Publish/deliver/drop accounting, for ``/healthz`` and tests."""
+        with self._lock:
+            subs = list(self._subs)
+            published = self.published
+        return {
+            "published": published,
+            "subscribers": len(subs),
+            "dropped": sum(s.dropped for s in subs),
+            "sinks": [
+                {
+                    "name": s.name,
+                    "delivered": s.delivered,
+                    "dropped": s.dropped,
+                    "pending": s.pending,
+                }
+                for s in subs
+            ],
+        }
+
+    def close(self) -> None:
+        """Shut the bus down: closes every subscription, rejects publishes."""
+        with self._lock:
+            self._closed = True
+            subs = list(self._subs)
+            self._subs.clear()
+            self._callbacks.clear()
+        for sub in subs:
+            with sub._cond:
+                sub._closed = True
+                sub._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

@@ -20,6 +20,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.campaign.spec import CampaignSpec
 from repro.core.framework import RepEx
+from repro.obs import hostprof
 from repro.obs.metrics import MetricsRegistry, NullRegistry, using_registry
 from repro.perf.scenarios import SCENARIOS, scenario_names
 
@@ -94,6 +95,7 @@ def _measure(
     with using_registry(NullRegistry()):
         repex = RepEx(config)
         profiler = cProfile.Profile() if profile else None
+        host = hostprof.enable() if profile else None
         start = time.perf_counter()
         if profiler is not None:
             profiler.enable()
@@ -101,6 +103,8 @@ def _measure(
         if profiler is not None:
             profiler.disable()
         wall = time.perf_counter() - start
+        if host is not None:
+            hostprof.disable()
     clock = repex.session.clock
     if profiler is not None:
         stream = io.StringIO()
@@ -108,6 +112,10 @@ def _measure(
         stats.sort_stats("tottime").print_stats(profile_top)
         print(f"--- cProfile top {profile_top} (tottime) for {name} ---")
         print(stream.getvalue())
+    if host is not None:
+        print(f"--- host-time attribution for {name} ---")
+        print(host.report(wall))
+        print()
     events = clock.n_fired
     return {
         "description": scenario.description,
@@ -168,6 +176,7 @@ def _measure_campaign(
         seed=spec.seed,
     )
     profiler = cProfile.Profile() if profile else None
+    host = hostprof.enable() if profile else None
     start = time.perf_counter()
     if profiler is not None:
         profiler.enable()
@@ -178,6 +187,8 @@ def _measure_campaign(
     if profiler is not None:
         profiler.disable()
     wall = time.perf_counter() - start
+    if host is not None:
+        hostprof.disable()
     if profiler is not None:
         stream = io.StringIO()
         stats = pstats.Stats(profiler, stream=stream)
@@ -187,6 +198,10 @@ def _measure_campaign(
             f"for {scenario.name} ---"
         )
         print(stream.getvalue())
+    if host is not None:
+        print(f"--- host-time attribution for {scenario.name} ---")
+        print(host.report(wall))
+        print()
     outcomes = [r.outcome for r in records if r.outcome is not None]
     events = arbiter.clock.n_fired + sum(o.events_fired for o in outcomes)
     n_replicas = 0

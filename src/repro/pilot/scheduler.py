@@ -35,6 +35,7 @@ import math
 from collections import deque
 from typing import Deque, Dict, List, Optional, Sequence, Set
 
+from repro.obs import hostprof
 from repro.obs.metrics import get_registry
 from repro.pilot.cluster import ClusterSpec
 from repro.pilot.events import EventQueue
@@ -334,6 +335,10 @@ class AgentScheduler:
         """Start every queued unit that fits in the free cores (backfill)."""
         if not self._queue:
             return
+        with hostprof.section("scheduler"):
+            self._scan_queue()
+
+    def _scan_queue(self) -> None:
         if self._indexed and (
             self.free_cores == 0
             or self._min_queued_cores > self.free_cores
@@ -457,44 +462,50 @@ class AgentScheduler:
         unit fails for good.  The transient model is resolved once per
         unit and threaded through the retry chain.
         """
-        delay = self._staging_time(directives, unit)
+        with hostprof.section("staging"):
+            delay = self._staging_time(directives, unit)
         self._staging_in_flight += len(directives)
         if model is None:
             model = self._staging_model()
 
         def _done():
-            self._staging_in_flight -= len(directives)
-            if unit.done:  # failed by a node crash / preemption mid-transfer
-                return
-            if model is not None and directives and model.draw_fault():
-                self._m_staging_faults.inc()
-                self.fault_domain.record(
-                    self._clock.now,
-                    "staging_fault",
-                    unit=unit.description.name,
-                    attempt=attempt,
-                )
-                if attempt > model.max_retries:
-                    self._fail(
-                        unit,
-                        UnitFailure(
-                            f"staging failed after {attempt} attempts"
-                        ),
-                    )
-                    return
-                self._m_retries.inc()
-                self._clock.schedule(
-                    model.backoff(attempt),
-                    lambda: None
-                    if unit.done
-                    else self._run_staging(
-                        unit, directives, on_done, attempt + 1, model
+            with hostprof.section("staging"):
+                self._staging_done(unit, directives, on_done, attempt, model)
+
+        return delay, _done
+
+    def _staging_done(self, unit, directives, on_done, attempt, model) -> None:
+        """Settle one finished staging attempt (success/fault/retry)."""
+        self._staging_in_flight -= len(directives)
+        if unit.done:  # failed by a node crash / preemption mid-transfer
+            return
+        if model is not None and directives and model.draw_fault():
+            self._m_staging_faults.inc()
+            self.fault_domain.record(
+                self._clock.now,
+                "staging_fault",
+                unit=unit.description.name,
+                attempt=attempt,
+            )
+            if attempt > model.max_retries:
+                self._fail(
+                    unit,
+                    UnitFailure(
+                        f"staging failed after {attempt} attempts"
                     ),
                 )
                 return
-            on_done()
-
-        return delay, _done
+            self._m_retries.inc()
+            self._clock.schedule(
+                model.backoff(attempt),
+                lambda: None
+                if unit.done
+                else self._run_staging(
+                    unit, directives, on_done, attempt + 1, model
+                ),
+            )
+            return
+        on_done()
 
     def _run_staging(
         self, unit: ComputeUnit, directives, on_done, attempt: int = 1,
@@ -562,7 +573,22 @@ class AgentScheduler:
         # the numerics.
         if unit.description.work is not None:
             try:
-                unit.result = unit.description.work()
+                prof = hostprof.active()
+                if prof is None:
+                    unit.result = unit.description.work()
+                else:
+                    # per-phase attribution (work.md / work.exchange / ...)
+                    # only when profiling is on; the phase lookup (and its
+                    # import, which would otherwise be circular through
+                    # obs.export -> manifest -> pilot) stays off the
+                    # disabled path entirely
+                    from repro.obs.export import unit_phase
+
+                    phase = unit_phase(
+                        unit.description.name, unit.description.metadata
+                    ) or "other"
+                    with prof.section(f"work.{phase}"):
+                        unit.result = unit.description.work()
             except Exception as exc:  # noqa: BLE001 - task isolation boundary
                 self._clock.schedule(
                     0.0, lambda exc=exc: self._fail(unit, exc)

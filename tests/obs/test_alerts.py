@@ -1,0 +1,200 @@
+"""Declarative alert rules evaluated on the virtual clock."""
+
+import pytest
+
+from repro.core import RepEx
+from repro.obs.alerts import (
+    AlertError,
+    AlertManager,
+    AlertRule,
+    default_rules,
+    load_rules,
+)
+from repro.obs.metrics import MetricsRegistry
+from tests.conftest import small_tremd_config
+
+
+class TestRuleLoading:
+    def test_bare_list_and_rules_object_both_load(self):
+        entry = (
+            '{"name": "q", "kind": "above", '
+            '"metric": "scheduler.queue_depth", "threshold": 5}'
+        )
+        for text in (f"[{entry}]", f'{{"rules": [{entry}]}}'):
+            (rule,) = load_rules(text)
+            assert rule.name == "q" and rule.threshold == 5
+
+    def test_unknown_key_is_rejected(self):
+        with pytest.raises(AlertError, match="unknown keys"):
+            load_rules(
+                '[{"name": "q", "kind": "above", "metric": "m", '
+                '"threshold": 1, "treshold": 2}]'
+            )
+
+    def test_missing_required_key_is_rejected(self):
+        with pytest.raises(AlertError, match="missing keys"):
+            load_rules('[{"name": "q", "kind": "above", "metric": "m"}]')
+
+    def test_duplicate_names_rejected(self):
+        entry = (
+            '{"name": "q", "kind": "above", "metric": "m", "threshold": 1}'
+        )
+        with pytest.raises(AlertError, match="duplicate"):
+            load_rules(f"[{entry}, {entry}]")
+
+    def test_ratio_kind_requires_divisor(self):
+        with pytest.raises(AlertError, match="divisor"):
+            AlertRule(name="r", kind="ratio_below", metric="m", threshold=0.1)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(AlertError, match="kind"):
+            AlertRule(name="r", kind="sideways", metric="m", threshold=0.1)
+
+    def test_default_rules_round_trip_through_their_dict_form(self):
+        import json
+
+        rules = default_rules()
+        reloaded = load_rules(json.dumps([r.to_dict() for r in rules]))
+        assert reloaded == rules
+
+
+class TestEvaluation:
+    def test_above_fires_and_resolves(self):
+        registry = MetricsRegistry()
+        depth = registry.gauge("scheduler.queue_depth")
+        mgr = AlertManager(
+            [AlertRule(name="deep", kind="above",
+                       metric="scheduler.queue_depth", threshold=10)],
+            registry,
+        )
+        assert mgr.evaluate(0.0) == []
+        depth.set(50)
+        (fired,) = mgr.evaluate(5.0)
+        assert fired["state"] == "firing" and fired["value"] == 50.0
+        assert mgr.firing() == ["deep"]
+        snap = registry.snapshot()
+        assert snap["gauges"]["alerts.firing{rule=deep}"] == 1.0
+        depth.set(0)
+        (resolved,) = mgr.evaluate(9.0)
+        assert resolved["state"] == "resolved"
+        assert mgr.firing() == []
+        assert registry.snapshot()["gauges"]["alerts.firing{rule=deep}"] == 0.0
+
+    def test_for_s_hysteresis_delays_firing(self):
+        registry = MetricsRegistry()
+        depth = registry.gauge("scheduler.queue_depth")
+        mgr = AlertManager(
+            [AlertRule(name="deep", kind="above",
+                       metric="scheduler.queue_depth", threshold=10,
+                       for_s=100.0)],
+            registry,
+        )
+        depth.set(50)
+        assert mgr.evaluate(0.0) == []     # pending, not firing
+        assert mgr.evaluate(50.0) == []    # still inside for_s
+        (fired,) = mgr.evaluate(100.0)     # held long enough
+        assert fired["state"] == "firing"
+        # a dip resets the pending window
+        depth.set(0)
+        mgr.evaluate(110.0)
+        depth.set(50)
+        assert mgr.evaluate(120.0) == []
+
+    def test_ratio_below_respects_min_samples(self):
+        registry = MetricsRegistry()
+        acc = registry.counter("exchange.accepted")
+        att = registry.counter("exchange.attempted")
+        mgr = AlertManager(
+            [AlertRule(name="acceptance_low", kind="ratio_below",
+                       metric="exchange.accepted",
+                       divisor="exchange.attempted",
+                       threshold=0.5, min_samples=20)],
+            registry,
+        )
+        att.inc(10)  # ratio 0.0 but below min_samples
+        assert mgr.evaluate(1.0) == []
+        att.inc(10)
+        acc.inc(1)   # 1/20 = 0.05 < 0.5, enough samples
+        (fired,) = mgr.evaluate(2.0)
+        assert fired["state"] == "firing"
+        assert fired["value"] == pytest.approx(0.05)
+
+    def test_rate_above_uses_deltas_between_evaluations(self):
+        registry = MetricsRegistry()
+        failures = registry.counter("emm.failures")
+        mgr = AlertManager(
+            [AlertRule(name="failure_storm", kind="rate_above",
+                       metric="emm.failures", threshold=1.0)],
+            registry,
+        )
+        assert mgr.evaluate(0.0) == []  # first sample: no rate yet
+        failures.inc(50)
+        (fired,) = mgr.evaluate(10.0)   # 5 failures/s
+        assert fired["state"] == "firing"
+        assert fired["value"] == pytest.approx(5.0)
+
+    def test_stale_for_fires_when_value_stops_moving(self):
+        registry = MetricsRegistry()
+        saved = registry.counter("checkpoint.saved")
+        mgr = AlertManager(
+            [AlertRule(name="stale", kind="stale_for",
+                       metric="checkpoint.saved", threshold=100.0)],
+            registry,
+        )
+        saved.inc()
+        mgr.evaluate(0.0)
+        assert mgr.evaluate(50.0) == []        # age 50 <= 100
+        (fired,) = mgr.evaluate(200.0)         # age 200 > 100
+        assert fired["state"] == "firing"
+        saved.inc()                            # progress resolves it
+        (resolved,) = mgr.evaluate(210.0)
+        assert resolved["state"] == "resolved"
+
+    def test_sinks_see_every_transition(self):
+        registry = MetricsRegistry()
+        depth = registry.gauge("scheduler.queue_depth")
+        mgr = AlertManager(
+            [AlertRule(name="deep", kind="above",
+                       metric="scheduler.queue_depth", threshold=10)],
+            registry,
+        )
+        seen = []
+        mgr.add_sink(seen.append)
+        depth.set(50)
+        mgr.evaluate(1.0)
+        depth.set(0)
+        mgr.evaluate(2.0)
+        assert [r["state"] for r in seen] == ["firing", "resolved"]
+        assert seen == mgr.transitions
+
+
+class TestAlertsInRun:
+    def test_transitions_land_in_the_manifest(self, tmp_path):
+        # emm.cycles exceeds 0 after the first cycle, so this rule
+        # deterministically fires mid-run
+        rule = AlertRule(
+            name="any_cycle", kind="above", metric="emm.cycles", threshold=0,
+        )
+        path = tmp_path / "run.jsonl"
+        result = RepEx(
+            small_tremd_config(n_cycles=3), alert_rules=[rule],
+            manifest_path=path,
+        ).run()
+        manifest = result.manifest
+        assert manifest.alerts, "expected at least one alert transition"
+        assert manifest.alerts[0]["rule"] == "any_cycle"
+        assert manifest.alerts[0]["state"] == "firing"
+        # streamed and loaded manifests agree (no duplicated records)
+        from repro.obs.manifest import RunManifest
+
+        loaded = RunManifest.load(path)
+        assert loaded.alerts == manifest.alerts
+        text = "\n".join(manifest.summary_lines())
+        assert "alerts:" in text
+
+    def test_alert_rules_do_not_change_the_timeline(self):
+        baseline = RepEx(small_tremd_config()).run()
+        with_alerts = RepEx(
+            small_tremd_config(), alert_rules=default_rules()
+        ).run()
+        assert with_alerts.manifest.timeline == baseline.manifest.timeline

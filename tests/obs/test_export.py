@@ -8,6 +8,10 @@ import pytest
 from repro.core import RepEx
 from repro.obs.export import (
     PID_CORES,
+    escape_label_value,
+    format_label,
+    split_label_pairs,
+    unescape_label_value,
     PID_PHASES,
     PID_REPLICAS,
     REQUIRED_EVENT_KEYS,
@@ -155,3 +159,62 @@ class TestOpenMetrics:
 
         empty = dataclasses.replace(manifest, metrics={})
         assert openmetrics(empty) == "# EOF\n"
+
+
+class TestLabelEscaping:
+    """OpenMetrics label escaping round-trips `"`, `\\` and newlines."""
+
+    NASTY = [
+        'acme "west"',
+        "back\\slash",
+        "multi\nline",
+        'all\\three "of\nthem"',
+        "comma, equals=, braces{}",
+    ]
+
+    def test_escape_unescape_round_trip(self):
+        for raw in self.NASTY:
+            escaped = escape_label_value(raw)
+            assert "\n" not in escaped  # expositions are line-oriented
+            assert unescape_label_value(escaped) == raw
+
+    def test_format_label_keeps_simple_values_bare(self):
+        assert format_label("dim", "temperature") == "dim=temperature"
+        assert format_label("window", 3) == "window=3"
+
+    def test_format_label_quotes_and_split_recovers(self):
+        # split_label_pairs returns raw (already-unescaped) values
+        for raw in self.NASTY:
+            assert split_label_pairs(format_label("tenant", raw)) == [
+                ("tenant", raw)
+            ]
+
+    def test_split_handles_mixed_quoted_and_bare_pairs(self):
+        labels = 'dim=temperature,tenant="acme \\"west\\"",window=2'
+        assert split_label_pairs(labels) == [
+            ("dim", "temperature"),
+            ("tenant", 'acme "west"'),
+            ("window", "2"),
+        ]
+
+    def test_nasty_labels_render_to_valid_exposition(self):
+        """A registry carrying hostile tenant names still exports clean
+        OpenMetrics text that the validator accepts."""
+        from repro.obs.export import openmetrics_snapshot, validate_openmetrics
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        for raw in self.NASTY:
+            name = "campaign.sessions{" + format_label("tenant", raw) + "}"
+            registry.counter(name).inc()
+        text = openmetrics_snapshot(registry.snapshot())
+        assert validate_openmetrics(text) == len(self.NASTY)
+        # every raw value survives the exposition round trip
+        recovered = set()
+        for line in text.splitlines():
+            if line.startswith("campaign_sessions_total{"):
+                body = line[line.index("{") + 1 : line.rindex("}")]
+                for key, value in split_label_pairs(body):
+                    if key == "tenant":
+                        recovered.add(value)
+        assert recovered == set(self.NASTY)

@@ -1,0 +1,106 @@
+"""Host-time profiler: self-time attribution, module probe API."""
+
+import time
+
+import pytest
+
+from repro.core import RepEx
+from repro.obs import hostprof
+from repro.obs.hostprof import HostProfiler
+from tests.conftest import small_tremd_config
+
+
+@pytest.fixture(autouse=True)
+def _profiling_off():
+    """Every test starts and ends with the module probe disabled."""
+    hostprof.disable()
+    yield
+    hostprof.disable()
+
+
+class TestSelfTime:
+    def test_single_section_accumulates(self):
+        prof = HostProfiler()
+        with prof.section("work"):
+            time.sleep(0.01)
+        assert prof.totals["work"] >= 0.01
+        assert prof.counts["work"] == 1
+
+    def test_nested_section_subtracts_from_parent(self):
+        prof = HostProfiler()
+        with prof.section("outer"):
+            time.sleep(0.01)
+            with prof.section("inner"):
+                time.sleep(0.03)
+            time.sleep(0.01)
+        assert prof.totals["inner"] >= 0.03
+        # outer's self-time excludes the 0.03 spent inside inner
+        assert 0.02 <= prof.totals["outer"] < 0.03
+
+    def test_reentrant_same_name_nests(self):
+        prof = HostProfiler()
+        with prof.section("s"):
+            with prof.section("s"):
+                pass
+        assert prof.counts["s"] == 2
+
+    def test_rows_sorted_with_unattributed_remainder(self):
+        prof = HostProfiler()
+        prof.totals.update({"small": 1.0, "big": 3.0})
+        prof.counts.update({"small": 2, "big": 4})
+        rows = prof.rows(total_s=10.0)
+        assert [r[0] for r in rows] == ["big", "small", "unattributed"]
+        assert rows[-1][1] == pytest.approx(6.0)
+
+    def test_unattributed_never_negative(self):
+        """Timer skew can make probes sum past the measured wall."""
+        prof = HostProfiler()
+        prof.totals["work"] = 2.0
+        assert prof.rows(total_s=1.0)[-1][1] == 0.0
+
+    def test_report_and_reset(self):
+        prof = HostProfiler()
+        with prof.section("emm"):
+            pass
+        text = prof.report(total_s=1.0)
+        assert "host-time attribution" in text
+        assert "emm" in text and "unattributed" in text
+        prof.reset()
+        assert prof.totals == {} and prof.counts == {}
+        assert prof.report() == "(no host-time sections recorded)"
+
+
+class TestModuleProbe:
+    def test_disabled_probe_is_a_shared_noop(self):
+        assert hostprof.active() is None
+        cm1 = hostprof.section("anything")
+        cm2 = hostprof.section("else")
+        assert cm1 is cm2  # one shared object, no allocation per probe
+        with cm1:
+            pass
+        assert hostprof.totals() == {}
+        assert hostprof.report() == "(host profiling is off)"
+
+    def test_enable_routes_probes_and_disable_retires(self):
+        prof = hostprof.enable()
+        assert hostprof.active() is prof
+        with hostprof.section("scheduler"):
+            pass
+        assert "scheduler" in hostprof.totals()
+        retired = hostprof.disable()
+        assert retired is prof
+        assert hostprof.active() is None
+
+
+class TestProfiledRun:
+    def test_run_attributes_subsystem_time_without_changing_results(self):
+        baseline = RepEx(small_tremd_config()).run()
+        prof = hostprof.enable()
+        profiled = RepEx(small_tremd_config()).run()
+        hostprof.disable()
+        # the probes saw the run's subsystems...
+        assert {"scheduler", "emm"} <= set(prof.totals)
+        assert any(name.startswith("work.") for name in prof.totals)
+        # ...and perturbed nothing on the virtual clock
+        assert profiled.manifest.timeline == baseline.manifest.timeline
+        assert profiled.manifest.metrics == baseline.manifest.metrics

@@ -1,0 +1,125 @@
+"""Ladder round-trip / occupancy tracking (exchange dynamics, schema v3)."""
+
+import pytest
+
+from repro.core import RepEx
+from repro.obs.ladder import LadderTracker
+from repro.obs.metrics import MetricsRegistry
+from tests.conftest import small_tremd_config
+
+
+class TestWalkLabeling:
+    def test_one_full_round_trip(self):
+        """bottom -> top -> bottom closes exactly one trip."""
+        tracker = LadderTracker({"temperature": 3})
+        walk = [(0.0, 0), (10.0, 1), (20.0, 2), (30.0, 1), (40.0, 0)]
+        for t, w in walk:
+            tracker.observe(t, rid=1, windows={"temperature": w})
+        assert tracker.round_trips("temperature") == [40.0]
+
+    def test_revisiting_bottom_does_not_restart_the_trip(self):
+        """An up-walker bouncing on window 0 keeps its original start."""
+        tracker = LadderTracker({"temperature": 3})
+        walk = [(0.0, 0), (10.0, 1), (20.0, 0), (30.0, 2), (40.0, 0)]
+        for t, w in walk:
+            tracker.observe(t, rid=1, windows={"temperature": w})
+        # trip measured from the FIRST bottom touch, not the bounce at 20
+        assert tracker.round_trips("temperature") == [40.0]
+
+    def test_top_to_bottom_without_prior_bottom_is_not_a_trip(self):
+        """A replica starting at the top is a down-walker; reaching the
+        bottom labels it up but closes no trip (no recorded start)."""
+        tracker = LadderTracker({"temperature": 3})
+        tracker.observe(0.0, rid=1, windows={"temperature": 2})
+        tracker.observe(10.0, rid=1, windows={"temperature": 0})
+        assert tracker.round_trips("temperature") == []
+        # ... but the next full excursion counts
+        tracker.observe(20.0, rid=1, windows={"temperature": 2})
+        tracker.observe(35.0, rid=1, windows={"temperature": 0})
+        assert tracker.round_trips("temperature") == [25.0]
+
+    def test_middle_start_stays_unlabeled_until_an_end(self):
+        tracker = LadderTracker({"temperature": 5})
+        tracker.observe(0.0, rid=1, windows={"temperature": 2})
+        tracker.observe(5.0, rid=1, windows={"temperature": 3})
+        records = tracker.records()[0]
+        assert records["walkers"] == {"up": 0, "down": 0, "unlabeled": 1}
+
+    def test_one_window_ladder_never_labels(self):
+        tracker = LadderTracker({"temperature": 1})
+        tracker.observe(0.0, rid=1, windows={"temperature": 0})
+        tracker.observe(9.0, rid=1, windows={"temperature": 0})
+        assert tracker.round_trips("temperature") == []
+
+
+class TestOccupancy:
+    def test_piecewise_constant_integral_is_exact(self):
+        tracker = LadderTracker({"temperature": 3})
+        tracker.observe(0.0, rid=1, windows={"temperature": 0})
+        tracker.observe(10.0, rid=1, windows={"temperature": 2})
+        tracker.finalize(25.0)
+        occ = tracker.records()[0]["occupancy"]
+        assert occ == {"0": 10.0, "2": 15.0}
+
+    def test_finalize_sets_registry_gauges(self):
+        registry = MetricsRegistry()
+        tracker = LadderTracker({"temperature": 2}, registry=registry)
+        tracker.observe(0.0, rid=1, windows={"temperature": 0})
+        tracker.finalize(8.0)
+        gauges = registry.snapshot()["gauges"]
+        assert (
+            gauges["exchange.ladder_occupancy_s{dim=temperature,window=0}"]
+            == 8.0
+        )
+
+    def test_trip_counter_and_histogram_fire_live(self):
+        registry = MetricsRegistry()
+        tracker = LadderTracker({"temperature": 2}, registry=registry)
+        for t, w in [(0.0, 0), (5.0, 1), (12.0, 0)]:
+            tracker.observe(t, rid=1, windows={"temperature": w})
+        snap = registry.snapshot()
+        assert snap["counters"]["exchange.round_trips{dim=temperature}"] == 1
+        hist = snap["histograms"]["exchange.round_trip_seconds{dim=temperature}"]
+        assert hist["count"] == 1
+
+
+class TestStateRoundTrip:
+    def test_state_dict_load_state_is_lossless(self):
+        tracker = LadderTracker({"temperature": 3})
+        for t, w in [(0.0, 0), (10.0, 2), (20.0, 0), (30.0, 1)]:
+            tracker.observe(t, rid=7, windows={"temperature": w})
+        state = tracker.state_dict()
+        fresh = LadderTracker({"temperature": 3})
+        fresh.load_state(state)
+        # continuing both trackers identically yields identical records
+        for tr in (tracker, fresh):
+            tr.observe(40.0, rid=7, windows={"temperature": 2})
+            tr.observe(55.0, rid=7, windows={"temperature": 0})
+            tr.finalize(60.0)
+        assert fresh.records() == tracker.records()
+        assert fresh.round_trips("temperature") == [20.0, 35.0]
+
+
+class TestLadderInRun:
+    @pytest.fixture(scope="class")
+    def manifest(self):
+        return RepEx(small_tremd_config(n_cycles=4)).run().manifest
+
+    def test_manifest_carries_one_record_per_dimension(self, manifest):
+        assert [r["dimension"] for r in manifest.ladder] == ["temperature"]
+        rec = manifest.ladder[0]
+        assert rec["n_windows"] == 4
+        assert rec["round_trips"] == len(rec["rtt_s"])
+        # occupancy spans [first observation, finalize]; the integral is
+        # positive and covers only real windows of the ladder
+        assert sum(rec["occupancy"].values()) > 0
+        assert set(rec["occupancy"]) <= {"0", "1", "2", "3"}
+
+    def test_summary_lines_mention_exchange_dynamics(self, manifest):
+        text = "\n".join(manifest.summary_lines())
+        assert "exchange dynamics (per dimension):" in text
+        assert "temperature" in text and "round trips" in text
+
+    def test_deterministic_across_runs(self, manifest):
+        again = RepEx(small_tremd_config(n_cycles=4)).run().manifest
+        assert again.ladder == manifest.ladder

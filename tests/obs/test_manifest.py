@@ -95,7 +95,9 @@ class TestJsonlRoundTrip:
         ]
         assert kinds[0] == "run"
         assert kinds[1] == "metrics"
-        assert set(kinds) == {"run", "metrics", "span", "event", "unit"}
+        assert set(kinds) == {
+            "run", "metrics", "span", "event", "unit", "ladder"
+        }
 
     def test_invalid_json_line_rejected(self):
         with pytest.raises(ManifestError, match="invalid JSON"):

@@ -1,0 +1,143 @@
+"""In-process MetricsServer: endpoints, fallbacks, event streaming."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.obs.export import openmetrics_snapshot, validate_openmetrics
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.server import MetricsServer, TelemetrySource
+from repro.obs.stream import EventBus
+
+
+def _get(server, path):
+    with urllib.request.urlopen(f"{server.url}{path}", timeout=10.0) as resp:
+        return resp.status, resp.headers.get("Content-Type"), resp.read()
+
+
+@pytest.fixture()
+def registry():
+    reg = MetricsRegistry()
+    reg.counter("emm.cycles").inc(3)
+    reg.gauge("scheduler.queue_depth").set(2)
+    reg.histogram("md.duration_s").observe(12.5)
+    return reg
+
+
+class TestEndpoints:
+    def test_metrics_matches_file_exposition(self, registry):
+        source = TelemetrySource(snapshot=registry.snapshot)
+        with MetricsServer(source) as server:
+            status, ctype, body = _get(server, "/metrics")
+        assert status == 200
+        assert ctype.startswith("application/openmetrics-text")
+        assert body.decode() == openmetrics_snapshot(registry.snapshot())
+        assert validate_openmetrics(body.decode()) > 0
+
+    def test_healthz_reports_bus_stats(self, registry):
+        bus = EventBus()
+        bus.subscribe(maxlen=10, name="probe")
+        bus.publish({"kind": "event"})
+        source = TelemetrySource(
+            health=lambda: {"virtual_t": 42.0}, bus=bus
+        )
+        with MetricsServer(source) as server:
+            _, ctype, body = _get(server, "/healthz")
+        payload = json.loads(body)
+        assert ctype == "application/json"
+        assert payload["status"] == "ok"
+        assert payload["virtual_t"] == 42.0
+        assert payload["uptime_host_s"] >= 0
+        assert payload["bus"]["published"] == 1
+
+    def test_runs_endpoint(self):
+        runs = [{"title": "demo", "pattern": "synchronous"}]
+        source = TelemetrySource(runs=lambda: runs)
+        with MetricsServer(source) as server:
+            _, _, body = _get(server, "/runs")
+        assert json.loads(body) == runs
+
+    def test_unknown_route_is_404(self):
+        with MetricsServer(TelemetrySource()) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(server, "/nope")
+        assert err.value.code == 404
+
+    def test_empty_source_serves_defaults(self):
+        """All callables None: endpoints degrade, never 500."""
+        with MetricsServer(TelemetrySource()) as server:
+            _, _, metrics = _get(server, "/metrics")
+            _, _, runs = _get(server, "/runs")
+            _, _, health = _get(server, "/healthz")
+        assert metrics.decode().endswith("# EOF\n")
+        assert json.loads(runs) == []
+        assert json.loads(health)["status"] == "ok"
+
+    def test_flaky_snapshot_falls_back_to_last_exposition(self, registry):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] > 1:
+                raise RuntimeError("dict changed size during iteration")
+            return registry.snapshot()
+
+        source = TelemetrySource(snapshot=flaky)
+        with MetricsServer(source) as server:
+            _, _, first = _get(server, "/metrics")
+            _, _, second = _get(server, "/metrics")  # snapshot now raises
+        assert second == first  # stale cache, not a 500
+
+
+class TestEvents:
+    def test_events_streams_published_records(self):
+        bus = EventBus()
+        source = TelemetrySource(bus=bus)
+        with MetricsServer(source) as server:
+            records = [{"kind": "event", "i": i} for i in range(3)]
+            # publish happens after the subscriber attaches inside the
+            # handler, so publish from a timer once the request lands
+            import threading
+
+            def feed():
+                while bus.stats()["sinks"] == []:
+                    pass
+                for r in records:
+                    bus.publish(r)
+
+            feeder = threading.Thread(target=feed, daemon=True)
+            feeder.start()
+            url = f"{server.url}/events?limit=3&timeout_s=10"
+            with urllib.request.urlopen(url, timeout=20.0) as resp:
+                assert resp.headers["Content-Type"] == "application/x-ndjson"
+                got = [json.loads(line) for line in resp if line.strip()]
+            feeder.join(timeout=5.0)
+        assert got == records
+
+    def test_events_without_bus_is_404(self):
+        with MetricsServer(TelemetrySource()) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(server, "/events")
+        assert err.value.code == 404
+
+
+class TestLifecycle:
+    def test_port_zero_binds_ephemeral(self):
+        server = MetricsServer(TelemetrySource())
+        port = server.start()
+        try:
+            assert port > 0
+            assert server.url == f"http://127.0.0.1:{port}"
+        finally:
+            server.stop()
+
+    def test_stop_is_idempotent_and_releases_the_port(self):
+        server = MetricsServer(TelemetrySource())
+        port = server.start()
+        server.stop()
+        server.stop()  # second stop is a no-op
+        # the port can be rebound immediately
+        again = MetricsServer(TelemetrySource(), port=port)
+        assert again.start() == port
+        again.stop()

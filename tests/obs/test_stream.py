@@ -1,0 +1,155 @@
+"""Event-bus backpressure: a slow sink must never stall the DES."""
+
+import threading
+
+import pytest
+
+from repro.core import RepEx
+from repro.obs.stream import EventBus
+from tests.conftest import small_tremd_config
+
+
+class TestSubscription:
+    def test_fifo_delivery(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        for i in range(5):
+            bus.publish({"i": i})
+        assert [r["i"] for r in sub.drain()] == [0, 1, 2, 3, 4]
+
+    def test_full_queue_drops_newest_and_counts(self):
+        bus = EventBus()
+        sub = bus.subscribe(maxlen=3)
+        accepted = [bus.publish({"i": i}) for i in range(5)]
+        # first three accepted, the two overflow records dropped
+        assert accepted == [1, 1, 1, 0, 0]
+        assert sub.dropped == 2
+        assert sub.delivered == 3
+        # the consumer keeps a contiguous prefix — the gap is at the end
+        assert [r["i"] for r in sub.drain()] == [0, 1, 2]
+
+    def test_drop_is_per_subscriber(self):
+        bus = EventBus()
+        slow = bus.subscribe(maxlen=1, name="slow")
+        fast = bus.subscribe(maxlen=100, name="fast")
+        for i in range(10):
+            bus.publish({"i": i})
+        assert slow.dropped == 9 and fast.dropped == 0
+        assert len(fast.drain()) == 10
+        stats = bus.stats()
+        assert stats["published"] == 10
+        assert stats["dropped"] == 9
+        by_name = {s["name"]: s for s in stats["sinks"]}
+        assert by_name["slow"]["dropped"] == 9
+        assert by_name["fast"]["delivered"] == 10
+
+    def test_pop_blocks_until_publish(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        got = []
+
+        def consumer():
+            got.append(sub.pop(timeout=5.0))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        bus.publish({"x": 1})
+        thread.join(timeout=5.0)
+        assert got == [{"x": 1}]
+
+    def test_pop_returns_none_on_timeout(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        assert sub.pop(timeout=0.01) is None
+
+    def test_close_wakes_blocked_pop(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        got = []
+
+        def consumer():
+            got.append(sub.pop(timeout=10.0))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        sub.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert got == [None]
+
+    def test_closed_subscription_rejects_offers(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        sub.close()
+        assert bus.publish({"x": 1}) == 0
+        assert sub.pending == 0
+
+
+class TestEventBus:
+    def test_publish_never_raises_on_failing_callback(self):
+        bus = EventBus()
+        seen = []
+
+        def bad(record):
+            raise RuntimeError("sink bug")
+
+        bus.attach(bad)
+        bus.attach(seen.append)
+        bus.publish({"i": 0})  # bad raises once, is removed
+        bus.publish({"i": 1})
+        assert [r["i"] for r in seen] == [0, 1]
+
+    def test_close_mid_stream(self):
+        bus = EventBus()
+        sub = bus.subscribe()
+        bus.publish({"i": 0})
+        bus.close()
+        assert bus.closed
+        assert bus.publish({"i": 1}) == 0  # rejected, not raised
+        assert sub.closed
+        # records enqueued before close stay drainable
+        assert [r["i"] for r in sub.drain()] == [0]
+
+    def test_subscribe_after_close_is_born_closed(self):
+        bus = EventBus()
+        bus.close()
+        sub = bus.subscribe()
+        assert sub.closed
+        assert sub.pop(timeout=0.01) is None
+
+
+class TestBusOnRun:
+    """The bus wired into a real run: opt-in, lossless when not slow."""
+
+    def test_run_publishes_unit_events_and_run_markers(self):
+        bus = EventBus()
+        sub = bus.subscribe(maxlen=100_000)
+        result = RepEx(small_tremd_config(), event_bus=bus).run()
+        records = sub.drain()
+        kinds = {r["kind"] for r in records}
+        assert kinds == {"run", "event"}
+        assert records[0] == {
+            "kind": "run", "state": "started", "title": "test-tremd",
+        }
+        assert records[-1]["state"] == "finished"
+        assert records[-1]["t"] == pytest.approx(result.t_end)
+        # every manifest timeline event was published
+        n_events = sum(1 for r in records if r["kind"] == "event")
+        assert n_events == len(result.manifest.timeline)
+
+    def test_tiny_queue_cannot_stall_or_break_the_run(self):
+        """A saturated subscriber drops records; the run is unaffected."""
+        bus = EventBus()
+        sub = bus.subscribe(maxlen=2)
+        result = RepEx(small_tremd_config(), event_bus=bus).run()
+        baseline = RepEx(small_tremd_config()).run()
+        assert result.manifest.timeline == baseline.manifest.timeline
+        assert sub.dropped > 0
+        assert sub.delivered == 2
+
+    def test_bus_does_not_change_metrics(self):
+        bus = EventBus()
+        bus.subscribe(maxlen=1)
+        with_bus = RepEx(small_tremd_config(), event_bus=bus).run()
+        without = RepEx(small_tremd_config()).run()
+        assert with_bus.manifest.metrics == without.manifest.metrics
