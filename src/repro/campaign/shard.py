@@ -1,0 +1,236 @@
+"""Shard-per-session campaign execution across worker processes.
+
+The arbiter already treats a session as an opaque value: the injected
+runner maps a :class:`~repro.campaign.arbiter.SessionRequest` to a
+:class:`~repro.campaign.arbiter.SessionOutcome`, and nothing about
+placement, fair share or fault handling feeds back into the session's
+own dynamics.  That makes the inner simulations embarrassingly parallel
+— every outcome is a pure function of its payload — so a campaign can
+precompute all of them in a :mod:`multiprocessing` pool and then replay
+the arbiter's decision loop against the memoized results.
+
+:class:`ShardRunner` does exactly that:
+
+* all of ``expand_requests(spec)`` is executed up front, one shard (OS
+  process) per session, ``processes`` wide;
+* each worker ships back plain picklable data — durations, inner-clock
+  counters, and the session manifest as JSONL *text* — never live
+  framework objects;
+* the parent memoizes outcomes by uid, so a session relaunched after a
+  node crash reuses the exact bytes of its first attempt (the reference
+  in-process runner re-runs the deterministic simulation and gets the
+  same answer the slow way);
+* manifests are written to ``<dir>/<tenant>/<uid>.jsonl`` only when the
+  arbiter actually dispatches the session, with the worker's JSONL bytes
+  verbatim — so the on-disk tree is byte-identical to
+  :func:`~repro.campaign.runner.repex_runner`'s, including which
+  sessions (rejected ones never run, hence never appear).
+
+Bit-identity with in-process execution is a hard contract, checked by
+``tests/campaign/test_shard.py``: same report dict, same audit log, same
+OpenMetrics bytes, same per-session manifest files.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.campaign.arbiter import SessionOutcome, SessionRequest
+from repro.campaign.spec import CampaignError, CampaignSpec
+
+#: one precomputed session result, as shipped across the process
+#: boundary: either ``{"error": msg}`` or the outcome fields plus the
+#: manifest JSONL text (None when observability is off)
+_ShardResult = Dict[str, object]
+
+
+def _build_config(uid: str, payload: object):
+    """The exact payload coercion ``repex_runner`` performs, shared so
+    shard workers raise the same :class:`CampaignError` messages."""
+    from repro.core.config import ConfigError, SimulationConfig
+
+    if isinstance(payload, dict):
+        try:
+            return SimulationConfig.from_dict(payload)
+        except ConfigError as exc:
+            raise CampaignError(f"session {uid}: bad config: {exc}") from None
+    if isinstance(payload, SimulationConfig):
+        return payload
+    raise CampaignError(
+        f"session {uid}: payload must be a SimulationConfig "
+        f"or dict, got {type(payload).__name__}"
+    )
+
+
+def _run_shard(item: Tuple[str, object, bool]) -> Tuple[str, _ShardResult]:
+    """Worker body: run one session, return transportable plain data.
+
+    Module-level so it pickles under every multiprocessing start method.
+    Config errors come back as data (``{"error": ...}``) and are raised
+    in the parent only if the arbiter actually dispatches that session —
+    matching the reference runner, where a rejected session's bad config
+    is never noticed.
+    """
+    uid, payload, observe = item
+    try:
+        config = _build_config(uid, payload)
+    except CampaignError as exc:
+        return uid, {"error": str(exc)}
+    from repro.core.framework import RepEx
+    from repro.obs.metrics import MetricsRegistry, NullRegistry
+
+    registry = MetricsRegistry() if observe else NullRegistry()
+    repex = RepEx(config, registry=registry)
+    result = repex.run()
+    manifest_text = None
+    if observe and result.manifest is not None:
+        manifest_text = result.manifest.to_jsonl()
+    return uid, {
+        "duration_s": result.t_end,
+        "events_fired": repex.session.clock.n_fired,
+        "peak_heap": repex.session.clock.peak_heap,
+        "n_failures": result.n_failures,
+        "manifest": manifest_text,
+    }
+
+
+class ShardRunner:
+    """Arbiter runner backed by precomputed per-session shards.
+
+    Drop-in for :func:`~repro.campaign.runner.repex_runner`::
+
+        runner = ShardRunner(spec, manifest_dir=out, processes=4)
+        report = run_campaign(spec, runner=runner, manifest_dir=out)
+
+    Parameters
+    ----------
+    spec:
+        The campaign whose expanded sessions to precompute.
+    manifest_dir:
+        Where dispatched sessions' manifests land
+        (``<dir>/<tenant>/<uid>.jsonl``); None skips the writes.
+    processes:
+        Pool width.  None means ``os.cpu_count()``; 1 runs the shards
+        sequentially in the parent process (no pool — useful on
+        single-core hosts and under debuggers), which still exercises
+        the full transport/memoization path.
+    observability:
+        With False every shard runs under a null registry and ships no
+        manifest — the convention the perf benchmarks use, where the
+        metrics layer must stay out of the measurement.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        *,
+        manifest_dir: Optional[Union[str, Path]] = None,
+        processes: Optional[int] = None,
+        observability: bool = True,
+    ):
+        from repro.campaign.service import expand_requests
+
+        if processes is not None and processes < 1:
+            raise CampaignError(
+                f"processes must be >= 1, got {processes}"
+            )
+        self.manifest_dir = (
+            Path(manifest_dir) if manifest_dir is not None else None
+        )
+        self.processes = processes if processes is not None else (
+            os.cpu_count() or 1
+        )
+        self.observability = observability
+        requests = expand_requests(spec)
+        self._results: Dict[str, _ShardResult] = dict(
+            self._precompute(requests)
+        )
+        #: uids whose manifest file has been written (first dispatch wins;
+        #: relaunches would rewrite identical bytes anyway)
+        self._written: set = set()
+        self._fallback: Optional[
+            Callable[[SessionRequest], SessionOutcome]
+        ] = None
+
+    # -- precompute ------------------------------------------------------------
+
+    def _precompute(
+        self, requests: List[SessionRequest]
+    ) -> List[Tuple[str, _ShardResult]]:
+        work = [
+            (request.uid, request.payload, self.observability)
+            for request in requests
+        ]
+        if not work:
+            return []
+        if self.processes == 1:
+            return [_run_shard(item) for item in work]
+        n_procs = min(self.processes, len(work))
+        chunksize = max(1, len(work) // (n_procs * 4))
+        with multiprocessing.Pool(n_procs) as pool:
+            return pool.map(_run_shard, work, chunksize=chunksize)
+
+    # -- runner protocol -------------------------------------------------------
+
+    def __call__(self, request: SessionRequest) -> SessionOutcome:
+        entry = self._results.get(request.uid)
+        if entry is None:
+            # A request the spec's expansion never produced (hand-built
+            # submissions): run it the reference way, in-process.
+            if self._fallback is None:
+                from repro.campaign.runner import repex_runner
+
+                self._fallback = repex_runner(self.manifest_dir)
+            return self._fallback(request)
+        error = entry.get("error")
+        if error is not None:
+            raise CampaignError(str(error))
+        manifest_text = entry.get("manifest")
+        manifest = entry.get("_manifest_obj")
+        if manifest is None and manifest_text is not None:
+            from repro.obs.manifest import RunManifest
+
+            manifest = RunManifest.from_jsonl(str(manifest_text))
+            entry["_manifest_obj"] = manifest
+        if (
+            self.manifest_dir is not None
+            and manifest_text is not None
+            and request.uid not in self._written
+        ):
+            tenant_dir = self.manifest_dir / request.tenant
+            tenant_dir.mkdir(parents=True, exist_ok=True)
+            (tenant_dir / f"{request.uid}.jsonl").write_text(
+                str(manifest_text)
+            )
+            self._written.add(request.uid)
+        return SessionOutcome(
+            duration_s=float(entry["duration_s"]),  # type: ignore[arg-type]
+            ok=True,
+            manifest=manifest,
+            events_fired=int(entry["events_fired"]),  # type: ignore[arg-type]
+            peak_heap=int(entry["peak_heap"]),  # type: ignore[arg-type]
+            n_failures=int(entry["n_failures"]),  # type: ignore[arg-type]
+        )
+
+    def __len__(self) -> int:
+        """Number of precomputed sessions."""
+        return len(self._results)
+
+
+def shard_runner(
+    spec: CampaignSpec,
+    *,
+    manifest_dir: Optional[Union[str, Path]] = None,
+    processes: Optional[int] = None,
+    observability: bool = True,
+) -> ShardRunner:
+    """Build a :class:`ShardRunner`; mirrors ``repex_runner``'s shape."""
+    return ShardRunner(
+        spec,
+        manifest_dir=manifest_dir,
+        processes=processes,
+        observability=observability,
+    )

@@ -615,9 +615,27 @@ def cmd_campaign(args: argparse.Namespace) -> int:
             return 2
         print(f"live telemetry on {server.url}/metrics", file=sys.stderr)
 
+    runner = None
+    if args.shard is not None:
+        from repro.campaign.shard import shard_runner
+
+        try:
+            runner = shard_runner(
+                spec, manifest_dir=args.out,
+                processes=args.shard if args.shard != 0 else None,
+            )
+        except CampaignError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"precomputed {len(runner)} session shard(s) across "
+            f"{runner.processes} worker process(es)",
+            file=sys.stderr,
+        )
+
     try:
         report = run_campaign(
-            spec, manifest_dir=args.out, on_arbiter=on_arbiter
+            spec, runner=runner, manifest_dir=args.out, on_arbiter=on_arbiter
         )
     except CampaignError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -939,7 +957,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument(
         "--repeats", type=int, default=None, metavar="N",
-        help="best-of-N wallclock per scenario (default: 3 fast, 1 full)",
+        help="run each scenario N times and report the median wallclock "
+             "with min/max spread (default: 3 fast, 1 full)",
     )
     p_bench.add_argument(
         "--compare", nargs=2, metavar=("OLD", "NEW"),
@@ -994,6 +1013,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--serve-hold", type=float, default=0.0, metavar="SECONDS",
         help="keep the telemetry server up this many host seconds after "
              "the campaign finishes",
+    )
+    p_camp.add_argument(
+        "--shard", nargs="?", type=int, const=0, default=None, metavar="N",
+        help="precompute every session in N worker processes before the "
+             "arbiter replays against the memoized outcomes (bit-identical "
+             "to in-process execution; N omitted or 0 means one worker per "
+             "CPU, 1 runs the shards sequentially)",
     )
     p_camp.set_defaults(func=cmd_campaign)
 

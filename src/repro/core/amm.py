@@ -36,6 +36,7 @@ from repro.core.exchange.ph import PHDimension
 from repro.core.exchange.umbrella import UmbrellaDimension
 from repro.core.replica import CycleRecord, Replica, ReplicaStatus, swap_parameters
 from repro.core.results import ExchangeStats
+from repro.md.batch import MDWork
 from repro.md.engine import EngineAdapter, get_adapter
 from repro.md.perfmodel import PerformanceModel
 from repro.md.sandbox import Sandbox
@@ -107,12 +108,13 @@ class ApplicationManager:
         """
         ranges = [range(d.n_windows) for d in self.dimensions]
         replicas = []
+        alpha_r = np.radians([-63.0, -42.0])
         for rid, combo in enumerate(itertools.product(*ranges)):
             indices = {
                 d.name: idx for d, idx in zip(self.dimensions, combo)
             }
             rng = self.rng.stream("init", rid)
-            coords = np.radians([-63.0, -42.0]) + 0.15 * rng.standard_normal(2)
+            coords = alpha_r + 0.15 * rng.standard_normal(2)
             for d, idx in zip(self.dimensions, combo):
                 if isinstance(d, UmbrellaDimension):
                     k = 0 if d.angle == "phi" else 1
@@ -153,10 +155,21 @@ class ApplicationManager:
         return float(np.exp(sigma * rng.standard_normal()))
 
     def state_of(self, replica: Replica) -> ThermodynamicState:
-        """The full thermodynamic state a replica's windows define."""
-        state = ThermodynamicState()
-        for dim in self.dimensions:
-            state = dim.apply(state, replica.window(dim.name))
+        """The full thermodynamic state a replica's windows define.
+
+        States are cached per window-index tuple: ladder values are fixed
+        at dimension construction (see ``ExchangeDimension``), and
+        ``ThermodynamicState`` is frozen, so one instance per lattice
+        point serves every replica that visits it.
+        """
+        key = tuple(replica.window(d.name) for d in self.dimensions)
+        cache = self.__dict__.setdefault("_state_cache", {})
+        state = cache.get(key)
+        if state is None:
+            state = ThermodynamicState()
+            for dim in self.dimensions:
+                state = dim.apply(state, replica.window(dim.name))
+            cache[key] = state
         return state
 
     def states_of(self, replicas: Sequence[Replica]) -> Dict[int, ThermodynamicState]:
@@ -223,6 +236,7 @@ class ApplicationManager:
             gpus=self.config.gpus_per_replica,
             duration=duration,
             work=lambda: ram.execute_md(adapter, sandbox, tag),
+            batch=MDWork(adapter=adapter, sandbox=sandbox, tag=tag),
             input_staging=in_staging,
             output_staging=out_staging,
             metadata={

@@ -416,6 +416,11 @@ class WatchdogSpec:
 class SimulationConfig:
     """Complete specification of one REMD simulation."""
 
+    #: engine-only knobs excluded from :func:`repro.obs.manifest.config_hash`
+    #: — they cannot change results, so runs differing only in them are the
+    #: same simulation (and may resume each other's checkpoints)
+    HASH_EXCLUDE = ("soa",)
+
     title: str = "remd"
     engine: EngineSpec = field(default_factory=EngineSpec)
     resource: ResourceSpec = field(default_factory=ResourceSpec)
@@ -450,6 +455,11 @@ class SimulationConfig:
     #: pre-production equilibration: minimization + this many MD steps per
     #: replica before cycle 0 (the paper equilibrates every replica >1 ns)
     equilibration_steps: int = 0
+    #: structure-of-arrays phase engine (repro.pilot.soa): whole phases of
+    #: units execute through pooled numpy state tables with batched MD
+    #: dispatch when provably equivalent; False pins the per-event
+    #: reference path (the differential-test baseline)
+    soa: bool = True
 
     def __post_init__(self):
         if not self.dimensions:
@@ -628,6 +638,7 @@ class SimulationConfig:
             "exchange_enabled",
             "replica_heterogeneity",
             "equilibration_steps",
+            "soa",
         }
         unknown = set(data) - known
         if unknown:

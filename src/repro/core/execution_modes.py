@@ -20,6 +20,7 @@ from typing import List, Sequence
 
 from repro.pilot.pilot import Pilot
 from repro.pilot.session import Session
+from repro.pilot.soa import try_fast_phase
 from repro.pilot.unit import ComputeUnit, UnitDescription
 
 #: Virtual seconds charged per extra wave in Mode II (agent MPI re-layout).
@@ -48,14 +49,28 @@ class ExecutionMode(abc.ABC):
 
 
 class ModeI(ExecutionMode):
-    """All tasks concurrent: one burst, one barrier."""
+    """All tasks concurrent: one burst, one barrier.
+
+    With ``soa=True`` (the default) a phase that passes the fast-path
+    gates executes through the structure-of-arrays engine
+    (:func:`repro.pilot.soa.try_fast_phase`) — byte-identical results,
+    no per-event dispatch.  ``soa=False`` keeps the reference
+    submit/wait path unconditionally (the differential-test baseline).
+    """
 
     name = "I"
+
+    def __init__(self, soa: bool = True):
+        self.soa = soa
 
     def run_phase(self, session, pilot, descriptions):
         """Submit everything, wait for the barrier."""
         if not descriptions:
             return []
+        if self.soa:
+            units = try_fast_phase(session, pilot, descriptions)
+            if units is not None:
+                return units
         units = session.submit_units(pilot, descriptions)
         session.wait_units(units)
         return units
@@ -70,6 +85,7 @@ class ModeII(ExecutionMode):
         self,
         wave_gap_s: float = MODE2_WAVE_GAP_S,
         per_core_wave_gap_s: float = MODE2_PER_CORE_WAVE_GAP_S,
+        soa: bool = True,
     ):
         if wave_gap_s < 0:
             raise ValueError(f"wave_gap_s must be >= 0, got {wave_gap_s}")
@@ -79,6 +95,7 @@ class ModeII(ExecutionMode):
             )
         self.wave_gap_s = wave_gap_s
         self.per_core_wave_gap_s = per_core_wave_gap_s
+        self.soa = soa
 
     def run_phase(self, session, pilot, descriptions):
         """Run tasks in waves of whatever fits the pilot at once."""
@@ -102,6 +119,11 @@ class ModeII(ExecutionMode):
         for i, batch in enumerate(waves):
             if i > 0 and gap > 0:
                 session.run_for(gap)
+            if self.soa:
+                batch_units = try_fast_phase(session, pilot, batch)
+                if batch_units is not None:
+                    units.extend(batch_units)
+                    continue
             batch_units = session.submit_units(pilot, batch)
             session.wait_units(batch_units)
             units.extend(batch_units)
@@ -114,10 +136,10 @@ class ModeII(ExecutionMode):
         return math.ceil(n_tasks / per_wave)
 
 
-def make_mode(name: str, **kwargs) -> ExecutionMode:
+def make_mode(name: str, soa: bool = True, **kwargs) -> ExecutionMode:
     """Instantiate an execution mode by its config name ('I' or 'II')."""
     if name == "I":
-        return ModeI()
+        return ModeI(soa=soa)
     if name == "II":
-        return ModeII(**kwargs)
+        return ModeII(soa=soa, **kwargs)
     raise ValueError(f"unknown execution mode {name!r}; use 'I' or 'II'")

@@ -18,6 +18,7 @@ parse/serialize round-trips are real and tested.
 
 from __future__ import annotations
 
+import math
 import re
 from typing import Dict, List, Sequence
 
@@ -99,18 +100,72 @@ class AmberAdapter(EngineAdapter):
         if state.restraints:
             mdin.append(" &wt type='END' /")
             mdin.append(f"DISANG={tag}.RST")
-        sandbox.write_text(f"{tag}.mdin", "\n".join(mdin) + "\n")
+        mdin_text = "\n".join(mdin) + "\n"
+        sandbox.write_text(f"{tag}.mdin", mdin_text)
         files.append(f"{tag}.mdin")
 
         self._write_coords(sandbox, f"{tag}.inpcrd", coords)
         files.append(f"{tag}.inpcrd")
 
+        rst_text = None
         if state.restraints:
-            sandbox.write_text(
-                f"{tag}.RST", self._format_disang(state.restraints)
-            )
+            rst_text = self._format_disang(state.restraints)
+            sandbox.write_text(f"{tag}.RST", rst_text)
             files.append(f"{tag}.RST")
+        self._prime_mdin_cache(
+            sandbox, tag, mdin_text, rst_text, state, params, seed
+        )
         return files
+
+    def _prime_mdin_cache(
+        self, sandbox, tag, mdin_text, rst_text, state, params, seed
+    ) -> None:
+        """Record what :meth:`_parse_mdin` will recover from ``mdin_text``.
+
+        The values stored are the exact round-trips of the formatted tokens
+        (``float(_fmt_float(x))`` etc.), so a later parse of the unchanged
+        file returns identical values without running the regex scan.  The
+        cache entry is validated against the file text on every hit — a
+        rewritten or hand-edited file always falls back to the real parser.
+        Entries are skipped for inputs the namelist regex would not capture
+        verbatim (scientific-notation ``dt``, non-finite values).
+        """
+        dt = params.integrator_params.dt
+        dt_str = str(dt)
+        body = dt_str[1:] if dt_str.startswith("-") else dt_str
+        if not body or not all(c.isdigit() or c == "." for c in body):
+            return
+        values = (
+            state.temperature,
+            state.salt_molar,
+            params.integrator_params.friction,
+        )
+        if not all(math.isfinite(v) for v in values):
+            return
+        restraints = tuple(
+            UmbrellaRestraint(
+                angle=r.angle,
+                center_deg=float(f"{r.center_deg:.1f}"),
+                k=float(f"{r.k:.4f}"),
+            )
+            for r in state.restraints
+        )
+        parsed_state = ThermodynamicState(
+            temperature=float(_fmt_float(state.temperature)),
+            salt_molar=float(_fmt_float(state.salt_molar)),
+            restraints=restraints,
+        )
+        cache = self.__dict__.setdefault("_mdin_cache", {})
+        cache[(id(sandbox), tag)] = (
+            mdin_text,
+            rst_text,
+            params.n_steps,
+            max(1, params.sample_stride),
+            float(dt_str),
+            float(_fmt_float(params.integrator_params.friction)),
+            parsed_state,
+            int(seed),
+        )
 
     @staticmethod
     def _format_disang(restraints: Sequence[UmbrellaRestraint]) -> str:
@@ -164,6 +219,29 @@ class AmberAdapter(EngineAdapter):
 
     def _parse_mdin(self, sandbox: Sandbox, tag: str):
         text = sandbox.read_text(f"{tag}.mdin")
+        cache = self.__dict__.get("_mdin_cache")
+        if cache is not None:
+            hit = cache.get((id(sandbox), tag))
+            if (
+                hit is not None
+                and text == hit[0]
+                and (
+                    hit[1] is None
+                    or sandbox.read_text(f"{tag}.RST") == hit[1]
+                )
+            ):
+                # Same file contents the cache was primed with: return the
+                # recorded round-trip values.  MDParams is mutable, so a
+                # fresh instance is built per call; the frozen state and
+                # restraint objects are shared.
+                params = MDParams(
+                    n_steps=hit[2],
+                    sample_stride=hit[3],
+                    integrator_params=IntegratorParams(
+                        dt=hit[4], friction=hit[5]
+                    ),
+                )
+                return params, hit[6], hit[7]
         kv: Dict[str, str] = {}
         for key, value in _MDIN_KV.findall(text):
             kv.setdefault(key, value)
@@ -226,6 +304,27 @@ class AmberAdapter(EngineAdapter):
             f"{result.bath_energy:14.4f}\n"
         )
         sandbox.write_text(self.info_file(tag), text)
+        fields = (
+            result.potential_energy,
+            result.restraint_energy,
+            result.torsional_energy,
+            result.bath_energy,
+            result.temperature,
+        )
+        if all(math.isfinite(v) for v in fields):
+            # What read_info will recover: the 4 (resp. 2 for TEMP) decimal
+            # round-trips of the formatted fields, in _MDINFO_FIELDS order.
+            cache = self.__dict__.setdefault("_info_cache", {})
+            cache[(id(sandbox), tag)] = (
+                text,
+                {
+                    "potential_energy": float(f"{fields[0]:.4f}"),
+                    "restraint_energy": float(f"{fields[1]:.4f}"),
+                    "torsional_energy": float(f"{fields[2]:.4f}"),
+                    "bath_energy": float(f"{fields[3]:.4f}"),
+                    "temperature": float(f"{fields[4]:.2f}"),
+                },
+            )
 
     def _write_trajectory(self, sandbox: Sandbox, tag: str, result: MDResult) -> None:
         lines = [f"{row[0]: 12.7f}{row[1]: 12.7f}" for row in result.trajectory]
@@ -236,6 +335,11 @@ class AmberAdapter(EngineAdapter):
     def read_info(self, sandbox: Sandbox, tag: str) -> Dict[str, float]:
         """Parse ``{tag}.mdinfo`` (the exchange phase's input)."""
         text = sandbox.read_text(self.info_file(tag))
+        cache = self.__dict__.get("_info_cache")
+        if cache is not None:
+            hit = cache.get((id(sandbox), tag))
+            if hit is not None and text == hit[0]:
+                return dict(hit[1])
         out: Dict[str, float] = {}
         for out_key, key, pattern in _MDINFO_FIELDS:
             m = pattern.search(text)

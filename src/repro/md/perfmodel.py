@@ -240,10 +240,14 @@ class PerformanceModel:
             return base
         # One-shot generator per task key: deterministic, and avoids caching
         # hundreds of thousands of streams across a long scaling sweep.
+        # Generator(PCG64(seq)) is what default_rng(seq) constructs; spelling
+        # it out skips default_rng's errstate wrapper on this hot path.
         digest = 0
         for ch in task_key:
             digest = (digest * 131 + ord(ch)) % (2**32)
-        rng = np.random.default_rng(np.random.SeedSequence([self.seed, digest]))
+        rng = np.random.Generator(
+            np.random.PCG64(np.random.SeedSequence([self.seed, digest]))
+        )
         return float(base * math.exp(self.jitter * rng.standard_normal()))
 
 

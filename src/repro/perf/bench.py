@@ -14,6 +14,7 @@ import cProfile
 import io
 import json
 import pstats
+import statistics
 import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
@@ -22,7 +23,7 @@ from repro.campaign.spec import CampaignSpec
 from repro.core.framework import RepEx
 from repro.obs import hostprof
 from repro.obs.metrics import MetricsRegistry, NullRegistry, using_registry
-from repro.perf.scenarios import SCENARIOS, scenario_names
+from repro.perf.scenarios import SCENARIOS, ShardedCampaign, scenario_names
 
 #: canonical result file name, written at the repo root
 BENCH_FILENAME = "BENCH_scale.json"
@@ -31,7 +32,7 @@ BENCH_FILENAME = "BENCH_scale.json"
 DEFAULT_THRESHOLD = 0.25
 
 
-#: fields that must not vary across best-of-N repeats of one scenario
+#: fields that must not vary across repeats of one scenario
 _DETERMINISTIC_FIELDS = ("events_fired", "peak_heap", "virtual_s", "n_failures")
 
 
@@ -45,12 +46,14 @@ def run_scenario(
 ) -> Dict[str, object]:
     """Run one scenario and return its measurement record.
 
-    ``repeats`` reruns the scenario and keeps the fastest wallclock
-    (best-of-N).  The deterministic counters must agree across repeats —
-    a mismatch raises — so only timing noise is discarded.  Defaults to 3
-    for fast runs (they finish in ~0.1 s, where OS scheduling noise
-    dominates the measurement) and 1 for full runs; profiling always
-    runs once.
+    ``repeats`` reruns the scenario and reports the **median** wallclock
+    (with the min/max spread alongside, as ``wall_min_s``/``wall_max_s``)
+    — a single sample on a noisy host routinely swings 2x, and best-of-N
+    systematically flatters the new side of a comparison.  The
+    deterministic counters must agree across repeats — a mismatch raises
+    — so only timing noise is summarized away.  Defaults to 3 for fast
+    runs (they finish in ~0.1 s, where OS scheduling noise dominates the
+    measurement) and 1 for full runs; profiling always runs once.
 
     With ``profile=True`` the run happens under :mod:`cProfile` and the
     top ``profile_top`` functions by internal time are printed to stdout
@@ -59,23 +62,32 @@ def run_scenario(
     """
     if repeats is None:
         repeats = 3 if fast else 1
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
     if profile:
         repeats = 1
     records = [
         _measure(name, fast=fast, profile=profile, profile_top=profile_top)
         for _ in range(repeats)
     ]
-    best = min(records, key=lambda r: r["wall_s"])
-    for record in records:
+    result = records[0]
+    for record in records[1:]:
         for field in _DETERMINISTIC_FIELDS:
-            if record[field] != best[field]:
+            if record[field] != result[field]:
                 raise RuntimeError(
                     f"scenario {name!r} is non-deterministic: "
                     f"{field} varied across repeats "
-                    f"({record[field]!r} vs {best[field]!r})"
+                    f"({record[field]!r} vs {result[field]!r})"
                 )
-    best["repeats"] = repeats
-    return best
+    walls = [float(r["wall_s"]) for r in records]
+    wall = statistics.median(walls)
+    events = int(result["events_fired"])
+    result["wall_s"] = round(wall, 4)
+    result["wall_min_s"] = round(min(walls), 4)
+    result["wall_max_s"] = round(max(walls), 4)
+    result["events_per_s"] = round(events / wall, 1) if wall > 0 else 0.0
+    result["repeats"] = repeats
+    return result
 
 
 def _measure(
@@ -87,6 +99,12 @@ def _measure(
 ) -> Dict[str, object]:
     scenario = SCENARIOS[name]
     config = scenario.build(fast)
+    if isinstance(config, ShardedCampaign):
+        return _measure_campaign(
+            scenario, config.spec, fast=fast, profile=profile,
+            profile_top=profile_top, shard_processes=config.processes,
+            shard=True,
+        )
     if isinstance(config, CampaignSpec):
         return _measure_campaign(
             scenario, config, fast=fast, profile=profile,
@@ -138,6 +156,8 @@ def _measure_campaign(
     fast: bool,
     profile: bool,
     profile_top: int,
+    shard: bool = False,
+    shard_processes: Optional[int] = None,
 ) -> Dict[str, object]:
     """Measure a campaign scenario: the two-level DES end to end.
 
@@ -149,12 +169,17 @@ def _measure_campaign(
     aggregate both levels: ``events_fired`` sums the arbiter clock and
     every inner clock, ``virtual_s`` is the campaign makespan, and
     ``n_failures`` counts inner failures plus crash-induced relaunches.
+
+    With ``shard=True`` the sessions execute through
+    :class:`~repro.campaign.shard.ShardRunner` (worker-process pool,
+    built inside the timed window — the precompute *is* the work); the
+    deterministic fields must match the in-process variant exactly.
     """
     from repro.campaign.arbiter import Arbiter, SessionOutcome
     from repro.campaign.service import expand_requests
     from repro.core.config import SimulationConfig
 
-    def runner(request):
+    def in_process_runner(request):
         config = SimulationConfig.from_dict(request.payload)
         repex = RepEx(config, registry=NullRegistry())
         result = repex.run()
@@ -180,6 +205,14 @@ def _measure_campaign(
     start = time.perf_counter()
     if profiler is not None:
         profiler.enable()
+    if shard:
+        from repro.campaign.shard import ShardRunner
+
+        runner = ShardRunner(
+            spec, processes=shard_processes, observability=False
+        )
+    else:
+        runner = in_process_runner
     arbiter.prepare(runner)
     for request in requests:
         arbiter.submit(request)
@@ -302,15 +335,26 @@ def export_traces(
     for name in selected:
         config = SCENARIOS[name].build(fast)
         slug = name.replace("/", "_")
-        if isinstance(config, CampaignSpec):
+        if isinstance(config, (CampaignSpec, ShardedCampaign)):
             # A campaign has no single manifest; write the per-session
             # manifest tree plus the aggregated report instead.  The
             # --compare attribution path degrades gracefully when its
             # <slug>.manifest.jsonl is absent.
             from repro.campaign.service import run_campaign
 
+            runner = None
+            if isinstance(config, ShardedCampaign):
+                from repro.campaign.shard import ShardRunner
+
+                spec = config.spec
+                runner = ShardRunner(
+                    spec,
+                    manifest_dir=out / f"{slug}.sessions",
+                    processes=config.processes,
+                )
+                config = spec
             report = run_campaign(
-                config, manifest_dir=out / f"{slug}.sessions"
+                config, runner=runner, manifest_dir=out / f"{slug}.sessions"
             )
             report_path = out / f"{slug}.report.json"
             report_path.write_text(

@@ -191,6 +191,42 @@ class EventQueue:
             return True
         return False
 
+    def step_batch(self) -> Tuple[Optional[float], int]:
+        """Drain *every* event at the next live timestamp in one sweep.
+
+        This is the batched-dispatch primitive: all events that share the
+        earliest pending virtual time fire back to back (in sequence
+        order), including events a fired callback schedules *at that same
+        time*.  Lazily-cancelled entries inside the batch are skipped with
+        exact dead accounting, just like :meth:`step`.
+
+        Returns ``(time, n_fired)`` — the batch's virtual time and how
+        many events fired — or ``(None, 0)`` when the queue is empty.
+
+        Note that this is deliberately *not* what :meth:`run_until` uses:
+        its contract checks the predicate before every single event, and
+        a predicate that becomes true mid-batch must stop the loop before
+        the remaining equal-time events fire.  Batch draining is for
+        drivers that own a whole time slice (the SoA phase engine, sweep
+        loops) and for callers that want equal-time fan-in semantics.
+        """
+        t = self.next_event_time()
+        if t is None:
+            return None, 0
+        fired = 0
+        heap = self._heap
+        while heap and heap[0][0] == t:
+            _, _, event = heapq.heappop(heap)
+            if event.cancelled:
+                self._n_cancelled -= 1
+                continue
+            event._queue = None
+            self._now = t
+            self._n_fired += 1
+            fired += 1
+            event.callback()
+        return t, fired
+
     def run(self, max_events: Optional[int] = None) -> None:
         """Drain the queue (optionally at most ``max_events`` events)."""
         fired = 0
@@ -250,6 +286,44 @@ class EventQueue:
                 "advance_to would skip pending events; run them first"
             )
         self._now = float(time)
+
+    def account_batch(
+        self,
+        n_events: int,
+        advance_to: float,
+        *,
+        peak: Optional[int] = None,
+    ) -> None:
+        """Fold an externally simulated batch of events into the clock.
+
+        The SoA fast path computes a whole phase's event timeline without
+        materializing :class:`Event` objects; this credits those events so
+        the queue's diagnostics (``n_fired``, ``peak_heap``) and the clock
+        itself end up exactly where the reference event-by-event execution
+        would have left them.
+
+        Raises
+        ------
+        SimulationError
+            If the batch would move the clock backwards or skip over
+            pending live events (the caller must fall back to the
+            reference path instead).
+        """
+        if n_events < 0:
+            raise SimulationError(f"n_events must be >= 0, got {n_events}")
+        if advance_to < self._now:
+            raise SimulationError(
+                f"cannot move clock backwards (t={advance_to} < now={self._now})"
+            )
+        next_t = self.next_event_time()
+        if next_t is not None and next_t < advance_to:
+            raise SimulationError(
+                "account_batch would skip pending events; run them first"
+            )
+        self._now = float(advance_to)
+        self._n_fired += n_events
+        if peak is not None and peak > self._peak_heap:
+            self._peak_heap = peak
 
     def _note_cancelled(self) -> None:
         """Account one newly dead event; compact when the dead dominate."""

@@ -1,0 +1,376 @@
+"""Structure-of-arrays fast path for whole-phase unit execution.
+
+The reference pipeline drives every compute unit through four clock events
+(staged-in, launched, finished, staged-out), each a heap pop + closure call
++ per-object attribute churn.  For the common phase shape — a burst of
+units submitted together into an otherwise idle pilot — the entire event
+timeline is a pure function of the descriptions and the cluster models, so
+it can be computed up front into pooled numpy arrays (one row per unit:
+the four state-entry timestamps) and committed to the simulation in one
+step, skipping the event machinery entirely.
+
+:func:`try_fast_phase` is that fast path.  It is *conservative*: a set of
+gates checks that nothing outside the phase could observe or perturb the
+timeline (idle scheduler, no faults, no watchdog, no pending event due
+inside the phase window); if any gate fails it returns ``None`` and the
+caller runs the byte-identical reference path instead.  The differential
+suite in ``tests/perf/test_soa_equivalence.py`` holds the two paths to
+identical manifests, golden traces and clock diagnostics.
+
+Byte-identity invariants this module maintains (in commit order):
+
+* unit uids — ``ComputeUnit`` objects are constructed only after every
+  gate has passed and the work callables have run, so the process-global
+  uid counter advances exactly once per description, exactly when the
+  reference path would have consumed it;
+* virtual times — every delay is computed by the *real* cluster model
+  methods, in the reference call order with the reference arguments
+  (progressive in-flight staging contention, launcher backlog), and event
+  times accumulate as ``t + delay`` exactly like ``EventQueue.schedule``;
+* event order — the local timeline heap is keyed ``(time, seq)`` with
+  sequence numbers allocated in the order the reference allocates real
+  ones, so ties break identically;
+* clock diagnostics — ``n_fired``/``peak_heap`` are folded in through
+  :meth:`~repro.pilot.events.EventQueue.account_batch` (a phase of N
+  units fires 4N events and peaks the heap at ``len(heap) + N``, since
+  every pipeline callback pops before it pushes);
+* observability — metric counters advance by the same totals, the wait
+  histogram records the same zeros, the staging area replays the same
+  put/get sequence (float accumulation order preserved), and when a
+  tracer is attached every transition is replayed at its exact virtual
+  time through ``ComputeUnit.advance`` so sinks (streamed manifests) see
+  the reference event stream.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.obs import hostprof
+from repro.pilot.failures import FailureModel
+from repro.pilot.pilot import Pilot, PilotState
+from repro.pilot.session import Session
+from repro.pilot.staging import StagingAction
+from repro.pilot.unit import ComputeUnit, UnitDescription, UnitState
+
+#: local event kinds, in pipeline order
+_STAGED_IN = 0
+_LAUNCHED = 1
+_FINISHED = 2
+_STAGED_OUT = 3
+
+
+class PhaseTable:
+    """Pooled SoA state table: one row per unit, one column per pipeline stage.
+
+    Grow-only numpy storage reused across phases (the pool lives on the
+    scheduler), so steady-state phases allocate no per-unit timestamp
+    objects during simulation — values land in flat float64 arrays and are
+    only materialized onto units at commit.
+    """
+
+    __slots__ = ("capacity", "t_staged_in", "t_launched", "t_finished", "t_done")
+
+    def __init__(self):
+        self.capacity = 0
+        self.t_staged_in = np.empty(0)
+        self.t_launched = np.empty(0)
+        self.t_finished = np.empty(0)
+        self.t_done = np.empty(0)
+
+    def reserve(self, n: int) -> None:
+        """Ensure at least ``n`` rows (amortized doubling, never shrinks)."""
+        if n <= self.capacity:
+            return
+        cap = max(n, 2 * self.capacity, 64)
+        self.t_staged_in = np.empty(cap)
+        self.t_launched = np.empty(cap)
+        self.t_finished = np.empty(cap)
+        self.t_done = np.empty(cap)
+        self.capacity = cap
+
+
+def _table_for(sched) -> PhaseTable:
+    table = getattr(sched, "_soa_table", None)
+    if table is None:
+        table = PhaseTable()
+        sched._soa_table = table
+    return table
+
+
+def _run_work(descriptions, launched_order, prof) -> list:
+    """Run every unit's work callable, in reference (launch-event) order.
+
+    Units carrying a batchable :class:`~repro.md.batch.MDWork` descriptor
+    execute together through one vectorised pass; everything else runs its
+    ``work`` callable directly, with the reference's per-phase host-time
+    attribution when profiling is on.
+    """
+    results = [None] * len(descriptions)
+    batch_ks = [
+        k
+        for k in launched_order
+        if descriptions[k].batch is not None and descriptions[k].work is not None
+    ]
+    if len(batch_ks) > 1:
+        # md deps stay out of the pilot layer unless a batch actually runs
+        from repro.md.batch import MDWork, run_md_batch
+
+        items = [descriptions[k].batch for k in batch_ks]
+        if all(type(item) is MDWork for item in items):
+            if prof is None:
+                outs = run_md_batch(items)
+            else:
+                with prof.section("work.md"):
+                    outs = run_md_batch(items)
+            for k, out in zip(batch_ks, outs):
+                results[k] = out
+        else:
+            batch_ks = []
+    else:
+        batch_ks = []
+    batched = set(batch_ks)
+    for k in launched_order:
+        if k in batched:
+            continue
+        d = descriptions[k]
+        if d.work is None:
+            continue
+        if prof is None:
+            results[k] = d.work()
+        else:
+            from repro.obs.export import unit_phase
+
+            phase = unit_phase(d.name, d.metadata) or "other"
+            with prof.section(f"work.{phase}"):
+                results[k] = d.work()
+    return results
+
+
+def try_fast_phase(
+    session: Session,
+    pilot: Pilot,
+    descriptions: Sequence[UnitDescription],
+) -> Optional[List[ComputeUnit]]:
+    """Execute a whole phase through the SoA table, or return ``None``.
+
+    ``None`` means "this phase is not provably equivalent under the fast
+    path" — the caller must run the reference submit/wait path.  Nothing
+    observable (uid counter, clock, scheduler, metrics) has been touched
+    in that case.
+    """
+    # -- gates: the phase must own the simulation until its last event -----
+    if session._closed:
+        return None
+    if pilot.state is not PilotState.ACTIVE:
+        return None
+    sched = pilot.scheduler
+    if sched is None or sched._drained:
+        return None
+    clock = session.clock
+    if sched._clock is not clock:
+        return None
+    if sched.watchdog is not None or sched.fault_domain is not None:
+        return None
+    fm = sched.failure_model
+    if type(fm) is not FailureModel or fm.probability != 0.0:
+        return None
+    if not sched._indexed:
+        return None
+    if sched._queue or sched._running or sched._shadows or sched._attempts:
+        return None
+    if sched._staging_in_flight or sched._launch_pending:
+        return None
+    # A cancelled entry makes next_event_time() mutate the heap (purge) and
+    # perturbs peak accounting — reference-path territory.
+    if clock._n_cancelled != 0:
+        return None
+    n = len(descriptions)
+    total_cores = 0
+    total_gpus = 0
+    for d in descriptions:
+        if d.cores > sched.capacity or d.gpus > sched.gpu_capacity:
+            return None  # reference raises SchedulerError; let it
+        total_cores += d.cores
+        total_gpus += d.gpus
+    if total_cores > sched.free_cores or total_gpus > sched.free_gpus:
+        return None  # not a one-scan placement; waves/backfill differ
+
+    # -- local timeline: pure simulation, no shared state touched ----------
+    fs = sched._cluster.filesystem
+    launcher = sched._cluster.launcher
+    t0 = clock.now
+    table = _table_for(sched)
+    table.reserve(n)
+    t_in = table.t_staged_in
+    t_launch = table.t_launched
+    t_fin = table.t_finished
+    t_done = table.t_done
+
+    heap: list = []
+    fired: list = []
+    launched_order: list = []
+    in_flight = 0
+    launch_pending = 0
+    with hostprof.section("scheduler"):
+        # Stage-in events carry local seqs 0..n-1 in description order,
+        # mirroring the reference's one schedule_many batch; every later
+        # event allocates the next seq at its parent's fire time, exactly
+        # as the reference allocates real sequence numbers.
+        with hostprof.section("staging"):
+            for k, d in enumerate(descriptions):
+                delay = 0.0
+                for dirv in d.input_staging:
+                    if dirv.action is StagingAction.LINK:
+                        delay += fs.link_time()
+                    else:
+                        delay += fs.transfer_time(
+                            dirv.size_mb, concurrent=in_flight
+                        )
+                in_flight += len(d.input_staging)
+                heap.append((t0 + delay, k, _STAGED_IN, k))
+        heapq.heapify(heap)
+        seq = n
+        while heap:
+            t, _, kind, k = heapq.heappop(heap)
+            fired.append((t, kind, k))
+            d = descriptions[k]
+            if kind == _STAGED_IN:
+                t_in[k] = t
+                in_flight -= len(d.input_staging)
+                delay = launcher.launch_delay(launch_pending, cores=d.cores)
+                launch_pending += 1
+                heapq.heappush(heap, (t + delay, seq, _LAUNCHED, k))
+                seq += 1
+            elif kind == _LAUNCHED:
+                t_launch[k] = t
+                launch_pending -= 1
+                launched_order.append(k)
+                heapq.heappush(
+                    heap, (t + float(d.duration), seq, _FINISHED, k)
+                )
+                seq += 1
+            elif kind == _FINISHED:
+                t_fin[k] = t
+                with hostprof.section("staging"):
+                    delay = 0.0
+                    for dirv in d.output_staging:
+                        if dirv.action is StagingAction.LINK:
+                            delay += fs.link_time()
+                        else:
+                            delay += fs.transfer_time(
+                                dirv.size_mb, concurrent=in_flight
+                            )
+                in_flight += len(d.output_staging)
+                heapq.heappush(heap, (t + delay, seq, _STAGED_OUT, k))
+                seq += 1
+            else:
+                t_done[k] = t
+                in_flight -= len(d.output_staging)
+
+    t_end = fired[-1][0]
+    # Any pending event due at-or-before the phase's last event (walltime
+    # expiry, a crash probe, run_for leftovers) must interleave with the
+    # pipeline — only the reference path can honour that.
+    next_t = clock.next_event_time()
+    if next_t is not None and next_t <= t_end:
+        return None
+    # Reference peak: schedule_many grows the heap by n in one batch and
+    # every later pipeline callback pops before it pushes.
+    peak = len(clock._heap) + n
+
+    # Work runs now, before any commit: a raising callable sends the phase
+    # back to the reference path, which re-runs the (idempotent,
+    # per-task-seeded) numerics and fails the unit the reference way.
+    try:
+        results = _run_work(descriptions, launched_order, hostprof.active())
+    except Exception:  # noqa: BLE001 - task isolation boundary
+        return None
+
+    # -- commit: uid counter advances here, exactly once per description ---
+    units = [ComputeUnit(d) for d in descriptions]
+    sched._m_submitted.inc(n)
+    for u in units:
+        u.advance(UnitState.SCHEDULING, t0)
+    for u in units:
+        sched._place(u)
+        sched._running.add(u)
+        sched._h_wait.observe(0.0)
+        u.advance(UnitState.STAGING_INPUT, t0)
+    sched._update_occupancy()
+    tracer = session.tracer
+    if tracer is not None:
+        tracer.watch_all(units)
+
+    area = sched.staging_area
+    clock.account_batch(0, t0, peak=peak)
+    if tracer is not None:
+        # Transition-accurate replay: every event fires through
+        # ComputeUnit.advance at its exact virtual time so tracer sinks
+        # (streamed manifests) observe the reference event stream.
+        i = 0
+        n_fired = len(fired)
+        while i < n_fired:
+            t = fired[i][0]
+            j = i
+            while j < n_fired and fired[j][0] == t:
+                j += 1
+            clock.account_batch(j - i, t)
+            for idx in range(i, j):
+                _, kind, k = fired[idx]
+                u = units[k]
+                d = descriptions[k]
+                if kind == _STAGED_IN:
+                    for dirv in d.input_staging:
+                        if dirv.target not in area:
+                            area.put(dirv.target, dirv.size_mb)
+                        else:
+                            area.get(dirv.target)
+                    u.advance(UnitState.AGENT_EXECUTING_PENDING, t)
+                elif kind == _LAUNCHED:
+                    u.advance(UnitState.EXECUTING, t)
+                    sched._m_started.inc()
+                    u.result = results[k]
+                elif kind == _FINISHED:
+                    u.advance(UnitState.STAGING_OUTPUT, t)
+                else:
+                    for dirv in d.output_staging:
+                        area.put(dirv.target, dirv.size_mb)
+                    u.advance(UnitState.DONE, t)
+                    sched._m_completed.inc()
+                    sched._release(u)
+            i = j
+    else:
+        # No transition observers: settle the clock in one step, replay
+        # the staging ledger in fired order (float accumulation order is
+        # part of the contract), and write timestamps straight into the
+        # units from the SoA table.
+        clock.account_batch(len(fired), t_end)
+        for t, kind, k in fired:
+            d = descriptions[k]
+            if kind == _STAGED_IN:
+                for dirv in d.input_staging:
+                    if dirv.target not in area:
+                        area.put(dirv.target, dirv.size_mb)
+                    else:
+                        area.get(dirv.target)
+            elif kind == _STAGED_OUT:
+                for dirv in d.output_staging:
+                    area.put(dirv.target, dirv.size_mb)
+        for k, u in enumerate(units):
+            ts = u.timestamps
+            ts[UnitState.AGENT_EXECUTING_PENDING] = float(t_in[k])
+            ts[UnitState.EXECUTING] = float(t_launch[k])
+            ts[UnitState.STAGING_OUTPUT] = float(t_fin[k])
+            ts[UnitState.DONE] = float(t_done[k])
+            u.state = UnitState.DONE
+            u._done = True
+            u.result = results[k]
+        sched._m_started.inc(n)
+        sched._m_completed.inc(n)
+        for u in units:
+            sched._release(u)
+    return units

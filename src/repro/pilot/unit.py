@@ -127,6 +127,12 @@ class UnitDescription:
     metadata: Dict[str, Any] = field(default_factory=dict)
     #: GPUs held while executing (the paper's GPU-support extension)
     gpus: int = 0
+    #: Optional batchable-work descriptor (e.g. ``repro.md.batch.MDWork``).
+    #: When a whole phase runs through the SoA fast path, units carrying a
+    #: descriptor of the same batchable family are executed in one
+    #: vectorised pass instead of one ``work()`` call each; the reference
+    #: path ignores this field entirely and calls ``work``.
+    batch: Optional[Any] = None
 
     def __post_init__(self):
         if self.cores <= 0:

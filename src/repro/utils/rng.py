@@ -69,7 +69,9 @@ class RNGRegistry:
                         f"RNG key components must be str or int, got {type(part).__name__}"
                     )
             seq = np.random.SeedSequence(entropy)
-            self._streams[key] = np.random.default_rng(seq)
+            # Generator(PCG64(seq)) == default_rng(seq), minus the errstate
+            # wrapper default_rng carries — this runs once per replica.
+            self._streams[key] = np.random.Generator(np.random.PCG64(seq))
         return self._streams[key]
 
     # -- checkpointing -------------------------------------------------------

@@ -1,0 +1,218 @@
+"""Shard-per-session execution is indistinguishable from in-process.
+
+The contract under test: precomputing every session of a campaign in a
+worker-process pool and replaying the arbiter against the memoized
+outcomes yields bit-identical campaign results — same report dict, same
+audit log, same OpenMetrics bytes, same per-session manifest files —
+because a session is a pure function of its payload and the arbiter
+treats it as an opaque value.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.arbiter import SessionRequest
+from repro.campaign.service import run_campaign
+from repro.campaign.shard import ShardRunner, shard_runner
+from repro.campaign.spec import (
+    CampaignError,
+    CampaignSpec,
+    DatacenterSpec,
+    FaultSpec,
+    TenantSpec,
+)
+
+
+def tiny_base(seed: int = 2016) -> dict:
+    return {
+        "title": "shard-tiny",
+        "dimensions": [
+            {
+                "kind": "temperature",
+                "n_windows": 2,
+                "min_value": 300.0,
+                "max_value": 340.0,
+            }
+        ],
+        "resource": {"name": "small-cluster", "cores": 4},
+        "n_cycles": 1,
+        "steps_per_cycle": 500,
+        "numeric_steps": 1,
+        "sample_stride": 0,
+        "seed": seed,
+    }
+
+
+def tiny_spec(**over) -> CampaignSpec:
+    defaults = dict(
+        title="shard-tiny",
+        seed=7,
+        datacenter=DatacenterSpec(nodes=4, cores_per_node=8, repair_s=60.0),
+        tenants=[
+            TenantSpec(
+                name="a",
+                base=tiny_base(1),
+                grid={"pattern.kind": ["synchronous", "asynchronous"]},
+                repeat=2,
+            ),
+            TenantSpec(name="b", weight=2.0, base=tiny_base(2), repeat=3),
+        ],
+    )
+    defaults.update(over)
+    return CampaignSpec(**defaults)
+
+
+def crashy_spec() -> CampaignSpec:
+    # two crashes early enough to kill running sessions -> relaunches,
+    # which is the memoization path (same uid dispatched twice)
+    return tiny_spec(
+        faults=FaultSpec(node_crashes=[[5.0, 0], [30.0, 1]]),
+        relaunch_limit=3,
+    )
+
+
+def report_blob(report) -> str:
+    return json.dumps(report.to_dict(), sort_keys=True)
+
+
+def manifest_tree(root) -> dict:
+    return {
+        str(p.relative_to(root)): p.read_bytes()
+        for p in sorted(root.rglob("*.jsonl"))
+    }
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("processes", [1, 2], ids=["inline", "pool"])
+    def test_report_audit_metrics_and_manifests_match(
+        self, tmp_path, processes
+    ):
+        ref_dir, shard_dir = tmp_path / "ref", tmp_path / "shard"
+        reference = run_campaign(tiny_spec(), manifest_dir=ref_dir)
+        runner = shard_runner(
+            tiny_spec(), manifest_dir=shard_dir, processes=processes
+        )
+        sharded = run_campaign(
+            tiny_spec(), runner=runner, manifest_dir=shard_dir
+        )
+        assert report_blob(sharded) == report_blob(reference)
+        assert sharded.audit == reference.audit
+        assert sharded.openmetrics() == reference.openmetrics()
+        assert manifest_tree(shard_dir) == manifest_tree(ref_dir)
+
+    def test_relaunched_sessions_reuse_memoized_outcomes(self, tmp_path):
+        ref_dir, shard_dir = tmp_path / "ref", tmp_path / "shard"
+        reference = run_campaign(crashy_spec(), manifest_dir=ref_dir)
+        assert sum(r.relaunches for r in reference.records) > 0, (
+            "fixture must exercise the relaunch path"
+        )
+        runner = shard_runner(
+            crashy_spec(), manifest_dir=shard_dir, processes=1
+        )
+        sharded = run_campaign(
+            crashy_spec(), runner=runner, manifest_dir=shard_dir
+        )
+        assert report_blob(sharded) == report_blob(reference)
+        assert manifest_tree(shard_dir) == manifest_tree(ref_dir)
+
+    def test_bench_campaign_scenario_matches_in_process(self):
+        """The campaign-256 workload (fast variant): every deterministic
+        bench counter is identical shard vs in-process."""
+        from repro.perf.bench import run_scenario
+
+        ref = run_scenario("campaign-256", fast=True, repeats=1)
+        shard = run_scenario("campaign-256-shard", fast=True, repeats=1)
+        for field in (
+            "events_fired",
+            "peak_heap",
+            "virtual_s",
+            "n_failures",
+            "n_replicas",
+            "n_cycles",
+            "n_sessions",
+            "relaunches",
+        ):
+            assert shard[field] == ref[field], field
+
+
+class TestRunnerBehavior:
+    def test_precomputes_every_expanded_session(self):
+        runner = ShardRunner(tiny_spec(), processes=1)
+        from repro.campaign.service import expand_requests
+
+        assert len(runner) == len(expand_requests(tiny_spec()))
+
+    def test_bad_config_raises_only_when_dispatched(self):
+        spec = tiny_spec()
+        spec.tenants[0].base["dimensions"] = []  # invalid: no dimensions
+        runner = ShardRunner(spec, processes=1)  # precompute must not raise
+        bad_uid = "a-0000"
+        with pytest.raises(CampaignError, match=f"session {bad_uid}"):
+            runner(SessionRequest(uid=bad_uid, tenant="a", cores=4))
+        # tenant b's sessions are untouched by tenant a's broken base
+        outcome = runner(SessionRequest(uid="b-0000", tenant="b", cores=4))
+        assert outcome.ok and outcome.duration_s > 0
+
+    def test_error_message_matches_reference_runner(self):
+        from repro.campaign.runner import repex_runner
+
+        spec = tiny_spec()
+        spec.tenants[0].base["dimensions"] = []
+        request = None
+        from repro.campaign.service import expand_requests
+
+        for req in expand_requests(spec):
+            if req.uid == "a-0000":
+                request = req
+        sharded = ShardRunner(spec, processes=1)
+        messages = []
+        for runner in (repex_runner(), sharded):
+            with pytest.raises(CampaignError) as exc:
+                runner(request)
+            messages.append(str(exc.value))
+        assert messages[0] == messages[1]
+
+    def test_unknown_uid_falls_back_to_in_process(self, tmp_path):
+        from repro.campaign.runner import repex_runner
+
+        runner = ShardRunner(
+            tiny_spec(), manifest_dir=tmp_path / "shard", processes=1
+        )
+        foreign = SessionRequest(
+            uid="hand-built-0042", tenant="a", cores=4, payload=tiny_base(9)
+        )
+        outcome = runner(foreign)
+        reference = repex_runner(tmp_path / "ref")(foreign)
+        assert outcome.duration_s == reference.duration_s
+        assert outcome.events_fired == reference.events_fired
+        assert (
+            tmp_path / "shard" / "a" / "hand-built-0042.jsonl"
+        ).read_bytes() == (
+            tmp_path / "ref" / "a" / "hand-built-0042.jsonl"
+        ).read_bytes()
+
+    def test_observability_off_ships_no_manifest(self):
+        runner = ShardRunner(tiny_spec(), processes=1, observability=False)
+        outcome = runner(
+            SessionRequest(uid="a-0000", tenant="a", cores=4)
+        )
+        assert outcome.manifest is None
+        assert outcome.events_fired > 0
+
+    def test_rejects_nonpositive_process_count(self):
+        with pytest.raises(CampaignError, match="processes"):
+            ShardRunner(tiny_spec(), processes=0)
+
+    def test_repeated_dispatch_returns_equal_outcomes(self):
+        runner = ShardRunner(tiny_spec(), processes=1)
+        request = SessionRequest(uid="b-0001", tenant="b", cores=4)
+        first, second = runner(request), runner(request)
+        assert first is not second  # fresh outcome per attempt
+        assert (first.duration_s, first.events_fired, first.peak_heap) == (
+            second.duration_s,
+            second.events_fired,
+            second.peak_heap,
+        )
